@@ -1,0 +1,26 @@
+//! # slugger-algos
+//!
+//! Graph algorithms that access their input **only** through
+//! [`slugger_graph::NeighborAccess`], so they run unchanged on
+//!
+//! * a raw [`slugger_graph::Graph`], and
+//! * a compressed [`slugger_core::HierarchicalSummary`] via
+//!   [`slugger_core::decode::SummaryNeighborView`] (on-the-fly partial decompression,
+//!   Sect. VIII-C of the SLUGGER paper).
+//!
+//! Provided algorithms: BFS/DFS traversal ([`traversal`]), PageRank ([`pagerank`]),
+//! Dijkstra / unweighted shortest paths ([`shortest_path`]), and triangle counting
+//! ([`triangles`]) — the four workloads of the paper's appendix experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pagerank;
+pub mod shortest_path;
+pub mod traversal;
+pub mod triangles;
+
+pub use pagerank::{pagerank, PageRankConfig};
+pub use shortest_path::{bfs_distances, dijkstra};
+pub use traversal::{bfs_order, connected_component_of, dfs_order};
+pub use triangles::count_triangles;

@@ -1,0 +1,103 @@
+//! PageRank over any [`NeighborAccess`] graph (Algorithm 6 of the paper, undirected
+//! power iteration with uniform teleport).
+
+use slugger_graph::{NeighborAccess, NodeId};
+
+/// PageRank parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PageRankConfig {
+    /// Damping factor `d` (probability of following an edge).
+    pub damping: f64,
+    /// Number of power iterations.
+    pub iterations: usize,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        PageRankConfig {
+            damping: 0.85,
+            iterations: 20,
+        }
+    }
+}
+
+/// Computes PageRank scores for every node.  Dangling (degree-0) nodes redistribute
+/// their mass uniformly, so the scores always sum to 1.
+pub fn pagerank<G: NeighborAccess + ?Sized>(graph: &G, config: &PageRankConfig) -> Vec<f64> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let degrees: Vec<usize> = (0..n as NodeId).map(|u| graph.degree_of(u)).collect();
+    for _ in 0..config.iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling_mass = 0.0;
+        for u in 0..n as NodeId {
+            let d = degrees[u as usize];
+            if d == 0 {
+                dangling_mass += rank[u as usize];
+                continue;
+            }
+            let share = rank[u as usize] / d as f64;
+            graph.for_each_neighbor(u, &mut |v| {
+                next[v as usize] += share;
+            });
+        }
+        let teleport = (1.0 - config.damping) * uniform + config.damping * dangling_mass * uniform;
+        for x in next.iter_mut() {
+            *x = config.damping * *x + teleport;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::Graph;
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+    }
+
+    #[test]
+    fn symmetric_cycle_has_uniform_ranks() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        for r in &ranks {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hub_outranks_spokes() {
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        for spoke in 1..5 {
+            assert!(ranks[0] > ranks[spoke]);
+        }
+    }
+
+    #[test]
+    fn dangling_nodes_keep_total_mass() {
+        let g = Graph::from_edges(4, vec![(0, 1)]);
+        let ranks = pagerank(&g, &PageRankConfig::default());
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(ranks[2] > 0.0 && ranks[3] > 0.0);
+    }
+
+    #[test]
+    fn empty_graph_returns_empty() {
+        let g = Graph::empty(0);
+        assert!(pagerank(&g, &PageRankConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Shortest paths over any [`NeighborAccess`] graph: unweighted BFS distances and a
+//! Dijkstra variant with a caller-supplied edge-weight function (the paper's graphs
+//! are unweighted, so the weight function defaults to 1 in the experiments).
+
+use slugger_graph::{NeighborAccess, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Hop distances from `start`; unreachable nodes get `None`.
+pub fn bfs_distances<G: NeighborAccess + ?Sized>(graph: &G, start: NodeId) -> Vec<Option<usize>> {
+    let n = graph.num_nodes();
+    let mut dist: Vec<Option<usize>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[start as usize] = Some(0);
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize].expect("queued nodes have distances");
+        graph.for_each_neighbor(u, &mut |v| {
+            if dist[v as usize].is_none() {
+                dist[v as usize] = Some(du + 1);
+                queue.push_back(v);
+            }
+        });
+    }
+    dist
+}
+
+/// Dijkstra's algorithm with non-negative edge weights given by `weight(u, v)`.
+/// Returns the distance from `start` to every node (`None` when unreachable).
+pub fn dijkstra<G, W>(graph: &G, start: NodeId, weight: W) -> Vec<Option<f64>>
+where
+    G: NeighborAccess + ?Sized,
+    W: Fn(NodeId, NodeId) -> f64,
+{
+    let n = graph.num_nodes();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    // BinaryHeap over ordered bits of the distance (f64 is not Ord); distances are
+    // non-negative so the bit pattern ordering matches numeric ordering.
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    dist[start as usize] = Some(0.0);
+    heap.push(Reverse((0u64, start)));
+    while let Some(Reverse((dbits, u))) = heap.pop() {
+        let du = f64::from_bits(dbits);
+        match dist[u as usize] {
+            Some(best) if du > best + f64::EPSILON => continue,
+            _ => {}
+        }
+        graph.for_each_neighbor(u, &mut |v| {
+            let w = weight(u, v);
+            debug_assert!(w >= 0.0, "Dijkstra requires non-negative weights");
+            let candidate = du + w;
+            let improves = match dist[v as usize] {
+                None => true,
+                Some(current) => candidate < current,
+            };
+            if improves {
+                dist[v as usize] = Some(candidate);
+                heap.push(Reverse((candidate.to_bits(), v)));
+            }
+        });
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::Graph;
+
+    fn sample() -> Graph {
+        Graph::from_edges(6, vec![(0, 1), (1, 2), (2, 3), (0, 4), (4, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path_and_shortcut() {
+        let g = sample();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[1], Some(1));
+        assert_eq!(d[2], Some(2));
+        assert_eq!(d[3], Some(2)); // via 4
+        assert_eq!(d[4], Some(1));
+        assert_eq!(d[5], None); // isolated
+    }
+
+    #[test]
+    fn dijkstra_unit_weights_matches_bfs() {
+        let g = sample();
+        let bfs = bfs_distances(&g, 0);
+        let dij = dijkstra(&g, 0, |_, _| 1.0);
+        for (b, d) in bfs.iter().zip(dij.iter()) {
+            match (b, d) {
+                (None, None) => {}
+                (Some(hops), Some(w)) => assert!((*hops as f64 - w).abs() < 1e-9),
+                other => panic!("mismatch {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_longer_path() {
+        // 0-1 weight 10, 0-2-1 weight 1+1.
+        let g = Graph::from_edges(3, vec![(0, 1), (0, 2), (2, 1)]);
+        let d = dijkstra(&g, 0, |u, v| {
+            if (u, v) == (0, 1) || (u, v) == (1, 0) {
+                10.0
+            } else {
+                1.0
+            }
+        });
+        assert!((d[1].unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_nodes_stay_none() {
+        let g = Graph::from_edges(4, vec![(0, 1)]);
+        let d = dijkstra(&g, 0, |_, _| 1.0);
+        assert_eq!(d[2], None);
+        assert_eq!(d[3], None);
+    }
+}

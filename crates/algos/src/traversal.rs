@@ -1,0 +1,102 @@
+//! Breadth-first and depth-first traversal over any [`NeighborAccess`] graph.
+
+use slugger_graph::{NeighborAccess, NodeId};
+
+/// Nodes reachable from `start` in BFS visit order (including `start`).
+pub fn bfs_order<G: NeighborAccess + ?Sized>(graph: &G, start: NodeId) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    visited[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        graph.for_each_neighbor(u, &mut |v| {
+            if !visited[v as usize] {
+                visited[v as usize] = true;
+                queue.push_back(v);
+            }
+        });
+    }
+    order
+}
+
+/// Nodes reachable from `start` in (iterative) DFS visit order (including `start`).
+///
+/// The paper's Algorithm 5 is the recursive formulation; the iterative version below
+/// is equivalent and avoids stack overflows on long paths.
+pub fn dfs_order<G: NeighborAccess + ?Sized>(graph: &G, start: NodeId) -> Vec<NodeId> {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        if visited[u as usize] {
+            continue;
+        }
+        visited[u as usize] = true;
+        order.push(u);
+        // Push neighbors in reverse-sorted order so the smallest id is visited first,
+        // making the order deterministic regardless of the provider's neighbor order.
+        let mut nbrs = graph.neighbors_vec(u);
+        nbrs.sort_unstable_by(|a, b| b.cmp(a));
+        for v in nbrs {
+            if !visited[v as usize] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// The set of nodes in the connected component containing `start`.
+pub fn connected_component_of<G: NeighborAccess + ?Sized>(graph: &G, start: NodeId) -> Vec<NodeId> {
+    let mut component = bfs_order(graph, start);
+    component.sort_unstable();
+    component
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::Graph;
+
+    fn sample() -> Graph {
+        // 0-1-2 triangle, 2-3 bridge, isolated 4, 5-6 pair.
+        Graph::from_edges(7, vec![(0, 1), (1, 2), (0, 2), (2, 3), (5, 6)])
+    }
+
+    #[test]
+    fn bfs_visits_component_in_breadth_order() {
+        let g = sample();
+        let order = bfs_order(&g, 0);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn dfs_visits_component_depth_first() {
+        let g = sample();
+        let order = dfs_order(&g, 0);
+        assert_eq!(order.len(), 4);
+        assert_eq!(order[0], 0);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn isolated_node_component_is_itself() {
+        let g = sample();
+        assert_eq!(connected_component_of(&g, 4), vec![4]);
+        assert_eq!(connected_component_of(&g, 5), vec![5, 6]);
+    }
+
+    #[test]
+    fn traversals_cover_the_same_nodes() {
+        let g = sample();
+        let mut bfs = bfs_order(&g, 2);
+        let mut dfs = dfs_order(&g, 2);
+        bfs.sort_unstable();
+        dfs.sort_unstable();
+        assert_eq!(bfs, dfs);
+    }
+}

@@ -1,0 +1,70 @@
+//! Triangle counting over any [`NeighborAccess`] graph.
+
+use slugger_graph::hash::FxHashSet;
+use slugger_graph::{NeighborAccess, NodeId};
+
+/// Counts the triangles of the graph (each triangle counted once).
+///
+/// Uses the standard ordered-wedge method: for every node `u`, collect its neighbors
+/// greater than `u`, and count pairs of them that are themselves adjacent.  Adjacency
+/// is tested against a per-node hash set, so the provider only needs neighbor
+/// iteration (which is all a compressed summary offers).
+pub fn count_triangles<G: NeighborAccess + ?Sized>(graph: &G) -> usize {
+    let n = graph.num_nodes();
+    let mut total = 0usize;
+    let mut neighbor_set: FxHashSet<NodeId> = FxHashSet::default();
+    for u in 0..n as NodeId {
+        let higher: Vec<NodeId> = {
+            let mut v = graph.neighbors_vec(u);
+            v.retain(|&x| x > u);
+            v
+        };
+        if higher.len() < 2 {
+            continue;
+        }
+        neighbor_set.clear();
+        neighbor_set.extend(higher.iter().copied());
+        for &a in &higher {
+            // Count b adjacent to a with b > a, so each triangle (u < a < b) is
+            // counted exactly once.
+            let a_neighbors = graph.neighbors_vec(a);
+            for &b in &a_neighbors {
+                if b > a && neighbor_set.contains(&b) {
+                    total += 1;
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::Graph;
+
+    #[test]
+    fn triangle_count_of_k4_is_four() {
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_triangles(&g), 4);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(count_triangles(&g), 0);
+    }
+
+    #[test]
+    fn two_disjoint_triangles() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        assert_eq!(count_triangles(&g), 2);
+    }
+
+    #[test]
+    fn shared_edge_triangles() {
+        // Triangles (0,1,2) and (0,1,3) share edge (0,1).
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)]);
+        assert_eq!(count_triangles(&g), 2);
+    }
+}

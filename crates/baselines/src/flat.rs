@@ -1,0 +1,573 @@
+//! The *flat* (non-hierarchical) graph summarization model of Navlakha et al.
+//! (Sect. II-A of the SLUGGER paper): `G̃ = (S, P, C+, C−)` where `S` partitions the
+//! node set, `P` holds superedges, and `C+`/`C−` hold subnode-level corrections.
+//!
+//! All four baseline algorithms (Randomized, SWeG, SAGS, MoSSo) produce a
+//! [`Grouping`] — an assignment of subnodes to disjoint supernodes — and then call
+//! [`encode_optimal`], which computes the cheapest `P`/`C+`/`C−` for that grouping
+//! (trivial once the grouping is fixed, as the paper notes).
+
+use serde::{Deserialize, Serialize};
+use slugger_graph::hash::FxHashMap;
+use slugger_graph::graph::NeighborAccess;
+use slugger_graph::{Graph, GraphBuilder, NodeId};
+
+/// Identifier of a flat supernode.
+pub type GroupId = u32;
+
+/// A disjoint grouping of subnodes into supernodes.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Grouping {
+    /// For each subnode, the id of its supernode.
+    assignment: Vec<GroupId>,
+    /// For each supernode id, its member subnodes (empty vectors are tolerated and
+    /// skipped; they arise when greedy algorithms empty a group by moving nodes out).
+    members: Vec<Vec<NodeId>>,
+}
+
+impl Grouping {
+    /// The singleton grouping: every subnode is its own supernode.
+    pub fn singletons(num_nodes: usize) -> Self {
+        Grouping {
+            assignment: (0..num_nodes as GroupId).collect(),
+            members: (0..num_nodes as NodeId).map(|u| vec![u]).collect(),
+        }
+    }
+
+    /// Builds a grouping from an explicit assignment vector (group ids need not be
+    /// contiguous, but must be `< num_nodes`).
+    pub fn from_assignment(assignment: Vec<GroupId>) -> Self {
+        let max_group = assignment.iter().copied().max().map_or(0, |g| g as usize + 1);
+        let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); max_group];
+        for (u, &g) in assignment.iter().enumerate() {
+            members[g as usize].push(u as NodeId);
+        }
+        Grouping { assignment, members }
+    }
+
+    /// Number of subnodes.
+    pub fn num_nodes(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of non-empty supernodes.
+    pub fn num_groups(&self) -> usize {
+        self.members.iter().filter(|m| !m.is_empty()).count()
+    }
+
+    /// Supernode of a subnode.
+    #[inline]
+    pub fn group_of(&self, u: NodeId) -> GroupId {
+        self.assignment[u as usize]
+    }
+
+    /// Members of a supernode.
+    #[inline]
+    pub fn members(&self, g: GroupId) -> &[NodeId] {
+        &self.members[g as usize]
+    }
+
+    /// Ids of all non-empty supernodes.
+    pub fn group_ids(&self) -> impl Iterator<Item = GroupId> + '_ {
+        self.members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(g, _)| g as GroupId)
+    }
+
+    /// Merges group `b` into group `a` (no-op if identical). Returns the surviving id.
+    pub fn merge_groups(&mut self, a: GroupId, b: GroupId) -> GroupId {
+        if a == b {
+            return a;
+        }
+        let moved = std::mem::take(&mut self.members[b as usize]);
+        for &u in &moved {
+            self.assignment[u as usize] = a;
+        }
+        self.members[a as usize].extend_from_slice(&moved);
+        self.members[a as usize].sort_unstable();
+        a
+    }
+
+    /// Moves a single subnode into the given group (possibly a brand-new empty one
+    /// obtained from [`Grouping::fresh_group`]).
+    pub fn move_node(&mut self, u: NodeId, target: GroupId) {
+        let current = self.assignment[u as usize];
+        if current == target {
+            return;
+        }
+        let members = &mut self.members[current as usize];
+        if let Some(pos) = members.iter().position(|&x| x == u) {
+            members.swap_remove(pos);
+        }
+        self.assignment[u as usize] = target;
+        let target_members = &mut self.members[target as usize];
+        target_members.push(u);
+        target_members.sort_unstable();
+    }
+
+    /// Allocates a fresh, empty group and returns its id.
+    pub fn fresh_group(&mut self) -> GroupId {
+        self.members.push(Vec::new());
+        (self.members.len() - 1) as GroupId
+    }
+
+    /// Number of h*-edges under Eq. 11: one per subnode that lives in a non-singleton
+    /// supernode (the height-≤1 hierarchy that records supernode membership).
+    pub fn h_star_edges(&self) -> usize {
+        self.members
+            .iter()
+            .filter(|m| m.len() >= 2)
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Checks internal consistency (used in tests).
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.assignment.len()];
+        for (g, members) in self.members.iter().enumerate() {
+            for &u in members {
+                if self.assignment[u as usize] != g as GroupId {
+                    return Err(format!("node {u} assignment disagrees with member list"));
+                }
+                if seen[u as usize] {
+                    return Err(format!("node {u} appears in two groups"));
+                }
+                seen[u as usize] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err("some node belongs to no group".into());
+        }
+        Ok(())
+    }
+}
+
+/// The flat encoding `P`, `C+`, `C−` for a grouping.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FlatEncoding {
+    /// Superedges between supernodes (`(min_group, max_group)`, self-loops allowed).
+    pub p: Vec<(GroupId, GroupId)>,
+    /// Positive corrections: subedges present in `E` but not described by `P`.
+    pub c_plus: Vec<(NodeId, NodeId)>,
+    /// Negative corrections: pairs described by `P` but absent from `E`.
+    pub c_minus: Vec<(NodeId, NodeId)>,
+}
+
+impl FlatEncoding {
+    /// `|P| + |C+| + |C−|` (the flat objective of Sect. II-A).
+    pub fn edge_cost(&self) -> usize {
+        self.p.len() + self.c_plus.len() + self.c_minus.len()
+    }
+}
+
+/// A complete flat summary: grouping plus its optimal encoding and the size metrics
+/// used by the experiments.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlatSummary {
+    /// The supernode grouping.
+    pub grouping: Grouping,
+    /// The optimal encoding of the input graph under that grouping.
+    pub encoding: FlatEncoding,
+    /// Number of edges of the summarized graph (kept for metric computation).
+    pub num_input_edges: usize,
+}
+
+impl FlatSummary {
+    /// Builds the summary by optimally encoding `graph` under `grouping`.
+    pub fn build(graph: &Graph, grouping: Grouping) -> Self {
+        let encoding = encode_optimal(graph, &grouping);
+        FlatSummary {
+            grouping,
+            encoding,
+            num_input_edges: graph.num_edges(),
+        }
+    }
+
+    /// Total output size under Eq. 11: `|P| + |C+| + |C−| + |H*|`.
+    pub fn total_cost(&self) -> usize {
+        self.encoding.edge_cost() + self.grouping.h_star_edges()
+    }
+
+    /// Relative size of the output (Eq. 11), comparable with the hierarchical model's
+    /// Eq. 10.
+    pub fn relative_size(&self) -> f64 {
+        if self.num_input_edges == 0 {
+            0.0
+        } else {
+            self.total_cost() as f64 / self.num_input_edges as f64
+        }
+    }
+
+    /// Reconstructs the summarized graph.
+    pub fn decode(&self) -> Graph {
+        let n = self.grouping.num_nodes();
+        let mut builder = GraphBuilder::new(n);
+        let mut removed: std::collections::HashSet<(NodeId, NodeId)> = self
+            .encoding
+            .c_minus
+            .iter()
+            .map(|&(u, v)| norm(u, v))
+            .collect();
+        for &(a, b) in &self.encoding.p {
+            let ma = self.grouping.members(a);
+            let mb = self.grouping.members(b);
+            if a == b {
+                for (i, &u) in ma.iter().enumerate() {
+                    for &v in &ma[i + 1..] {
+                        if !removed.contains(&norm(u, v)) {
+                            builder.add_edge(u, v);
+                        }
+                    }
+                }
+            } else {
+                for &u in ma {
+                    for &v in mb {
+                        if !removed.contains(&norm(u, v)) {
+                            builder.add_edge(u, v);
+                        }
+                    }
+                }
+            }
+        }
+        removed.clear();
+        for &(u, v) in &self.encoding.c_plus {
+            builder.add_edge(u, v);
+        }
+        builder.build()
+    }
+
+    /// Verifies the summary against the input graph.
+    pub fn verify_lossless(&self, graph: &Graph) -> Result<(), String> {
+        let decoded = self.decode();
+        if decoded.num_edges() != graph.num_edges() {
+            return Err(format!(
+                "edge count mismatch: decoded {} vs input {}",
+                decoded.num_edges(),
+                graph.num_edges()
+            ));
+        }
+        for (u, v) in graph.edges() {
+            if !decoded.has_edge(u, v) {
+                return Err(format!("edge ({u}, {v}) missing after decoding"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[inline]
+fn norm(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Number of subedges between every pair of groups that shares at least one subedge.
+/// Self pairs `(g, g)` count edges inside the group.
+pub fn subedges_per_group_pair(
+    graph: &Graph,
+    grouping: &Grouping,
+) -> FxHashMap<(GroupId, GroupId), usize> {
+    let mut counts: FxHashMap<(GroupId, GroupId), usize> = FxHashMap::default();
+    for (u, v) in graph.edges() {
+        let a = grouping.group_of(u);
+        let b = grouping.group_of(v);
+        let key = if a <= b { (a, b) } else { (b, a) };
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Optimal flat encoding of `graph` under `grouping`: for every group pair with at
+/// least one subedge, either list the subedges in `C+` or emit a superedge plus the
+/// missing pairs in `C−`, whichever is cheaper (ties go to the correction-only form,
+/// which avoids a superedge).
+pub fn encode_optimal(graph: &Graph, grouping: &Grouping) -> FlatEncoding {
+    let counts = subedges_per_group_pair(graph, grouping);
+    let mut encoding = FlatEncoding::default();
+    for (&(a, b), &existing) in &counts {
+        let size_a = grouping.members(a).len();
+        let size_b = grouping.members(b).len();
+        let total = if a == b {
+            size_a * size_a.saturating_sub(1) / 2
+        } else {
+            size_a * size_b
+        };
+        let sparse = existing;
+        let dense = 1 + total - existing;
+        if sparse <= dense {
+            push_present_pairs(graph, grouping, a, b, &mut encoding.c_plus);
+        } else {
+            encoding.p.push((a, b));
+            push_missing_pairs(graph, grouping, a, b, &mut encoding.c_minus);
+        }
+    }
+    encoding
+}
+
+fn push_present_pairs(
+    graph: &Graph,
+    grouping: &Grouping,
+    a: GroupId,
+    b: GroupId,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    let (iterate, other) = if grouping.members(a).len() <= grouping.members(b).len() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    for &u in grouping.members(iterate) {
+        for &w in graph.neighbors(u) {
+            if grouping.group_of(w) != other {
+                continue;
+            }
+            if a == b {
+                if u < w {
+                    out.push((u, w));
+                }
+            } else {
+                out.push((u, w));
+            }
+        }
+    }
+}
+
+fn push_missing_pairs(
+    graph: &Graph,
+    grouping: &Grouping,
+    a: GroupId,
+    b: GroupId,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    if a == b {
+        let members = grouping.members(a);
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                if !graph.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+    } else {
+        for &u in grouping.members(a) {
+            for &v in grouping.members(b) {
+                if !graph.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+    }
+}
+
+/// Flat-model cost (edges only, without `H*`) attributed to a single group: the sum
+/// over all partner groups of `min(E_AB, 1 + T_AB − E_AB)`.  This is the quantity the
+/// greedy baselines use to decide merges (Navlakha's `cost(A)`).
+///
+/// Generic over [`NeighborAccess`] so that streaming summarizers (MoSSo) can evaluate
+/// costs against an incrementally maintained adjacency structure.
+pub fn group_cost<G: NeighborAccess + ?Sized>(graph: &G, grouping: &Grouping, group: GroupId) -> usize {
+    pairwise_costs(graph, grouping, group).values().sum()
+}
+
+/// The per-partner encoding costs used by [`group_cost`], keyed by partner group
+/// (including `group` itself for internal edges).
+pub fn pairwise_costs<G: NeighborAccess + ?Sized>(
+    graph: &G,
+    grouping: &Grouping,
+    group: GroupId,
+) -> FxHashMap<GroupId, usize> {
+    let mut subedges: FxHashMap<GroupId, usize> = FxHashMap::default();
+    for &u in grouping.members(group) {
+        graph.for_each_neighbor(u, &mut |w| {
+            // Each internal edge is seen from both endpoints and halved below.
+            let other = grouping.group_of(w);
+            *subedges.entry(other).or_insert(0) += 1;
+        });
+    }
+    if let Some(internal) = subedges.get_mut(&group) {
+        *internal /= 2;
+    }
+    let size_a = grouping.members(group).len();
+    subedges
+        .into_iter()
+        .map(|(other, existing)| {
+            let total = if other == group {
+                size_a * size_a.saturating_sub(1) / 2
+            } else {
+                size_a * grouping.members(other).len()
+            };
+            (other, existing.min(1 + total - existing))
+        })
+        .collect()
+}
+
+/// Merge gain in the spirit of Navlakha's `s(u, v)`, with the pairwise cost between
+/// the two groups counted once (as in SLUGGER's Eq. 8) so that merging two groups that
+/// share nothing but a single edge reads as saving 0 rather than a spurious gain:
+/// `saving = (before − after) / before` where
+/// `before = cost(A) + cost(B) − cost(A, B)` and `after = cost(A ∪ B)`.
+pub fn merge_saving<G: NeighborAccess + ?Sized>(
+    graph: &G,
+    grouping: &Grouping,
+    a: GroupId,
+    b: GroupId,
+) -> f64 {
+    debug_assert_ne!(a, b);
+    let costs_a = pairwise_costs(graph, grouping, a);
+    let costs_b = pairwise_costs(graph, grouping, b);
+    let pair_cost = costs_a.get(&b).copied().unwrap_or(0);
+    let cost_a: usize = costs_a.values().sum();
+    let cost_b: usize = costs_b.values().sum();
+    // Cost of the union: recompute pairwise sub-edge counts with A and B fused.
+    let mut subedges: FxHashMap<GroupId, usize> = FxHashMap::default();
+    for &group in &[a, b] {
+        for &u in grouping.members(group) {
+            graph.for_each_neighbor(u, &mut |w| {
+                let mut other = grouping.group_of(w);
+                if other == b {
+                    other = a;
+                }
+                *subedges.entry(other).or_insert(0) += 1;
+            });
+        }
+    }
+    if let Some(internal) = subedges.get_mut(&a) {
+        *internal /= 2;
+    }
+    let size_union = grouping.members(a).len() + grouping.members(b).len();
+    let cost_union: usize = subedges
+        .into_iter()
+        .map(|(other, existing)| {
+            let total = if other == a {
+                size_union * (size_union - 1) / 2
+            } else {
+                size_union * grouping.members(other).len()
+            };
+            existing.min(1 + total - existing)
+        })
+        .sum();
+    let denom = cost_a + cost_b - pair_cost;
+    if denom == 0 {
+        f64::NEG_INFINITY
+    } else {
+        (denom as f64 - cost_union as f64) / denom as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bipartite_clique() -> Graph {
+        // K_{3,3} between {0,1,2} and {3,4,5}.
+        let mut edges = Vec::new();
+        for u in 0..3u32 {
+            for v in 3..6u32 {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(6, edges)
+    }
+
+    #[test]
+    fn singleton_grouping_reproduces_graph() {
+        let g = bipartite_clique();
+        let summary = FlatSummary::build(&g, Grouping::singletons(6));
+        assert_eq!(summary.encoding.p.len(), 0);
+        assert_eq!(summary.encoding.c_plus.len(), 9);
+        assert_eq!(summary.encoding.c_minus.len(), 0);
+        assert_eq!(summary.grouping.h_star_edges(), 0);
+        summary.verify_lossless(&g).unwrap();
+        assert!((summary.relative_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_group_encoding_of_bipartite_clique() {
+        let g = bipartite_clique();
+        let grouping = Grouping::from_assignment(vec![0, 0, 0, 3, 3, 3]);
+        let summary = FlatSummary::build(&g, grouping);
+        // One superedge and no corrections; H* = 6.
+        assert_eq!(summary.encoding.p, vec![(0, 3)]);
+        assert!(summary.encoding.c_plus.is_empty());
+        assert!(summary.encoding.c_minus.is_empty());
+        assert_eq!(summary.total_cost(), 1 + 6);
+        summary.verify_lossless(&g).unwrap();
+    }
+
+    #[test]
+    fn dense_group_with_one_missing_edge_uses_correction() {
+        // Clique on {0,1,2,3} minus edge (2,3), all in one group.
+        let mut edges = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)];
+        edges.retain(|&(u, v)| !(u == 2 && v == 3));
+        let g = Graph::from_edges(4, edges);
+        let grouping = Grouping::from_assignment(vec![0, 0, 0, 0]);
+        let summary = FlatSummary::build(&g, grouping);
+        assert_eq!(summary.encoding.p, vec![(0, 0)]);
+        assert_eq!(summary.encoding.c_minus, vec![(2, 3)]);
+        assert!(summary.encoding.c_plus.is_empty());
+        summary.verify_lossless(&g).unwrap();
+    }
+
+    #[test]
+    fn sparse_pair_prefers_corrections() {
+        let g = Graph::from_edges(4, vec![(0, 2)]);
+        let grouping = Grouping::from_assignment(vec![0, 0, 2, 2]);
+        let summary = FlatSummary::build(&g, grouping);
+        assert!(summary.encoding.p.is_empty());
+        assert_eq!(summary.encoding.c_plus, vec![(0, 2)]);
+        summary.verify_lossless(&g).unwrap();
+    }
+
+    #[test]
+    fn group_cost_matches_encoding() {
+        let g = bipartite_clique();
+        let grouping = Grouping::from_assignment(vec![0, 0, 0, 3, 3, 3]);
+        // Each side's cost is the single superedge.
+        assert_eq!(group_cost(&g, &grouping, 0), 1);
+        assert_eq!(group_cost(&g, &grouping, 3), 1);
+    }
+
+    #[test]
+    fn merge_saving_positive_for_twins() {
+        // Nodes 0 and 1 both connect to 2, 3, 4: merging them halves their edges.
+        let g = Graph::from_edges(5, vec![(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]);
+        let grouping = Grouping::singletons(5);
+        let saving = merge_saving(&g, &grouping, 0, 1);
+        assert!(saving > 0.4, "saving {saving}");
+        // Merging unrelated nodes cannot help.
+        let unrelated = merge_saving(&g, &grouping, 2, 0);
+        assert!(unrelated <= 0.0 + 1e-12);
+    }
+
+    #[test]
+    fn grouping_mutations_preserve_validity() {
+        let mut grouping = Grouping::singletons(5);
+        grouping.merge_groups(0, 1);
+        grouping.merge_groups(0, 2);
+        let fresh = grouping.fresh_group();
+        grouping.move_node(3, fresh);
+        grouping.validate().unwrap();
+        assert_eq!(grouping.members(0), &[0, 1, 2]);
+        assert_eq!(grouping.members(fresh), &[3]);
+        assert_eq!(grouping.num_groups(), 3);
+        assert_eq!(grouping.h_star_edges(), 3);
+        grouping.move_node(2, 4);
+        grouping.validate().unwrap();
+        assert_eq!(grouping.h_star_edges(), 2 + 2);
+    }
+
+    #[test]
+    fn decode_handles_self_superedge() {
+        let g = Graph::from_edges(3, vec![(0, 1), (0, 2), (1, 2)]);
+        let grouping = Grouping::from_assignment(vec![0, 0, 0]);
+        let summary = FlatSummary::build(&g, grouping);
+        assert_eq!(summary.encoding.p, vec![(0, 0)]);
+        let decoded = summary.decode();
+        assert_eq!(decoded.edge_set(), g.edge_set());
+    }
+}

@@ -1,0 +1,39 @@
+//! # slugger-baselines
+//!
+//! The four lossless graph-summarization baselines the SLUGGER paper compares against,
+//! all built on the *flat* (non-hierarchical) summarization model of Navlakha et al.:
+//!
+//! * [`randomized`] — Randomized (Navlakha et al., SIGMOD 2008).
+//! * [`sweg`] — SWeG (Shin et al., WWW 2019) in its lossless (ε = 0) setting, plus the
+//!   ε-bounded lossy dropping phase ([`sweg::sweg_summarize_lossy`]).
+//! * [`sags`] — SAGS (Khan et al., Computing 2015), LSH-driven merging.
+//! * [`mosso`] — MoSSo (Ko et al., KDD 2020), incremental summarization of an edge
+//!   stream.
+//!
+//! The shared model lives in [`flat`]: a [`flat::Grouping`] (disjoint supernodes), its
+//! optimal encoding `P`/`C+`/`C−`, and the Eq. 11 size metric that makes the baselines
+//! directly comparable with SLUGGER's hierarchical output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flat;
+pub mod mosso;
+pub mod randomized;
+pub mod sags;
+pub mod sweg;
+
+pub use flat::{FlatEncoding, FlatSummary, GroupId, Grouping};
+pub use mosso::{mosso_summarize, MossoConfig, MossoSummarizer};
+pub use randomized::{randomized_summarize, RandomizedConfig};
+pub use sags::{sags_summarize, SagsConfig};
+pub use sweg::{sweg_summarize, sweg_summarize_lossy, LossyReport, SwegConfig};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::flat::{FlatSummary, Grouping};
+    pub use crate::mosso::{mosso_summarize, MossoConfig};
+    pub use crate::randomized::{randomized_summarize, RandomizedConfig};
+    pub use crate::sags::{sags_summarize, SagsConfig};
+    pub use crate::sweg::{sweg_summarize, SwegConfig};
+}

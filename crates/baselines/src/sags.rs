@@ -1,0 +1,170 @@
+//! SAGS (Khan et al., "Set-based approximate approach for lossless graph
+//! summarization", Computing 2015): a locality-sensitive-hashing baseline that picks
+//! nodes to merge from LSH buckets *without* evaluating the encoding-cost reduction,
+//! which makes it the fastest but least concise competitor in the SLUGGER evaluation
+//! (Sect. IV-C).
+//!
+//! Parameters follow the paper's setting: signature length `h = 30`, bands `b = 10`,
+//! and merge-sampling probability `p = 0.3`.
+
+use crate::flat::{FlatSummary, GroupId, Grouping};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use slugger_graph::hash::{hash_node_with_seed, hash_u64_with_seed, FxHashMap};
+use slugger_graph::{Graph, NodeId};
+
+/// Parameters of the SAGS baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct SagsConfig {
+    /// Min-hash signature length `h` (paper: 30).
+    pub signature_length: usize,
+    /// Number of LSH bands `b` (paper: 10); each band spans `h / b` signature rows.
+    pub bands: usize,
+    /// Probability `p` of merging a candidate pair found in a bucket (paper: 0.3).
+    pub merge_probability: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for SagsConfig {
+    fn default() -> Self {
+        SagsConfig {
+            signature_length: 30,
+            bands: 10,
+            merge_probability: 0.3,
+            seed: 0,
+        }
+    }
+}
+
+/// Runs SAGS and returns the flat summary.
+pub fn sags_summarize(graph: &Graph, config: &SagsConfig) -> FlatSummary {
+    assert!(config.bands >= 1 && config.signature_length >= config.bands);
+    assert!((0.0..=1.0).contains(&config.merge_probability));
+    let n = graph.num_nodes();
+    let mut grouping = Grouping::singletons(n);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let rows_per_band = config.signature_length / config.bands;
+
+    // Min-hash signatures of every node's closed neighborhood.
+    let mut signatures: Vec<Vec<u64>> = vec![Vec::with_capacity(config.signature_length); n];
+    for row in 0..config.signature_length {
+        let seed = hash_u64_with_seed(row as u64, config.seed);
+        for u in 0..n as NodeId {
+            let mut best = hash_node_with_seed(u, seed);
+            for &w in graph.neighbors(u) {
+                best = best.min(hash_node_with_seed(w, seed));
+            }
+            signatures[u as usize].push(best);
+        }
+    }
+
+    // For every band, bucket nodes by their band signature and merge sampled pairs of
+    // (the groups of) consecutive bucket members.
+    for band in 0..config.bands {
+        let lo = band * rows_per_band;
+        let hi = lo + rows_per_band;
+        let mut buckets: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
+        for u in 0..n as NodeId {
+            let mut acc = 0xcbf2_9ce4_8422_2325u64;
+            for row in lo..hi {
+                acc = hash_u64_with_seed(acc ^ signatures[u as usize][row], band as u64 + 1);
+            }
+            buckets.entry(acc).or_default().push(u);
+        }
+        for (_, bucket) in buckets {
+            if bucket.len() < 2 {
+                continue;
+            }
+            for pair in bucket.windows(2) {
+                if !rng.random_bool(config.merge_probability) {
+                    continue;
+                }
+                let ga = grouping.group_of(pair[0]);
+                let gb = grouping.group_of(pair[1]);
+                if ga != gb {
+                    grouping.merge_groups(ga.min(gb) as GroupId, ga.max(gb) as GroupId);
+                }
+            }
+        }
+    }
+    FlatSummary::build(graph, grouping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::gen::{caveman, CavemanConfig};
+
+    #[test]
+    fn sags_is_lossless() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 150,
+            num_cliques: 25,
+            ..CavemanConfig::default()
+        });
+        let summary = sags_summarize(&g, &SagsConfig::default());
+        summary.verify_lossless(&g).unwrap();
+        summary.grouping.validate().unwrap();
+    }
+
+    #[test]
+    fn sags_merges_structural_twins_sometimes() {
+        // 30 identical twin spokes over three hubs: LSH puts them in the same buckets,
+        // so at least a few merges must happen even without cost evaluation.
+        let mut edges = Vec::new();
+        for s in 3..33u32 {
+            edges.push((0, s));
+            edges.push((1, s));
+            edges.push((2, s));
+        }
+        let g = Graph::from_edges(33, edges);
+        let summary = sags_summarize(&g, &SagsConfig::default());
+        summary.verify_lossless(&g).unwrap();
+        assert!(summary.grouping.num_groups() < 33);
+    }
+
+    #[test]
+    fn zero_probability_means_no_merges() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 60,
+            ..CavemanConfig::default()
+        });
+        let summary = sags_summarize(
+            &g,
+            &SagsConfig {
+                merge_probability: 0.0,
+                ..SagsConfig::default()
+            },
+        );
+        assert_eq!(summary.grouping.num_groups(), 60);
+        assert!((summary.relative_size() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 90,
+            ..CavemanConfig::default()
+        });
+        let cfg = SagsConfig { seed: 3, ..SagsConfig::default() };
+        assert_eq!(
+            sags_summarize(&g, &cfg).total_cost(),
+            sags_summarize(&g, &cfg).total_cost()
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_band_count_rejected() {
+        let g = Graph::from_edges(2, vec![(0, 1)]);
+        let _ = sags_summarize(
+            &g,
+            &SagsConfig {
+                signature_length: 5,
+                bands: 10,
+                ..SagsConfig::default()
+            },
+        );
+    }
+}

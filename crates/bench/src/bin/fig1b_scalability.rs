@@ -1,0 +1,5 @@
+//! Harness binary for fig1b.  Flags: `--scale`, `--iterations`, `--seed`, `--datasets`, `--quick`.
+fn main() {
+    let scale = slugger_bench::ExperimentScale::from_env();
+    print!("{}", slugger_bench::experiments::fig1b::run(&scale));
+}

@@ -1,0 +1,9 @@
+//! Harness binary for Fig. 5(b): running times and speed-ups on every dataset stand-in.
+//! Flags: `--scale`, `--iterations`, `--seed`, `--datasets`, `--quick`.
+use slugger_bench::experiments::fig5;
+
+fn main() {
+    let scale = slugger_bench::ExperimentScale::from_env();
+    let sweeps = fig5::sweep(&scale);
+    print!("{}", fig5::report_runtime(&sweeps));
+}

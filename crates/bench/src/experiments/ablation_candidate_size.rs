@@ -1,0 +1,58 @@
+//! Ablation: effect of the candidate-set size cap (500 in the paper) on compression
+//! and runtime, plus the effect of disabling the re-encoding memo (the paper notes the
+//! algorithm becomes "several orders of magnitude slower without memoization").
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::{fmt_duration, fmt_relative, TableWriter};
+use slugger_core::{Slugger, SluggerConfig};
+
+/// Candidate-set caps swept by the ablation.
+pub const CANDIDATE_CAPS: [usize; 4] = [50, 125, 250, 500];
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let mut cap_table = TableWriter::new(["Dataset", "cap", "relative size", "time"]);
+    let mut memo_table = TableWriter::new(["Dataset", "memoization", "relative size", "time"]);
+
+    for spec in scale.select_datasets(false) {
+        let graph = spec.generate(scale.scale);
+        for &cap in &CANDIDATE_CAPS {
+            let outcome = Slugger::new(SluggerConfig {
+                iterations: scale.iterations,
+                max_candidate_size: cap,
+                seed: scale.seed,
+                ..SluggerConfig::default()
+            })
+            .summarize(&graph);
+            cap_table.row([
+                spec.key.label().to_string(),
+                cap.to_string(),
+                fmt_relative(outcome.metrics.relative_size),
+                fmt_duration(outcome.elapsed),
+            ]);
+        }
+        for memoization in [true, false] {
+            let outcome = Slugger::new(SluggerConfig {
+                iterations: scale.iterations,
+                memoization,
+                seed: scale.seed,
+                ..SluggerConfig::default()
+            })
+            .summarize(&graph);
+            memo_table.row([
+                spec.key.label().to_string(),
+                if memoization { "on" } else { "off" }.to_string(),
+                fmt_relative(outcome.metrics.relative_size),
+                fmt_duration(outcome.elapsed),
+            ]);
+        }
+    }
+
+    let mut out = heading("Ablation — candidate-set size cap and re-encoding memoization");
+    out.push_str("Candidate-set cap (paper default 500):\n\n");
+    out.push_str(&cap_table.to_text());
+    out.push_str("\nMemoization of the local re-encoding (identical outputs, different runtime):\n\n");
+    out.push_str(&memo_table.to_text());
+    out
+}

@@ -1,0 +1,57 @@
+//! Fig. 1(b): scalability — SLUGGER's running time on node-sampled subgraphs of the
+//! largest dataset (UK-05 stand-in), which should grow linearly with the number of
+//! edges.
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::{fmt_duration, TableWriter};
+use slugger_core::Slugger;
+use slugger_datasets::{dataset, DatasetKey};
+use slugger_graph::sample::induced_node_sample;
+
+/// Node-sample fractions used for the scalability curve.
+pub const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let spec = dataset(DatasetKey::U5);
+    let full = spec.generate(scale.scale);
+    let mut table = TableWriter::new(["Fraction", "Nodes", "Edges", "SLUGGER time", "ns / edge"]);
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for (i, &fraction) in FRACTIONS.iter().enumerate() {
+        let (graph, _) = induced_node_sample(&full, fraction, scale.seed + i as u64);
+        if graph.num_edges() == 0 {
+            continue;
+        }
+        let outcome = Slugger::new(scale.slugger_config()).summarize(&graph);
+        let secs = outcome.elapsed.as_secs_f64();
+        points.push((graph.num_edges(), secs));
+        table.row([
+            format!("{fraction:.2}"),
+            graph.num_nodes().to_string(),
+            graph.num_edges().to_string(),
+            fmt_duration(outcome.elapsed),
+            format!("{:.0}", secs * 1e9 / graph.num_edges() as f64),
+        ]);
+    }
+
+    let mut out = heading("Fig. 1(b) — Scalability of SLUGGER (node-sampled UK-05 stand-in)");
+    out.push_str(&format!(
+        "Base graph: |V| = {}, |E| = {} (scale {}).\n\n",
+        full.num_nodes(),
+        full.num_edges(),
+        scale.scale
+    ));
+    out.push_str(&table.to_text());
+    if points.len() >= 2 {
+        let (e0, t0) = points[0];
+        let (e1, t1) = points[points.len() - 1];
+        let edge_ratio = e1 as f64 / e0 as f64;
+        let time_ratio = t1 / t0.max(1e-9);
+        out.push_str(&format!(
+            "\nEdges grew {edge_ratio:.1}x from the smallest to the largest sample while time grew {time_ratio:.1}x; \
+             a ratio close to the edge growth indicates the linear scaling of Fig. 1(b).\n"
+        ));
+    }
+    out
+}

@@ -1,0 +1,121 @@
+//! Fig. 5: compactness (a) and running time (b) of the five algorithms on all 16
+//! dataset stand-ins.  Both panels come from the same sweep, so the two harness
+//! binaries share this module (each prints the panel it is named after, and
+//! `run_all_experiments` prints both from a single sweep).
+
+use crate::experiments::heading;
+use crate::runner::{run_all_algorithms, AlgoResult, Algorithm, ExperimentScale};
+use crate::table::{fmt_duration, fmt_relative, TableWriter};
+use slugger_datasets::DatasetSpec;
+
+/// The sweep results for one dataset.
+pub struct DatasetSweep {
+    /// Dataset descriptor.
+    pub spec: DatasetSpec,
+    /// Generated graph size.
+    pub nodes: usize,
+    /// Generated graph size.
+    pub edges: usize,
+    /// One result per algorithm.
+    pub results: Vec<AlgoResult>,
+}
+
+/// Runs the five algorithms on every selected dataset.
+pub fn sweep(scale: &ExperimentScale) -> Vec<DatasetSweep> {
+    scale
+        .select_datasets(true)
+        .into_iter()
+        .map(|spec| {
+            let graph = spec.generate(scale.scale);
+            let results = run_all_algorithms(&graph, scale);
+            DatasetSweep {
+                spec,
+                nodes: graph.num_nodes(),
+                edges: graph.num_edges(),
+                results,
+            }
+        })
+        .collect()
+}
+
+/// Renders panel (a): relative output sizes.
+pub fn report_compactness(sweeps: &[DatasetSweep]) -> String {
+    let mut table = TableWriter::new([
+        "Dataset", "Nodes", "Edges", "Slugger", "SWeG", "MoSSo", "Randomized", "SAGS",
+        "vs best competitor",
+    ]);
+    for sweep in sweeps {
+        let get = |a: Algorithm| {
+            sweep
+                .results
+                .iter()
+                .find(|r| r.algorithm == a)
+                .map(|r| r.relative_size)
+                .unwrap_or(f64::NAN)
+        };
+        let slugger = get(Algorithm::Slugger);
+        let best_other = Algorithm::all()
+            .into_iter()
+            .filter(|&a| a != Algorithm::Slugger)
+            .map(get)
+            .fold(f64::INFINITY, f64::min);
+        let improvement = 100.0 * (1.0 - slugger / best_other.max(f64::MIN_POSITIVE));
+        table.row([
+            sweep.spec.key.label().to_string(),
+            sweep.nodes.to_string(),
+            sweep.edges.to_string(),
+            fmt_relative(slugger),
+            fmt_relative(get(Algorithm::Sweg)),
+            fmt_relative(get(Algorithm::Mosso)),
+            fmt_relative(get(Algorithm::Randomized)),
+            fmt_relative(get(Algorithm::Sags)),
+            format!("{improvement:+.1}%"),
+        ]);
+    }
+    let mut out = heading("Fig. 5(a) — Relative size of outputs on all dataset stand-ins");
+    out.push_str("Lower is better; the last column is SLUGGER's improvement over its best competitor\n(positive = smaller output, as in the paper).\n\n");
+    out.push_str(&table.to_text());
+    out
+}
+
+/// Renders panel (b): running times and speed-ups over SWeG and SAGS.
+pub fn report_runtime(sweeps: &[DatasetSweep]) -> String {
+    let mut table = TableWriter::new([
+        "Dataset", "Slugger", "SWeG", "MoSSo", "Randomized", "SAGS", "x vs SWeG", "x vs SAGS",
+    ]);
+    for sweep in sweeps {
+        let get = |a: Algorithm| {
+            sweep
+                .results
+                .iter()
+                .find(|r| r.algorithm == a)
+                .map(|r| r.elapsed)
+                .unwrap_or_default()
+        };
+        let slugger = get(Algorithm::Slugger).as_secs_f64();
+        let sweg = get(Algorithm::Sweg).as_secs_f64();
+        let sags = get(Algorithm::Sags).as_secs_f64();
+        table.row([
+            sweep.spec.key.label().to_string(),
+            fmt_duration(get(Algorithm::Slugger)),
+            fmt_duration(get(Algorithm::Sweg)),
+            fmt_duration(get(Algorithm::Mosso)),
+            fmt_duration(get(Algorithm::Randomized)),
+            fmt_duration(get(Algorithm::Sags)),
+            format!("{:.2}x", sweg / slugger.max(1e-9)),
+            format!("{:.2}x", sags / slugger.max(1e-9)),
+        ]);
+    }
+    let mut out = heading("Fig. 5(b) — Running time on all dataset stand-ins");
+    out.push_str("The last two columns are SLUGGER's speed relative to SWeG and SAGS\n(values > 1 mean SLUGGER is faster, matching the orange/green factors of Fig. 5(b)).\n\n");
+    out.push_str(&table.to_text());
+    out
+}
+
+/// Full Fig. 5 report (both panels from one sweep).
+pub fn run(scale: &ExperimentScale) -> String {
+    let sweeps = sweep(scale);
+    let mut out = report_compactness(&sweeps);
+    out.push_str(&report_runtime(&sweeps));
+    out
+}

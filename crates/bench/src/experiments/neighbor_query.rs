@@ -1,0 +1,112 @@
+//! Sect. VIII-B: latency of retrieving the neighbors of a single node directly from the
+//! hierarchical summary by partial decompression (Algorithm 4), compared with the raw
+//! graph, plus the correlation with the average leaf depth the paper points out.
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::TableWriter;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use slugger_core::decode::neighbors_of;
+use slugger_core::Slugger;
+use slugger_graph::NodeId;
+use std::time::Instant;
+
+/// Number of random nodes queried per dataset.
+pub const QUERIES_PER_DATASET: usize = 2_000;
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let mut table = TableWriter::new([
+        "Dataset",
+        "avg leaf depth",
+        "summary query (µs)",
+        "raw query (µs)",
+        "slowdown",
+    ]);
+    let mut depth_latency: Vec<(f64, f64)> = Vec::new();
+    for spec in scale.select_datasets(true) {
+        let graph = spec.generate(scale.scale);
+        let outcome = Slugger::new(scale.slugger_config()).summarize(&graph);
+        let summary = &outcome.summary;
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x5eed);
+        let queries: Vec<NodeId> = (0..QUERIES_PER_DATASET)
+            .map(|_| rng.random_range(0..graph.num_nodes()) as NodeId)
+            .collect();
+
+        // Query the compressed summary.
+        let start = Instant::now();
+        let mut checksum = 0usize;
+        for &v in &queries {
+            checksum += neighbors_of(summary, v).len();
+        }
+        let summary_us = start.elapsed().as_micros() as f64 / queries.len() as f64;
+
+        // Query the raw adjacency (lower bound).
+        let start = Instant::now();
+        let mut checksum_raw = 0usize;
+        for &v in &queries {
+            checksum_raw += graph.neighbors(v).len();
+        }
+        let raw_us = (start.elapsed().as_micros() as f64 / queries.len() as f64).max(0.001);
+        assert_eq!(checksum, checksum_raw, "partial decompression must be exact");
+
+        depth_latency.push((outcome.metrics.avg_leaf_depth, summary_us));
+        table.row([
+            spec.key.label().to_string(),
+            format!("{:.2}", outcome.metrics.avg_leaf_depth),
+            format!("{summary_us:.2}"),
+            format!("{raw_us:.2}"),
+            format!("{:.1}x", summary_us / raw_us),
+        ]);
+    }
+
+    let mut out = heading("Sect. VIII-B — Neighbor retrieval by partial decompression (Algorithm 4)");
+    out.push_str(&table.to_text());
+    out.push_str(&format!(
+        "\nPearson correlation between average leaf depth and query latency: {:.2}\n(the paper reports ≈ 0.82 — deeper hierarchies make queries slower).\n",
+        pearson(&depth_latency)
+    ));
+    out
+}
+
+/// Pearson correlation coefficient of a list of (x, y) samples.
+pub fn pearson(samples: &[(f64, f64)]) -> f64 {
+    let n = samples.len() as f64;
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let mean_x = samples.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_x = 0.0;
+    let mut var_y = 0.0;
+    for &(x, y) in samples {
+        cov += (x - mean_x) * (y - mean_y);
+        var_x += (x - mean_x).powi(2);
+        var_y += (y - mean_y).powi(2);
+    }
+    if var_x <= 0.0 || var_y <= 0.0 {
+        0.0
+    } else {
+        cov / (var_x.sqrt() * var_y.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pearson;
+
+    #[test]
+    fn pearson_of_perfect_line_is_one() {
+        let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!((pearson(&samples) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_of_constant_is_zero() {
+        let samples: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0)).collect();
+        assert_eq!(pearson(&samples), 0.0);
+        assert_eq!(pearson(&[]), 0.0);
+    }
+}

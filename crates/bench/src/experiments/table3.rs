@@ -1,0 +1,42 @@
+//! Table III: effect of the iteration count `T` on the relative size of SLUGGER's
+//! output (`T ∈ {1, 5, 10, 20, 40, 80}` in the paper).
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::{fmt_relative, TableWriter};
+use slugger_core::{Slugger, SluggerConfig};
+
+/// The iteration counts the paper sweeps.
+pub const ITERATION_COUNTS: [usize; 6] = [1, 5, 10, 20, 40, 80];
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let counts: Vec<usize> = if scale.quick {
+        vec![1, 5, 10]
+    } else {
+        ITERATION_COUNTS.to_vec()
+    };
+    let mut header: Vec<String> = vec!["Dataset".to_string()];
+    header.extend(counts.iter().map(|t| format!("T={t}")));
+    let mut table = TableWriter::new(header);
+
+    for spec in scale.select_datasets(true) {
+        let graph = spec.generate(scale.scale);
+        let mut row = vec![spec.key.label().to_string()];
+        for &t in &counts {
+            let outcome = Slugger::new(SluggerConfig {
+                iterations: t,
+                seed: scale.seed,
+                ..SluggerConfig::default()
+            })
+            .summarize(&graph);
+            row.push(fmt_relative(outcome.metrics.relative_size));
+        }
+        table.row(row);
+    }
+
+    let mut out = heading("Table III — Effect of the iteration count T on relative output size");
+    out.push_str("Relative size should decrease as T grows and roughly converge by T = 40 (paper behaviour).\n\n");
+    out.push_str(&table.to_text());
+    out
+}

@@ -1,0 +1,335 @@
+//! Shared experiment runner: dataset generation at a chosen scale, invocation of
+//! SLUGGER and the four baselines with the paper's parameter settings, and a small
+//! command-line parser shared by all harness binaries.
+
+use slugger_baselines::{
+    mosso_summarize, randomized_summarize, sags_summarize, sweg_summarize, MossoConfig,
+    RandomizedConfig, SagsConfig, SwegConfig,
+};
+use slugger_core::{Slugger, SluggerConfig};
+use slugger_datasets::{registry, small_registry, DatasetKey, DatasetSpec};
+use slugger_graph::Graph;
+use std::time::{Duration, Instant};
+
+/// The five competing algorithms of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// SLUGGER (the proposed algorithm, hierarchical model).
+    Slugger,
+    /// SWeG (lossless setting), the strongest flat-model competitor.
+    Sweg,
+    /// MoSSo, the incremental/online competitor.
+    Mosso,
+    /// Randomized (Navlakha et al.).
+    Randomized,
+    /// SAGS (LSH-based).
+    Sags,
+}
+
+impl Algorithm {
+    /// All algorithms in the order Fig. 1(a)/Fig. 5 list them.
+    pub fn all() -> [Algorithm; 5] {
+        [
+            Algorithm::Slugger,
+            Algorithm::Sweg,
+            Algorithm::Mosso,
+            Algorithm::Randomized,
+            Algorithm::Sags,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Slugger => "Slugger",
+            Algorithm::Sweg => "SWeG",
+            Algorithm::Mosso => "MoSSo",
+            Algorithm::Randomized => "Randomized",
+            Algorithm::Sags => "SAGS",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Result of running one algorithm on one graph.
+#[derive(Clone, Debug)]
+pub struct AlgoResult {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Relative output size (Eq. 10 for SLUGGER, Eq. 11 for the flat baselines).
+    pub relative_size: f64,
+    /// Absolute output cost (number of output edges, including hierarchy edges).
+    pub cost: usize,
+    /// Wall-clock running time.
+    pub elapsed: Duration,
+    /// Output composition `(p_edges, n_edges, h_edges)`; for flat baselines these are
+    /// `(|P| + |C+|, |C−|, |H*|)`.
+    pub composition: (usize, usize, usize),
+}
+
+/// Scale and effort knobs shared by the harness binaries, parsed from the command line
+/// (`--scale 0.5 --iterations 20 --seed 7 --datasets CA,PR --quick`).
+#[derive(Clone, Debug)]
+pub struct ExperimentScale {
+    /// Multiplier applied to every dataset's default size.
+    pub scale: f64,
+    /// SLUGGER / SWeG iteration count `T`.
+    pub iterations: usize,
+    /// Seed shared by every algorithm.
+    pub seed: u64,
+    /// Restrict the run to these datasets (`None` = the experiment's default set).
+    pub datasets: Option<Vec<DatasetKey>>,
+    /// Quick mode: small registry + reduced scale, for smoke-testing the harness.
+    pub quick: bool,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            scale: 1.0,
+            iterations: 20,
+            seed: 0,
+            datasets: None,
+            quick: false,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// Parses the harness command-line flags (unknown flags are ignored so binaries can
+    /// add their own).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = ExperimentScale::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    if let Some(v) = iter.next() {
+                        out.scale = v.parse().unwrap_or(out.scale);
+                    }
+                }
+                "--iterations" | "-T" => {
+                    if let Some(v) = iter.next() {
+                        out.iterations = v.parse().unwrap_or(out.iterations);
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next() {
+                        out.seed = v.parse().unwrap_or(out.seed);
+                    }
+                }
+                "--datasets" => {
+                    if let Some(v) = iter.next() {
+                        let keys: Vec<DatasetKey> = v
+                            .split(',')
+                            .filter_map(|label| {
+                                DatasetKey::all()
+                                    .into_iter()
+                                    .find(|k| k.label().eq_ignore_ascii_case(label.trim()))
+                            })
+                            .collect();
+                        if !keys.is_empty() {
+                            out.datasets = Some(keys);
+                        }
+                    }
+                }
+                "--quick" => {
+                    out.quick = true;
+                    out.scale = out.scale.min(0.25);
+                    out.iterations = out.iterations.min(5);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// The dataset specs this run should cover, given the experiment's default list.
+    pub fn select_datasets(&self, default_full: bool) -> Vec<DatasetSpec> {
+        let base = if self.quick {
+            small_registry()
+        } else if default_full {
+            registry()
+        } else {
+            small_registry()
+        };
+        match &self.datasets {
+            None => base,
+            Some(keys) => registry()
+                .into_iter()
+                .filter(|d| keys.contains(&d.key))
+                .collect(),
+        }
+    }
+
+    /// SLUGGER configuration matching this scale.
+    pub fn slugger_config(&self) -> SluggerConfig {
+        SluggerConfig {
+            iterations: self.iterations,
+            seed: self.seed,
+            ..SluggerConfig::default()
+        }
+    }
+}
+
+/// Runs a single algorithm on a graph with the paper's parameter settings and returns
+/// its result record.
+pub fn run_algorithm(graph: &Graph, algorithm: Algorithm, scale: &ExperimentScale) -> AlgoResult {
+    let start = Instant::now();
+    match algorithm {
+        Algorithm::Slugger => {
+            let outcome = Slugger::new(scale.slugger_config()).summarize(graph);
+            AlgoResult {
+                algorithm,
+                relative_size: outcome.metrics.relative_size,
+                cost: outcome.metrics.cost,
+                elapsed: start.elapsed(),
+                composition: (
+                    outcome.metrics.p_edges,
+                    outcome.metrics.n_edges,
+                    outcome.metrics.h_edges,
+                ),
+            }
+        }
+        Algorithm::Sweg => {
+            let summary = sweg_summarize(
+                graph,
+                &SwegConfig {
+                    iterations: scale.iterations,
+                    max_group_size: 500,
+                    seed: scale.seed,
+                },
+            );
+            flat_result(algorithm, start, &summary)
+        }
+        Algorithm::Mosso => {
+            let summary = mosso_summarize(
+                graph,
+                &MossoConfig {
+                    seed: scale.seed,
+                    ..MossoConfig::default()
+                },
+            );
+            flat_result(algorithm, start, &summary)
+        }
+        Algorithm::Randomized => {
+            let summary = randomized_summarize(
+                graph,
+                &RandomizedConfig {
+                    seed: scale.seed,
+                    ..RandomizedConfig::default()
+                },
+            );
+            flat_result(algorithm, start, &summary)
+        }
+        Algorithm::Sags => {
+            let summary = sags_summarize(
+                graph,
+                &SagsConfig {
+                    seed: scale.seed,
+                    ..SagsConfig::default()
+                },
+            );
+            flat_result(algorithm, start, &summary)
+        }
+    }
+}
+
+fn flat_result(
+    algorithm: Algorithm,
+    start: Instant,
+    summary: &slugger_baselines::FlatSummary,
+) -> AlgoResult {
+    AlgoResult {
+        algorithm,
+        relative_size: summary.relative_size(),
+        cost: summary.total_cost(),
+        elapsed: start.elapsed(),
+        composition: (
+            summary.encoding.p.len() + summary.encoding.c_plus.len(),
+            summary.encoding.c_minus.len(),
+            summary.grouping.h_star_edges(),
+        ),
+    }
+}
+
+/// Runs all five algorithms on a graph.
+pub fn run_all_algorithms(graph: &Graph, scale: &ExperimentScale) -> Vec<AlgoResult> {
+    Algorithm::all()
+        .into_iter()
+        .map(|algo| run_algorithm(graph, algo, scale))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argument_parsing_handles_all_flags() {
+        let scale = ExperimentScale::from_args(
+            [
+                "--scale", "0.5", "--iterations", "7", "--seed", "42", "--datasets", "ca,pr",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert!((scale.scale - 0.5).abs() < 1e-12);
+        assert_eq!(scale.iterations, 7);
+        assert_eq!(scale.seed, 42);
+        assert_eq!(scale.datasets, Some(vec![DatasetKey::CA, DatasetKey::PR]));
+        assert!(!scale.quick);
+    }
+
+    #[test]
+    fn quick_mode_shrinks_everything() {
+        let scale = ExperimentScale::from_args(["--quick".to_string()]);
+        assert!(scale.quick);
+        assert!(scale.scale <= 0.25);
+        assert!(scale.iterations <= 5);
+        assert_eq!(scale.select_datasets(true).len(), 5);
+    }
+
+    #[test]
+    fn unknown_flags_are_ignored() {
+        let scale = ExperimentScale::from_args(
+            ["--whatever", "--scale", "2.0"].iter().map(|s| s.to_string()),
+        );
+        assert!((scale.scale - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_all_algorithms_on_a_tiny_graph() {
+        let graph = slugger_graph::gen::caveman(&slugger_graph::gen::CavemanConfig {
+            num_nodes: 80,
+            num_cliques: 12,
+            ..Default::default()
+        });
+        let scale = ExperimentScale {
+            iterations: 3,
+            ..ExperimentScale::default()
+        };
+        let results = run_all_algorithms(&graph, &scale);
+        assert_eq!(results.len(), 5);
+        for r in &results {
+            assert!(r.relative_size > 0.0);
+            assert!(r.cost > 0);
+        }
+        // SLUGGER must never be (much) worse than the trivial encoding.
+        let slugger = results
+            .iter()
+            .find(|r| r.algorithm == Algorithm::Slugger)
+            .unwrap();
+        assert!(slugger.relative_size <= 1.05);
+    }
+}

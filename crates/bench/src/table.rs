@@ -1,0 +1,157 @@
+//! Minimal fixed-width / markdown table formatting for the experiment binaries, so
+//! every harness target prints rows that can be pasted straight into EXPERIMENTS.md.
+
+/// Accumulates rows and renders them as an aligned text table (and, on demand, as
+/// GitHub-flavoured markdown).
+#[derive(Clone, Debug, Default)]
+pub struct TableWriter {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableWriter {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TableWriter {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must have the same arity as the header).
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity must match the header"
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as an aligned plain-text table.
+    pub fn to_text(&self) -> String {
+        let widths = self.column_widths();
+        let mut out = String::new();
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        widths
+    }
+}
+
+fn render_row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<width$}", width = w))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+/// Formats a `Duration` with millisecond precision.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Formats a relative size with three decimals (the precision the paper reports).
+pub fn fmt_relative(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_is_aligned() {
+        let mut t = TableWriter::new(["Dataset", "Size"]);
+        t.row(["PR", "0.094"]);
+        t.row(["Hollywood", "0.422"]);
+        let text = t.to_text();
+        assert!(text.contains("Dataset"));
+        assert!(text.contains("Hollywood | 0.422"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_table_has_separator() {
+        let mut t = TableWriter::new(["A", "B"]);
+        t.row(["1", "2"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| A | B |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn mismatched_row_panics() {
+        let mut t = TableWriter::new(["A", "B"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_relative(0.09444), "0.094");
+        assert_eq!(fmt_duration(std::time::Duration::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,231 @@
+//! Candidate generation (Sect. III-B2): grouping root supernodes that are likely to be
+//! merged profitably.
+//!
+//! Merging two roots at distance ≥ 3 always increases the encoding cost (Lemma 1), so
+//! SLUGGER groups roots within distance 2 using **min-hash shingles**, exactly as SWeG
+//! does: for a random permutation `h` of the subnodes, the shingle of a root `A` is the
+//! minimum of `h(w)` over all subnodes `w` in the closed neighborhood of `A`'s members.
+//! Two roots within distance 2 share a subnode in their closed neighborhoods and hence
+//! collide with non-trivial probability; distant roots essentially never do.
+//!
+//! Groups larger than the configured cap are split further: first by re-hashing with
+//! fresh permutations (at most [`CandidateConfig::max_shingle_splits`] times, 10 in the
+//! paper), then randomly (the paper caps candidate sets at 500 roots).
+
+use crate::model::{HierarchicalSummary, SupernodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use slugger_graph::hash::hash_node_with_seed;
+use slugger_graph::hash::FxHashMap;
+use slugger_graph::{Graph, NodeId};
+
+/// Tuning knobs of the candidate-generation step.
+#[derive(Clone, Copy, Debug)]
+pub struct CandidateConfig {
+    /// Maximum number of roots per candidate set (paper: 500).
+    pub max_group_size: usize,
+    /// Maximum number of shingle-based splitting rounds before falling back to random
+    /// splitting (paper: 10).
+    pub max_shingle_splits: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            max_group_size: 500,
+            max_shingle_splits: 10,
+        }
+    }
+}
+
+/// Computes the min-hash shingle of every given root under the permutation derived
+/// from `seed`.  The shingle of root `A` is
+/// `min_{u ∈ A} min_{w ∈ N(u) ∪ {u}} h(w)`.
+pub fn shingles(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    roots: &[SupernodeId],
+    seed: u64,
+) -> Vec<u64> {
+    // Hash each subnode once, then fold over members and their neighborhoods.
+    let n = graph.num_nodes();
+    let mut node_hash: Vec<u64> = vec![0; n];
+    for u in 0..n as NodeId {
+        node_hash[u as usize] = hash_node_with_seed(u, seed);
+    }
+    roots
+        .iter()
+        .map(|&root| {
+            let mut best = u64::MAX;
+            for &u in summary.members(root) {
+                best = best.min(node_hash[u as usize]);
+                for &w in graph.neighbors(u) {
+                    best = best.min(node_hash[w as usize]);
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Generates candidate sets for one iteration: groups of roots (each of size ≥ 2 and
+/// ≤ `config.max_group_size`) within which the merging step searches for pairs.
+pub fn candidate_sets(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    roots: &[SupernodeId],
+    seed: u64,
+    config: &CandidateConfig,
+) -> Vec<Vec<SupernodeId>> {
+    let mut result = Vec::new();
+    // Work queue of (group, split_round).
+    let mut queue: Vec<(Vec<SupernodeId>, usize)> = vec![(roots.to_vec(), 0)];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe_f00d_d00d);
+    while let Some((group, round)) = queue.pop() {
+        if group.len() < 2 {
+            continue;
+        }
+        if group.len() <= config.max_group_size && round > 0 {
+            result.push(group);
+            continue;
+        }
+        if round >= config.max_shingle_splits {
+            // Random splitting into chunks of at most max_group_size.
+            let mut shuffled = group;
+            shuffled.shuffle(&mut rng);
+            for chunk in shuffled.chunks(config.max_group_size) {
+                if chunk.len() >= 2 {
+                    result.push(chunk.to_vec());
+                }
+            }
+            continue;
+        }
+        // Shingle-based split with a per-round permutation.
+        let round_seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(round as u64 + 1);
+        let sh = shingles(summary, graph, &group, round_seed);
+        let mut buckets: FxHashMap<u64, Vec<SupernodeId>> = FxHashMap::default();
+        for (&root, &s) in group.iter().zip(sh.iter()) {
+            buckets.entry(s).or_default().push(root);
+        }
+        if buckets.len() == 1 && round > 0 {
+            // Splitting made no progress (e.g. a dense clique); fall through to the
+            // random splitter immediately to avoid useless rounds.
+            queue.push((group, config.max_shingle_splits));
+            continue;
+        }
+        for (_, bucket) in buckets {
+            if bucket.len() >= 2 {
+                queue.push((bucket, round + 1));
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::gen::{caveman, CavemanConfig};
+
+    fn identity_and_roots(graph: &Graph) -> (HierarchicalSummary, Vec<SupernodeId>) {
+        let summary = HierarchicalSummary::identity(graph.num_nodes());
+        let roots: Vec<SupernodeId> = summary.roots().collect();
+        (summary, roots)
+    }
+
+    #[test]
+    fn shingles_are_deterministic_and_seed_sensitive() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4), (4, 5)]);
+        let (s, roots) = identity_and_roots(&g);
+        let a = shingles(&s, &g, &roots, 7);
+        let b = shingles(&s, &g, &roots, 7);
+        let c = shingles(&s, &g, &roots, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn adjacent_nodes_share_shingles() {
+        // In a triangle all closed neighborhoods coincide, so all shingles are equal.
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 2), (0, 2)]);
+        let (s, roots) = identity_and_roots(&g);
+        let sh = shingles(&s, &g, &roots, 3);
+        assert_eq!(sh[0], sh[1]);
+        assert_eq!(sh[1], sh[2]);
+    }
+
+    #[test]
+    fn distant_components_end_up_in_distinct_groups() {
+        // Two far-apart cliques: candidate sets must never mix them (their closed
+        // neighborhoods are disjoint, so shingle collisions would require a hash
+        // collision).
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                edges.push((u, v));
+                edges.push((u + 5, v + 5));
+            }
+        }
+        let g = Graph::from_edges(10, edges);
+        let (s, roots) = identity_and_roots(&g);
+        let sets = candidate_sets(&s, &g, &roots, 1, &CandidateConfig::default());
+        for set in &sets {
+            let in_first = set.iter().filter(|&&r| r < 5).count();
+            assert!(in_first == 0 || in_first == set.len(), "mixed set {set:?}");
+        }
+    }
+
+    #[test]
+    fn groups_respect_size_cap() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 400,
+            num_cliques: 50,
+            ..CavemanConfig::default()
+        });
+        let (s, roots) = identity_and_roots(&g);
+        let config = CandidateConfig {
+            max_group_size: 16,
+            max_shingle_splits: 4,
+        };
+        let sets = candidate_sets(&s, &g, &roots, 11, &config);
+        assert!(!sets.is_empty());
+        for set in &sets {
+            assert!(set.len() >= 2);
+            assert!(set.len() <= 16, "oversized candidate set: {}", set.len());
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_the_grouping() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 200,
+            ..CavemanConfig::default()
+        });
+        let (s, roots) = identity_and_roots(&g);
+        let config = CandidateConfig {
+            max_group_size: 32,
+            max_shingle_splits: 4,
+        };
+        let a = candidate_sets(&s, &g, &roots, 1, &config);
+        let b = candidate_sets(&s, &g, &roots, 2, &config);
+        // Not a strict requirement, but with overwhelming probability the groupings
+        // differ between seeds (this is what lets SLUGGER explore more pairs over
+        // iterations).
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn isolated_roots_are_dropped() {
+        let g = Graph::from_edges(4, vec![(0, 1)]);
+        let (s, roots) = identity_and_roots(&g);
+        let sets = candidate_sets(&s, &g, &roots, 5, &CandidateConfig::default());
+        // Nodes 2 and 3 are isolated: they may appear in a set only alongside others,
+        // and singleton sets must never be emitted.
+        for set in &sets {
+            assert!(set.len() >= 2);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Decompression of a [`HierarchicalSummary`]: full reconstruction of the input graph,
+//! on-the-fly neighbor retrieval (Algorithm 4 of the paper), and losslessness
+//! verification used throughout the test-suite.
+
+use crate::model::HierarchicalSummary;
+use slugger_graph::graph::{Graph, NeighborAccess, NodeId};
+use slugger_graph::hash::FxHashMap;
+use slugger_graph::GraphBuilder;
+
+/// Fully reconstructs the summarized graph.
+///
+/// Cost is proportional to the total number of subnode pairs covered by p/n-edges,
+/// which for a well-compressed summary is close to `|E|`.
+pub fn decode_full(summary: &HierarchicalSummary) -> Graph {
+    let n = summary.num_subnodes();
+    let mut weights: FxHashMap<(NodeId, NodeId), i32> = FxHashMap::default();
+    for ((a, b), sign) in summary.pn_edges() {
+        let w = sign.weight();
+        let members_a = summary.members(a);
+        let members_b = summary.members(b);
+        if a == b {
+            for (i, &u) in members_a.iter().enumerate() {
+                for &v in &members_a[i + 1..] {
+                    *weights.entry(key(u, v)).or_insert(0) += w;
+                }
+            }
+        } else {
+            for &u in members_a {
+                for &v in members_b {
+                    if u != v {
+                        *weights.entry(key(u, v)).or_insert(0) += w;
+                    }
+                }
+            }
+        }
+    }
+    let mut builder = GraphBuilder::new(n);
+    for ((u, v), w) in weights {
+        if w > 0 {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[inline]
+fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Retrieves the neighbors of a single subnode by partial decompression
+/// (Algorithm 4): walk the ancestor chain of `v`, accumulate ±1 per member of the
+/// other endpoint of every incident p/n-edge, and keep subnodes with positive net.
+pub fn neighbors_of(summary: &HierarchicalSummary, v: NodeId) -> Vec<NodeId> {
+    let mut count: FxHashMap<NodeId, i32> = FxHashMap::default();
+    let leaf = summary.leaf_of(v);
+    for ancestor in summary.ancestors_inclusive(leaf) {
+        for other in summary.incident(ancestor) {
+            let sign = summary
+                .edge_sign(ancestor, other)
+                .expect("incidence implies edge");
+            let w = sign.weight();
+            for &u in summary.members(other) {
+                *count.entry(u).or_insert(0) += w;
+            }
+            // A self-loop at `ancestor` covers pairs within it, which the loop above
+            // already accounts for because `other == ancestor` in that case.
+        }
+    }
+    let mut out: Vec<NodeId> = count
+        .into_iter()
+        .filter(|&(u, c)| u != v && c > 0)
+        .map(|(u, _)| u)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Verifies that a summary represents exactly the given graph.  Returns a description
+/// of the first discrepancy found, if any.
+pub fn verify_lossless(summary: &HierarchicalSummary, graph: &Graph) -> Result<(), String> {
+    if summary.num_subnodes() != graph.num_nodes() {
+        return Err(format!(
+            "node count mismatch: summary {} vs graph {}",
+            summary.num_subnodes(),
+            graph.num_nodes()
+        ));
+    }
+    let decoded = decode_full(summary);
+    if decoded.num_edges() != graph.num_edges() {
+        return Err(format!(
+            "edge count mismatch: decoded {} vs graph {}",
+            decoded.num_edges(),
+            graph.num_edges()
+        ));
+    }
+    for (u, v) in graph.edges() {
+        if !decoded.has_edge(u, v) {
+            return Err(format!("edge ({u}, {v}) missing from the decoded graph"));
+        }
+    }
+    Ok(())
+}
+
+/// A view of a summary that implements [`NeighborAccess`], so the graph algorithms of
+/// `slugger-algos` (BFS, PageRank, Dijkstra, …) can run directly on the compressed
+/// representation through on-the-fly partial decompression (Sect. VIII-C).
+pub struct SummaryNeighborView<'a> {
+    summary: &'a HierarchicalSummary,
+}
+
+impl<'a> SummaryNeighborView<'a> {
+    /// Wraps a summary.
+    pub fn new(summary: &'a HierarchicalSummary) -> Self {
+        SummaryNeighborView { summary }
+    }
+
+    /// The wrapped summary.
+    pub fn summary(&self) -> &HierarchicalSummary {
+        self.summary
+    }
+}
+
+impl NeighborAccess for SummaryNeighborView<'_> {
+    fn num_nodes(&self) -> usize {
+        self.summary.num_subnodes()
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for v in neighbors_of(self.summary, u) {
+            f(v);
+        }
+    }
+
+    fn neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
+        neighbors_of(self.summary, u)
+    }
+}
+
+/// Iterates all edges of the summarized graph without materializing a [`Graph`]
+/// (used by size accounting in the harness).
+pub fn decoded_edge_count(summary: &HierarchicalSummary) -> usize {
+    decode_full(summary).num_edges()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EdgeSign;
+
+    /// Builds the running example of Fig. 2: input graph on 7 nodes where {0,1,2,3}
+    /// all connect to 4 and 5 except that (2,5) and (3,5) are absent, plus edge (5,6)
+    /// and a clique-ish core.  We hand-craft a hierarchical summary and check decoding.
+    fn handcrafted_summary() -> (HierarchicalSummary, Vec<(NodeId, NodeId)>) {
+        let mut s = HierarchicalSummary::identity(7);
+        // Hierarchy: {0,1} and {2,3} merge, then the two merge into {0,1,2,3}.
+        let m01 = s.merge_roots(0, 1);
+        let m23 = s.merge_roots(2, 3);
+        let m0123 = s.merge_roots(m01, m23);
+        // Edges of the represented graph:
+        //   all of {0,1,2,3} pairwise connected            -> p self-loop at m0123
+        //   all of {0,1,2,3} connected to 4                 -> p-edge (m0123, 4)
+        //   {0,1} connected to 5, {2,3} not                 -> p-edge (m01, 5)
+        //   5 connected to 6                                -> p-edge (5, 6)
+        s.set_edge(m0123, m0123, EdgeSign::Positive);
+        s.set_edge(m0123, 4, EdgeSign::Positive);
+        s.set_edge(m01, 5, EdgeSign::Positive);
+        s.set_edge(5, 6, EdgeSign::Positive);
+        let mut expected = vec![(5u32, 6u32), (0, 5), (1, 5)];
+        for u in 0..4u32 {
+            expected.push((u, 4));
+            for v in (u + 1)..4u32 {
+                expected.push((u, v));
+            }
+        }
+        (s, expected)
+    }
+
+    #[test]
+    fn decode_full_reproduces_handcrafted_graph() {
+        let (s, expected) = handcrafted_summary();
+        s.validate().unwrap();
+        let decoded = decode_full(&s);
+        let expected_graph = Graph::from_edges(7, expected);
+        assert_eq!(decoded.edge_set(), expected_graph.edge_set());
+        verify_lossless(&s, &expected_graph).unwrap();
+    }
+
+    #[test]
+    fn negative_edges_subtract() {
+        // p self-loop over {0,1,2} minus n-edge (0,1) => only (0,2) and (1,2) remain.
+        let mut s = HierarchicalSummary::identity(3);
+        let m01 = s.merge_roots(0, 1);
+        let m = s.merge_roots(m01, 2);
+        s.set_edge(m, m, EdgeSign::Positive);
+        s.set_edge(0, 1, EdgeSign::Negative);
+        let decoded = decode_full(&s);
+        assert_eq!(decoded.num_edges(), 2);
+        assert!(decoded.has_edge(0, 2));
+        assert!(decoded.has_edge(1, 2));
+        assert!(!decoded.has_edge(0, 1));
+    }
+
+    #[test]
+    fn neighbors_of_matches_full_decode() {
+        let (s, _) = handcrafted_summary();
+        let decoded = decode_full(&s);
+        for v in 0..7u32 {
+            let from_partial = neighbors_of(&s, v);
+            let from_full: Vec<NodeId> = decoded.neighbors(v).to_vec();
+            assert_eq!(from_partial, from_full, "node {v}");
+        }
+    }
+
+    #[test]
+    fn neighbor_view_implements_neighbor_access() {
+        let (s, _) = handcrafted_summary();
+        let view = SummaryNeighborView::new(&s);
+        assert_eq!(view.num_nodes(), 7);
+        assert_eq!(view.degree_of(4), 4);
+        let mut seen = Vec::new();
+        view.for_each_neighbor(5, &mut |x| seen.push(x));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 6]);
+        assert_eq!(view.summary().num_subnodes(), 7);
+    }
+
+    #[test]
+    fn verify_lossless_detects_mismatch() {
+        let (s, expected) = handcrafted_summary();
+        let mut wrong = expected.clone();
+        wrong.push((4, 6));
+        let wrong_graph = Graph::from_edges(7, wrong);
+        assert!(verify_lossless(&s, &wrong_graph).is_err());
+    }
+
+    #[test]
+    fn empty_summary_decodes_to_empty_graph() {
+        let s = HierarchicalSummary::identity(5);
+        let decoded = decode_full(&s);
+        assert_eq!(decoded.num_nodes(), 5);
+        assert_eq!(decoded.num_edges(), 0);
+        assert_eq!(decoded_edge_count(&s), 0);
+        assert!(neighbors_of(&s, 0).is_empty());
+    }
+}

@@ -1,0 +1,1195 @@
+//! Local re-encoding of p/n-edges when two root supernodes are merged (Sect. III-B3).
+//!
+//! When roots `A` and `B` merge into `M`, SLUGGER re-encodes
+//!
+//! * **Case 1** — the p/n-edges *within* the panel `{M} ∪ S_A ∪ S_B`, where
+//!   `S_X = {X} ∪ children(X)` (at most 7 supernodes, Fig. 4's yellow panel), and
+//! * **Case 2** — the p/n-edges *between* that panel and `S_C` (at most 3 supernodes,
+//!   the orange panel) for every root `C` sharing a p/n-edge with the yellow panel,
+//!
+//! while leaving every other edge untouched.  Exactness is guaranteed by a simple
+//! invariant: the *finest partition* of the panel into **cells** (the deepest panel
+//! supernodes) is such that every panel edge covers each cell pair either completely
+//! or not at all; therefore the represented graph is unchanged iff the new panel edges
+//! contribute the same signed net coverage to every non-vacuous cell pair as the old
+//! ones did.  The solver below searches the minimum-cardinality edge set with that
+//! property, exhaustively over the constant-size panel, exactly as the paper describes
+//! ("a valid one reducing the encoding cost most among them can be exhaustively
+//! searched").
+//!
+//! The search results are **memoized** ([`EncoderMemo`]) keyed by the cell-pair
+//! requirement vector — the quotient of the paper's "p-edges and n-edges between up to
+//! 10 supernodes before the update" key that actually determines the optimum — so each
+//! distinct local configuration is solved only once per process, mirroring the paper's
+//! look-up table.
+
+use slugger_graph::hash::FxHashMap;
+
+/// Abstract panel supernode indices shared by the solver and the merge engine.
+/// `M` is the freshly created merged supernode; `A`/`B` the two merged roots;
+/// `A1/A2/B1/B2` their direct children (present only when the root is internal);
+/// `C/C1/C2` the orange-panel root and its children (Case 2 only).
+pub mod panel {
+    /// The merged supernode `A ∪ B`.
+    pub const M: u8 = 0;
+    /// The first merged root.
+    pub const A: u8 = 1;
+    /// The second merged root.
+    pub const B: u8 = 2;
+    /// First child of `A` (when `A` is internal).
+    pub const A1: u8 = 3;
+    /// Second child of `A` (when `A` is internal).
+    pub const A2: u8 = 4;
+    /// First child of `B` (when `B` is internal).
+    pub const B1: u8 = 5;
+    /// Second child of `B` (when `B` is internal).
+    pub const B2: u8 = 6;
+    /// The adjacent root `C` of the orange panel.
+    pub const C: u8 = 7;
+    /// First child of `C` (when `C` is internal).
+    pub const C1: u8 = 8;
+    /// Second child of `C` (when `C` is internal).
+    pub const C2: u8 = 9;
+}
+
+/// Maximum absolute requirement value the solver accepts.  Requirements are signed
+/// sums of at most a handful of ±1 panel edges, so |d| ≤ 8 always holds; the bound
+/// exists only to keep the memo key compact.
+pub const MAX_REQUIREMENT: i32 = 16;
+
+/// An edge of a panel encoding: two abstract panel supernode indices and a weight
+/// (+1 = p-edge, −1 = n-edge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbstractEdge {
+    /// First endpoint (abstract index from [`panel`]).
+    pub a: u8,
+    /// Second endpoint (abstract index from [`panel`]).
+    pub b: u8,
+    /// +1 for a p-edge, −1 for an n-edge.
+    pub weight: i8,
+}
+
+/// A solved minimum panel encoding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PanelSolution {
+    /// Total number of p/n-edges in the encoding.
+    pub cost: u32,
+    /// The edges of the encoding, with abstract endpoints.
+    pub edges: Vec<AbstractEdge>,
+}
+
+// ---------------------------------------------------------------------------------
+// Case 1: edges within {M} ∪ S_A ∪ S_B
+// ---------------------------------------------------------------------------------
+
+/// Shape of a Case-1 problem: whether each merged root is internal (has two children)
+/// or a leaf.  During the merging phase every supernode has zero or two children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Case1Shape {
+    /// `A` has two children (`A1`, `A2`).
+    pub a_internal: bool,
+    /// `B` has two children (`B1`, `B2`).
+    pub b_internal: bool,
+}
+
+impl Case1Shape {
+    /// The cells (finest panel partition) on the `A`-then-`B` order.
+    pub fn cells(&self) -> Vec<u8> {
+        let mut cells = Vec::with_capacity(4);
+        if self.a_internal {
+            cells.push(panel::A1);
+            cells.push(panel::A2);
+        } else {
+            cells.push(panel::A);
+        }
+        if self.b_internal {
+            cells.push(panel::B1);
+            cells.push(panel::B2);
+        } else {
+            cells.push(panel::B);
+        }
+        cells
+    }
+
+    /// All panel supernodes (always starts with `M`, `A`, `B`).
+    pub fn supers(&self) -> Vec<u8> {
+        let mut s = vec![panel::M, panel::A, panel::B];
+        if self.a_internal {
+            s.push(panel::A1);
+            s.push(panel::A2);
+        }
+        if self.b_internal {
+            s.push(panel::B1);
+            s.push(panel::B2);
+        }
+        s
+    }
+
+    /// Number of cells.
+    pub fn num_cells(&self) -> usize {
+        (if self.a_internal { 2 } else { 1 }) + (if self.b_internal { 2 } else { 1 })
+    }
+
+    /// Number of unordered cell pairs, including self pairs.
+    pub fn num_pairs(&self) -> usize {
+        let k = self.num_cells();
+        k * (k + 1) / 2
+    }
+}
+
+/// Index of the unordered pair `(i, j)` with `i ≤ j` among `k` cells: pairs are listed
+/// as (0,0), (0,1), …, (0,k-1), (1,1), …
+#[inline]
+pub fn pair_index(i: usize, j: usize, k: usize) -> usize {
+    debug_assert!(i <= j && j < k);
+    i * k - (i * i - i) / 2 + (j - i)
+}
+
+/// Which cells an abstract panel supernode contains, for a Case-1 shape.
+fn case1_coverage(shape: Case1Shape, sup: u8) -> Vec<usize> {
+    let cells = shape.cells();
+    let find = |c: u8| cells.iter().position(|&x| x == c).expect("cell present");
+    match sup {
+        panel::M => (0..cells.len()).collect(),
+        panel::A => {
+            if shape.a_internal {
+                vec![find(panel::A1), find(panel::A2)]
+            } else {
+                vec![find(panel::A)]
+            }
+        }
+        panel::B => {
+            if shape.b_internal {
+                vec![find(panel::B1), find(panel::B2)]
+            } else {
+                vec![find(panel::B)]
+            }
+        }
+        panel::A1 | panel::A2 | panel::B1 | panel::B2 => vec![find(sup)],
+        _ => unreachable!("not a Case-1 panel supernode"),
+    }
+}
+
+/// Whether `x` is a (strict) hierarchical ancestor of `y` within the Case-1 panel.
+fn case1_is_ancestor(x: u8, y: u8) -> bool {
+    match (x, y) {
+        (panel::M, _) if y != panel::M => true,
+        (panel::A, panel::A1) | (panel::A, panel::A2) => true,
+        (panel::B, panel::B1) | (panel::B, panel::B2) => true,
+        _ => false,
+    }
+}
+
+/// A candidate slot: an unordered pair of panel supernodes (possibly a self-loop) with
+/// the list of cell-pair indices it covers.
+#[derive(Clone, Debug)]
+struct Slot {
+    a: u8,
+    b: u8,
+    covers: Vec<usize>,
+}
+
+/// Builds the unit slots (cell-cell pairs, each covering exactly one cell pair, indexed
+/// by that pair) and the "high" slots (everything else) for a Case-1 shape.
+fn case1_slots(shape: Case1Shape) -> (Vec<Option<Slot>>, Vec<Slot>) {
+    let supers = shape.supers();
+    let cells = shape.cells();
+    let k = cells.len();
+    let num_pairs = shape.num_pairs();
+    let mut units: Vec<Option<Slot>> = vec![None; num_pairs];
+    let mut high: Vec<Slot> = Vec::new();
+    for (si, &x) in supers.iter().enumerate() {
+        for &y in &supers[si..] {
+            if x != y && (case1_is_ancestor(x, y) || case1_is_ancestor(y, x)) {
+                continue;
+            }
+            let cov_x = case1_coverage(shape, x);
+            let cov_y = case1_coverage(shape, y);
+            let mut covers = Vec::new();
+            for &ci in &cov_x {
+                for &cj in &cov_y {
+                    let (lo, hi) = if ci <= cj { (ci, cj) } else { (cj, ci) };
+                    let idx = pair_index(lo, hi, k);
+                    if !covers.contains(&idx) {
+                        covers.push(idx);
+                    }
+                }
+            }
+            if x == y {
+                // Self-loop: covers all pairs within its coverage, including self pairs
+                // (already handled by the double loop above since cov_x == cov_y).
+            }
+            covers.sort_unstable();
+            let slot = Slot { a: x, b: y, covers };
+            let is_cell_pair = cells.contains(&x) && cells.contains(&y);
+            if is_cell_pair {
+                debug_assert_eq!(slot.covers.len(), 1);
+                let idx = slot.covers[0];
+                units[idx] = Some(slot);
+            } else {
+                high.push(slot);
+            }
+        }
+    }
+    (units, high)
+}
+
+/// Memo key of a Case-1 problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Case1Problem {
+    /// Panel shape.
+    pub shape: Case1Shape,
+    /// Required net per cell pair (pair order per [`pair_index`]); entries beyond
+    /// `shape.num_pairs()` are zero.
+    pub required: [i8; 10],
+    /// Bit `i` set ⇔ cell pair `i` is constrained (has at least one subnode pair).
+    pub constrained: u16,
+}
+
+/// Solves a Case-1 problem from scratch (no memo).  Always feasible because "keep the
+/// old configuration" is in the search space; panics only if a requirement exceeds
+/// [`MAX_REQUIREMENT`], which cannot be produced by the merge engine.
+pub fn solve_case1(problem: &Case1Problem) -> PanelSolution {
+    let (units, high) = case1_slots(problem.shape);
+    let num_pairs = problem.shape.num_pairs();
+    let required: Vec<i32> = (0..num_pairs).map(|i| problem.required[i] as i32).collect();
+    let constrained: Vec<bool> = (0..num_pairs).map(|i| problem.constrained >> i & 1 == 1).collect();
+    solve_with_slots(&units, &high, &required, &constrained)
+        .expect("Case-1 problems are always feasible")
+}
+
+// ---------------------------------------------------------------------------------
+// Case 2: edges between ({M} ∪ S_A ∪ S_B) and S_C
+// ---------------------------------------------------------------------------------
+
+/// Shape of a Case-2 problem.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Case2Shape {
+    /// `A` has two children.
+    pub a_internal: bool,
+    /// `B` has two children.
+    pub b_internal: bool,
+    /// `C` has two children.
+    pub c_internal: bool,
+}
+
+impl Case2Shape {
+    /// Yellow cells, `A`-side then `B`-side.
+    pub fn yellow_cells(&self) -> Vec<u8> {
+        Case1Shape {
+            a_internal: self.a_internal,
+            b_internal: self.b_internal,
+        }
+        .cells()
+    }
+
+    /// Orange cells.
+    pub fn orange_cells(&self) -> Vec<u8> {
+        if self.c_internal {
+            vec![panel::C1, panel::C2]
+        } else {
+            vec![panel::C]
+        }
+    }
+
+    /// Orange panel supernodes.
+    pub fn orange_supers(&self) -> Vec<u8> {
+        if self.c_internal {
+            vec![panel::C, panel::C1, panel::C2]
+        } else {
+            vec![panel::C]
+        }
+    }
+
+    /// Number of yellow × orange cell pairs; pair index = `yellow_idx * |orange| + orange_idx`.
+    pub fn num_pairs(&self) -> usize {
+        self.yellow_cells().len() * self.orange_cells().len()
+    }
+}
+
+/// Memo key of a Case-2 problem.  All cross cell pairs are constrained (two distinct
+/// non-empty supernodes always span at least one subnode pair), so no mask is needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Case2Problem {
+    /// Panel shape.
+    pub shape: Case2Shape,
+    /// Required net per yellow × orange cell pair; entries beyond `shape.num_pairs()`
+    /// are zero.
+    pub required: [i8; 8],
+}
+
+/// One yellow side (either `A` or `B`) of a Case-2 problem, solved independently once
+/// the `M`-level slots are fixed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct SideProblem {
+    side_internal: bool,
+    c_internal: bool,
+    /// Residual requirements for this side's (≤2) cells × (≤2) orange cells, in
+    /// `side_cell_idx * |orange| + orange_idx` order.
+    residual: [i8; 4],
+}
+
+#[derive(Clone, Debug)]
+struct SideSolution {
+    cost: u32,
+    /// Edges with abstract endpoints where the yellow endpoint uses `A`/`A1`/`A2`
+    /// placeholders (the caller remaps to the `B` side when needed).
+    edges: Vec<AbstractEdge>,
+}
+
+fn solve_side(problem: &SideProblem) -> Option<SideSolution> {
+    let side_supers: Vec<u8> = if problem.side_internal {
+        vec![panel::A, panel::A1, panel::A2]
+    } else {
+        vec![panel::A]
+    };
+    let side_cells: Vec<u8> = if problem.side_internal {
+        vec![panel::A1, panel::A2]
+    } else {
+        vec![panel::A]
+    };
+    let orange_supers: Vec<u8> = if problem.c_internal {
+        vec![panel::C, panel::C1, panel::C2]
+    } else {
+        vec![panel::C]
+    };
+    let orange_cells: Vec<u8> = if problem.c_internal {
+        vec![panel::C1, panel::C2]
+    } else {
+        vec![panel::C]
+    };
+    let kc = orange_cells.len();
+    let num_pairs = side_cells.len() * kc;
+
+    let mut units: Vec<Option<Slot>> = vec![None; num_pairs];
+    let mut high: Vec<Slot> = Vec::new();
+    for &x in &side_supers {
+        for &y in &orange_supers {
+            let cov_x: Vec<usize> = if side_cells.contains(&x) {
+                vec![side_cells.iter().position(|&c| c == x).unwrap()]
+            } else {
+                (0..side_cells.len()).collect()
+            };
+            let cov_y: Vec<usize> = if orange_cells.contains(&y) {
+                vec![orange_cells.iter().position(|&c| c == y).unwrap()]
+            } else {
+                (0..kc).collect()
+            };
+            let mut covers = Vec::new();
+            for &ci in &cov_x {
+                for &cj in &cov_y {
+                    covers.push(ci * kc + cj);
+                }
+            }
+            covers.sort_unstable();
+            let slot = Slot { a: x, b: y, covers };
+            if side_cells.contains(&x) && orange_cells.contains(&y) {
+                let idx = slot.covers[0];
+                units[idx] = Some(slot);
+            } else {
+                high.push(slot);
+            }
+        }
+    }
+    let required: Vec<i32> = (0..num_pairs).map(|i| problem.residual[i] as i32).collect();
+    let constrained = vec![true; num_pairs];
+    solve_with_slots(&units, &high, &required, &constrained).map(|sol| SideSolution {
+        cost: sol.cost,
+        edges: sol.edges,
+    })
+}
+
+/// Remaps a side solution computed with `A`-side placeholders onto the `B` side.
+fn remap_side_to_b(edges: &[AbstractEdge]) -> Vec<AbstractEdge> {
+    edges
+        .iter()
+        .map(|e| {
+            let remap = |s: u8| match s {
+                panel::A => panel::B,
+                panel::A1 => panel::B1,
+                panel::A2 => panel::B2,
+                other => other,
+            };
+            AbstractEdge {
+                a: remap(e.a),
+                b: remap(e.b),
+                weight: e.weight,
+            }
+        })
+        .collect()
+}
+
+/// Solves a Case-2 problem from scratch with a throwaway side cache.  Prefer
+/// [`EncoderMemo::case2`], which shares both caches across calls.
+pub fn solve_case2(problem: &Case2Problem) -> PanelSolution {
+    let mut scratch = FxHashMap::default();
+    solve_case2_with_memo(problem, &mut scratch)
+}
+
+/// Solves a Case-2 problem from scratch (no top-level memo), by enumerating the
+/// `M`-level slots and solving each yellow side independently (the sides share no
+/// slots once the `M`-level contribution is fixed).
+fn solve_case2_with_memo(
+    problem: &Case2Problem,
+    side_memo: &mut FxHashMap<SideProblemKey, Option<SideSolution>>,
+) -> PanelSolution {
+    let shape = problem.shape;
+    let yellow_cells = shape.yellow_cells();
+    let orange_cells = shape.orange_cells();
+    let orange_supers = shape.orange_supers();
+    let kc = orange_cells.len();
+    let a_cells = if shape.a_internal { 2 } else { 1 };
+    let b_cells = if shape.b_internal { 2 } else { 1 };
+    debug_assert_eq!(yellow_cells.len(), a_cells + b_cells);
+
+    // M-level slots: (M, o) for every orange supernode.
+    let m_slots: Vec<Slot> = orange_supers
+        .iter()
+        .map(|&o| {
+            let cov_o: Vec<usize> = if orange_cells.contains(&o) {
+                vec![orange_cells.iter().position(|&c| c == o).unwrap()]
+            } else {
+                (0..kc).collect()
+            };
+            let covers = (0..yellow_cells.len())
+                .flat_map(|y| cov_o.iter().map(move |&c| y * kc + c))
+                .collect();
+            Slot {
+                a: panel::M,
+                b: o,
+                covers,
+            }
+        })
+        .collect();
+
+    let mut best: Option<PanelSolution> = None;
+    let mut assignment = vec![0i8; m_slots.len()];
+    enumerate_m_slots(
+        &m_slots,
+        0,
+        &mut assignment,
+        problem,
+        a_cells,
+        b_cells,
+        kc,
+        side_memo,
+        &mut best,
+    );
+    best.expect("Case-2 problems are always feasible")
+}
+
+/// Key type for the internal side-problem memo.
+type SideProblemKey = (bool, bool, [i8; 4]);
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_m_slots(
+    m_slots: &[Slot],
+    idx: usize,
+    assignment: &mut Vec<i8>,
+    problem: &Case2Problem,
+    a_cells: usize,
+    b_cells: usize,
+    kc: usize,
+    side_memo: &mut FxHashMap<SideProblemKey, Option<SideSolution>>,
+    best: &mut Option<PanelSolution>,
+) {
+    if idx == m_slots.len() {
+        let m_cost: u32 = assignment.iter().filter(|&&w| w != 0).count() as u32;
+        if let Some(b) = best {
+            if m_cost >= b.cost {
+                return;
+            }
+        }
+        // Contribution of the M-level edges to every pair.
+        let num_pairs = problem.shape.num_pairs();
+        let mut contribution = vec![0i32; num_pairs];
+        for (slot, &w) in m_slots.iter().zip(assignment.iter()) {
+            if w != 0 {
+                for &p in &slot.covers {
+                    contribution[p] += w as i32;
+                }
+            }
+        }
+        // Side A residuals: yellow cells 0..a_cells.
+        let mut res_a = [0i8; 4];
+        for y in 0..a_cells {
+            for c in 0..kc {
+                let r = problem.required[y * kc + c] as i32 - contribution[y * kc + c];
+                if r.unsigned_abs() as i32 > MAX_REQUIREMENT {
+                    return;
+                }
+                res_a[y * kc + c] = r as i8;
+            }
+        }
+        let mut res_b = [0i8; 4];
+        for y in 0..b_cells {
+            for c in 0..kc {
+                let global = (a_cells + y) * kc + c;
+                let r = problem.required[global] as i32 - contribution[global];
+                if r.unsigned_abs() as i32 > MAX_REQUIREMENT {
+                    return;
+                }
+                res_b[y * kc + c] = r as i8;
+            }
+        }
+        let sol_a = cached_side(
+            SideProblem {
+                side_internal: problem.shape.a_internal,
+                c_internal: problem.shape.c_internal,
+                residual: res_a,
+            },
+            side_memo,
+        );
+        let Some(sol_a) = sol_a else { return };
+        if let Some(b) = best {
+            if m_cost + sol_a.cost >= b.cost {
+                return;
+            }
+        }
+        let sol_b = cached_side(
+            SideProblem {
+                side_internal: problem.shape.b_internal,
+                c_internal: problem.shape.c_internal,
+                residual: res_b,
+            },
+            side_memo,
+        );
+        let Some(sol_b) = sol_b else { return };
+        let total = m_cost + sol_a.cost + sol_b.cost;
+        let better = best.as_ref().map_or(true, |b| total < b.cost);
+        if better {
+            let mut edges = Vec::new();
+            for (slot, &w) in m_slots.iter().zip(assignment.iter()) {
+                if w != 0 {
+                    edges.push(AbstractEdge {
+                        a: slot.a,
+                        b: slot.b,
+                        weight: w,
+                    });
+                }
+            }
+            edges.extend(sol_a.edges.iter().copied());
+            edges.extend(remap_side_to_b(&sol_b.edges));
+            *best = Some(PanelSolution { cost: total, edges });
+        }
+        return;
+    }
+    for &w in &[0i8, 1, -1] {
+        assignment[idx] = w;
+        enumerate_m_slots(
+            m_slots, idx + 1, assignment, problem, a_cells, b_cells, kc, side_memo, best,
+        );
+    }
+    assignment[idx] = 0;
+}
+
+fn cached_side(
+    problem: SideProblem,
+    memo: &mut FxHashMap<SideProblemKey, Option<SideSolution>>,
+) -> Option<SideSolution> {
+    let key = (problem.side_internal, problem.c_internal, problem.residual);
+    if let Some(cached) = memo.get(&key) {
+        return cached.clone();
+    }
+    let solved = solve_side(&problem);
+    memo.insert(key, solved.clone());
+    solved
+}
+
+// ---------------------------------------------------------------------------------
+// Generic slot solver
+// ---------------------------------------------------------------------------------
+
+/// Exhaustive minimum-cost search: assign −1/0/+1 to the "high" slots by DFS with
+/// cost pruning; the per-pair "unit" slots are then uniquely determined as residuals.
+/// Returns `None` when infeasible (a residual outside {−1, 0, +1} with no unit slot,
+/// or any residual outside that range).
+fn solve_with_slots(
+    units: &[Option<Slot>],
+    high: &[Slot],
+    required: &[i32],
+    constrained: &[bool],
+) -> Option<PanelSolution> {
+    struct Ctx<'a> {
+        units: &'a [Option<Slot>],
+        high: &'a [Slot],
+        required: &'a [i32],
+        constrained: &'a [bool],
+        best: Option<PanelSolution>,
+    }
+
+    fn finish(ctx: &mut Ctx<'_>, assignment: &[i8], contribution: &[i32], high_cost: u32) {
+        let mut cost = high_cost;
+        let mut unit_weights: Vec<i8> = vec![0; ctx.units.len()];
+        for p in 0..ctx.required.len() {
+            if !ctx.constrained[p] {
+                continue;
+            }
+            let residual = ctx.required[p] - contribution[p];
+            if residual == 0 {
+                continue;
+            }
+            if residual.abs() > 1 || ctx.units[p].is_none() {
+                return; // infeasible under this high assignment
+            }
+            unit_weights[p] = residual as i8;
+            cost += 1;
+            if let Some(best) = &ctx.best {
+                if cost >= best.cost {
+                    return;
+                }
+            }
+        }
+        let better = ctx.best.as_ref().map_or(true, |b| cost < b.cost);
+        if better {
+            let mut edges = Vec::new();
+            for (slot, &w) in ctx.high.iter().zip(assignment.iter()) {
+                if w != 0 {
+                    edges.push(AbstractEdge {
+                        a: slot.a,
+                        b: slot.b,
+                        weight: w,
+                    });
+                }
+            }
+            for (p, &w) in unit_weights.iter().enumerate() {
+                if w != 0 {
+                    let slot = ctx.units[p].as_ref().unwrap();
+                    edges.push(AbstractEdge {
+                        a: slot.a,
+                        b: slot.b,
+                        weight: w,
+                    });
+                }
+            }
+            ctx.best = Some(PanelSolution { cost, edges });
+        }
+    }
+
+    fn dfs(ctx: &mut Ctx<'_>, idx: usize, assignment: &mut Vec<i8>, contribution: &mut Vec<i32>, high_cost: u32) {
+        if let Some(best) = &ctx.best {
+            if high_cost >= best.cost {
+                return;
+            }
+        }
+        if idx == ctx.high.len() {
+            finish(ctx, assignment, contribution, high_cost);
+            return;
+        }
+        for &w in &[0i8, 1, -1] {
+            assignment[idx] = w;
+            if w != 0 {
+                for &p in &ctx.high[idx].covers {
+                    contribution[p] += w as i32;
+                }
+            }
+            dfs(ctx, idx + 1, assignment, contribution, high_cost + u32::from(w != 0));
+            if w != 0 {
+                for &p in &ctx.high[idx].covers {
+                    contribution[p] -= w as i32;
+                }
+            }
+        }
+        assignment[idx] = 0;
+    }
+
+    let mut ctx = Ctx {
+        units,
+        high,
+        required,
+        constrained,
+        best: None,
+    };
+    let mut assignment = vec![0i8; high.len()];
+    let mut contribution = vec![0i32; required.len()];
+    dfs(&mut ctx, 0, &mut assignment, &mut contribution, 0);
+    ctx.best
+}
+
+// ---------------------------------------------------------------------------------
+// Memoization
+// ---------------------------------------------------------------------------------
+
+/// Process-wide memo for panel re-encodings (Sect. III-B3 "Memoization").
+///
+/// The memoized results depend only on the abstract panel configuration, never on the
+/// input graph, so a single memo can serve many summarization runs — the paper makes
+/// the same observation ("they can even be used when summarizing different input
+/// graphs").
+#[derive(Default)]
+pub struct EncoderMemo {
+    /// When `false` every query is re-solved from scratch (used by the ablation bench
+    /// that quantifies the value of memoization).
+    pub enabled: bool,
+    case1: FxHashMap<Case1Problem, PanelSolution>,
+    case2: FxHashMap<Case2Problem, PanelSolution>,
+    side: FxHashMap<SideProblemKey, Option<SideSolution>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl EncoderMemo {
+    /// Creates an enabled memo.
+    pub fn new() -> Self {
+        EncoderMemo {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Creates a disabled memo (every call re-solves).
+    pub fn disabled() -> Self {
+        EncoderMemo {
+            enabled: false,
+            ..Default::default()
+        }
+    }
+
+    /// Solves (or recalls) a Case-1 problem.
+    pub fn case1(&mut self, problem: &Case1Problem) -> PanelSolution {
+        if !self.enabled {
+            self.misses += 1;
+            return solve_case1(problem);
+        }
+        if let Some(sol) = self.case1.get(problem) {
+            self.hits += 1;
+            return sol.clone();
+        }
+        self.misses += 1;
+        let sol = solve_case1(problem);
+        self.case1.insert(*problem, sol.clone());
+        sol
+    }
+
+    /// Solves (or recalls) a Case-2 problem.
+    pub fn case2(&mut self, problem: &Case2Problem) -> PanelSolution {
+        if !self.enabled {
+            self.misses += 1;
+            return solve_case2(problem);
+        }
+        if let Some(sol) = self.case2.get(problem) {
+            self.hits += 1;
+            return sol.clone();
+        }
+        self.misses += 1;
+        let sol = solve_case2_with_memo(problem, &mut self.side);
+        self.case2.insert(*problem, sol.clone());
+        sol
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Number of distinct memoized entries.
+    pub fn len(&self) -> usize {
+        self.case1.len() + self.case2.len() + self.side.len()
+    }
+
+    /// Whether nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case1(shape: Case1Shape, reqs: &[(usize, usize, i8)], constrained_pairs: &[(usize, usize)]) -> PanelSolution {
+        let k = shape.num_cells();
+        let mut required = [0i8; 10];
+        for &(i, j, v) in reqs {
+            required[pair_index(i.min(j), i.max(j), k)] = v;
+        }
+        let mut constrained = 0u16;
+        for &(i, j) in constrained_pairs {
+            constrained |= 1 << pair_index(i.min(j), i.max(j), k);
+        }
+        solve_case1(&Case1Problem {
+            shape,
+            required,
+            constrained,
+        })
+    }
+
+    /// All cross pairs constrained, self pairs vacuous (typical for singleton leaves).
+    fn all_cross_pairs(k: usize) -> Vec<(usize, usize)> {
+        let mut v = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                v.push((i, j));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn merging_two_singletons_with_edge_costs_one() {
+        // Cells {A, B}, requirement: (A,B) = 1, self pairs vacuous.
+        let shape = Case1Shape {
+            a_internal: false,
+            b_internal: false,
+        };
+        let sol = case1(shape, &[(0, 1, 1)], &all_cross_pairs(2));
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn merging_two_singletons_without_edge_costs_zero() {
+        let shape = Case1Shape {
+            a_internal: false,
+            b_internal: false,
+        };
+        let sol = case1(shape, &[], &all_cross_pairs(2));
+        assert_eq!(sol.cost, 0);
+        assert!(sol.edges.is_empty());
+    }
+
+    #[test]
+    fn dense_four_cells_collapse_to_single_self_loop() {
+        // A internal (cells A1, A2), B internal (cells B1, B2); everything connected:
+        // all cross pairs and all self pairs require net 1 (self pairs constrained,
+        // i.e. cells have ≥ 2 subnodes).  The optimum is one p-self-loop at M.
+        let shape = Case1Shape {
+            a_internal: true,
+            b_internal: true,
+        };
+        let mut reqs = Vec::new();
+        let mut constrained = Vec::new();
+        for i in 0..4 {
+            for j in i..4 {
+                reqs.push((i, j, 1i8));
+                constrained.push((i, j));
+            }
+        }
+        let sol = case1(shape, &reqs, &constrained);
+        assert_eq!(sol.cost, 1);
+        assert_eq!(
+            sol.edges,
+            vec![AbstractEdge {
+                a: panel::M,
+                b: panel::M,
+                weight: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn dense_minus_one_pair_uses_self_loop_plus_negative_edge() {
+        // Same as above but cell pair (A1, B1) must be 0: best is p-loop at M plus an
+        // n-edge (A1, B1): cost 2.
+        let shape = Case1Shape {
+            a_internal: true,
+            b_internal: true,
+        };
+        let mut reqs = Vec::new();
+        let mut constrained = Vec::new();
+        for i in 0..4 {
+            for j in i..4 {
+                let v = if (i, j) == (0, 2) { 0 } else { 1 };
+                reqs.push((i, j, v));
+                constrained.push((i, j));
+            }
+        }
+        let sol = case1(shape, &reqs, &constrained);
+        assert_eq!(sol.cost, 2);
+        assert!(sol
+            .edges
+            .contains(&AbstractEdge { a: panel::M, b: panel::M, weight: 1 }));
+        assert!(sol.edges.iter().any(|e| e.weight == -1));
+    }
+
+    #[test]
+    fn vacuous_self_pairs_do_not_block_self_loop() {
+        // Two singleton roots with an edge between them, merging: self pairs are
+        // vacuous so the encoder may use either the (A,B) edge or an M self-loop; both
+        // cost 1.
+        let shape = Case1Shape {
+            a_internal: false,
+            b_internal: false,
+        };
+        let sol = case1(shape, &[(0, 1, 1)], &[(0, 1)]);
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn requirement_of_two_is_representable() {
+        // Artificial: cross pair requires net 2 → needs two covering edges.
+        let shape = Case1Shape {
+            a_internal: false,
+            b_internal: false,
+        };
+        let sol = case1(shape, &[(0, 1, 2)], &[(0, 1)]);
+        assert_eq!(sol.cost, 2);
+    }
+
+    #[test]
+    fn case2_consolidates_two_cross_edges_into_one() {
+        // A and B are singleton roots, C is a singleton root adjacent to both:
+        // requirements (A,C)=1, (B,C)=1.  Optimal: single edge (M, C).
+        let problem = Case2Problem {
+            shape: Case2Shape {
+                a_internal: false,
+                b_internal: false,
+                c_internal: false,
+            },
+            required: [1, 1, 0, 0, 0, 0, 0, 0],
+        };
+        let sol = solve_case2(&problem);
+        assert_eq!(sol.cost, 1);
+        assert_eq!(
+            sol.edges,
+            vec![AbstractEdge {
+                a: panel::M,
+                b: panel::C,
+                weight: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn case2_asymmetric_connection_keeps_single_edge() {
+        // Only A connects to C: requirement (A,C)=1, (B,C)=0 → best cost 1 (keep (A,C)).
+        let problem = Case2Problem {
+            shape: Case2Shape {
+                a_internal: false,
+                b_internal: false,
+                c_internal: false,
+            },
+            required: [1, 0, 0, 0, 0, 0, 0, 0],
+        };
+        let sol = solve_case2(&problem);
+        assert_eq!(sol.cost, 1);
+    }
+
+    #[test]
+    fn case2_with_internal_c_exploits_child_structure() {
+        // C internal with cells c1, c2; A, B singleton. A and B both connect fully to
+        // c1 but not to c2: requirements (A,c1)=1, (A,c2)=0, (B,c1)=1, (B,c2)=0.
+        // Optimal: one edge (M, C1): cost 1.
+        let problem = Case2Problem {
+            shape: Case2Shape {
+                a_internal: false,
+                b_internal: false,
+                c_internal: true,
+            },
+            required: [1, 0, 1, 0, 0, 0, 0, 0],
+        };
+        let sol = solve_case2(&problem);
+        assert_eq!(sol.cost, 1);
+        assert_eq!(
+            sol.edges,
+            vec![AbstractEdge {
+                a: panel::M,
+                b: panel::C1,
+                weight: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn case2_full_yellow_panel_consolidates_children() {
+        // A internal (cells A1, A2), B internal (cells B1, B2), C singleton; all four
+        // yellow cells connect to C.  Optimal: one edge (M, C).
+        let problem = Case2Problem {
+            shape: Case2Shape {
+                a_internal: true,
+                b_internal: true,
+                c_internal: false,
+            },
+            required: [1, 1, 1, 1, 0, 0, 0, 0],
+        };
+        let sol = solve_case2(&problem);
+        assert_eq!(sol.cost, 1);
+        assert_eq!(sol.edges[0].a, panel::M);
+        assert_eq!(sol.edges[0].b, panel::C);
+    }
+
+    #[test]
+    fn case2_three_of_four_cells_connected() {
+        // A internal, B internal, C singleton; A1, A2, B1 connect to C, B2 does not.
+        // Optimal: (M,C) + n-edge (B2,C) = 2, or (A,C) + (B1,C) = 2; cost must be 2.
+        let problem = Case2Problem {
+            shape: Case2Shape {
+                a_internal: true,
+                b_internal: true,
+                c_internal: false,
+            },
+            required: [1, 1, 1, 0, 0, 0, 0, 0],
+        };
+        let sol = solve_case2(&problem);
+        assert_eq!(sol.cost, 2);
+    }
+
+    #[test]
+    fn solutions_reproduce_requirements_exactly() {
+        // Property-style check on a batch of random-ish Case-1 problems: the returned
+        // edges must reproduce the required net on every constrained pair.
+        let shapes = [
+            Case1Shape { a_internal: false, b_internal: false },
+            Case1Shape { a_internal: true, b_internal: false },
+            Case1Shape { a_internal: false, b_internal: true },
+            Case1Shape { a_internal: true, b_internal: true },
+        ];
+        let mut rng_state = 0x12345678u64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as u32
+        };
+        for &shape in &shapes {
+            let k = shape.num_cells();
+            let np = shape.num_pairs();
+            for _ in 0..200 {
+                let mut required = [0i8; 10];
+                let mut constrained = 0u16;
+                for p in 0..np {
+                    if next() % 4 != 0 {
+                        constrained |= 1 << p;
+                        required[p] = (next() % 3) as i8 - 1;
+                    }
+                }
+                let problem = Case1Problem { shape, required, constrained };
+                let sol = solve_case1(&problem);
+                // Re-derive the net coverage per pair from the returned edges.
+                let mut net = vec![0i32; np];
+                for e in &sol.edges {
+                    let cov_a = case1_coverage(shape, e.a);
+                    let cov_b = case1_coverage(shape, e.b);
+                    let mut seen = std::collections::HashSet::new();
+                    for &ci in &cov_a {
+                        for &cj in &cov_b {
+                            let idx = pair_index(ci.min(cj), ci.max(cj), k);
+                            if seen.insert(idx) {
+                                net[idx] += e.weight as i32;
+                            }
+                        }
+                    }
+                }
+                for p in 0..np {
+                    if constrained >> p & 1 == 1 {
+                        assert_eq!(net[p], required[p] as i32, "shape {shape:?} pair {p}");
+                    }
+                }
+            }
+        }
+    }
+
+
+    #[test]
+    fn case2_solutions_reproduce_requirements_exactly() {
+        // Same property as the Case-1 test, but through the decomposition solver: the
+        // returned edges must contribute exactly the required net to every yellow ×
+        // orange cell pair.
+        let shapes = [
+            (false, false, false),
+            (true, false, false),
+            (false, true, true),
+            (true, true, false),
+            (true, true, true),
+        ];
+        let mut rng_state = 0xdeadbeefu64;
+        let mut next = || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (rng_state >> 33) as u32
+        };
+        for &(a_internal, b_internal, c_internal) in &shapes {
+            let shape = Case2Shape { a_internal, b_internal, c_internal };
+            let yellow = shape.yellow_cells();
+            let orange = shape.orange_cells();
+            let np = shape.num_pairs();
+            for _ in 0..200 {
+                let mut required = [0i8; 8];
+                for r in required.iter_mut().take(np) {
+                    *r = (next() % 3) as i8 - 1;
+                }
+                let problem = Case2Problem { shape, required };
+                let sol = solve_case2(&problem);
+                // Recompute the net contribution per cell pair from the returned edges.
+                let cell_index = |sup: u8, cells: &[u8]| -> Option<usize> {
+                    cells.iter().position(|&c| c == sup)
+                };
+                let b_offset = if a_internal { 2 } else { 1 };
+                let mut net = vec![0i32; np];
+                for e in &sol.edges {
+                    let (y, o) = if e.a < panel::C { (e.a, e.b) } else { (e.b, e.a) };
+                    // Cells covered by the yellow endpoint.
+                    let y_cov: Vec<usize> = match y {
+                        panel::M => (0..yellow.len()).collect(),
+                        panel::A if a_internal => vec![0, 1],
+                        panel::B if b_internal => vec![b_offset, b_offset + 1],
+                        other => vec![cell_index(other, &yellow).expect("yellow cell")],
+                    };
+                    // Cells covered by the orange endpoint.
+                    let o_cov: Vec<usize> = match o {
+                        panel::C if c_internal => vec![0, 1],
+                        other => vec![cell_index(other, &orange).expect("orange cell")],
+                    };
+                    for &ci in &y_cov {
+                        for &cj in &o_cov {
+                            net[ci * orange.len() + cj] += e.weight as i32;
+                        }
+                    }
+                }
+                for pair in 0..np {
+                    assert_eq!(
+                        net[pair], required[pair] as i32,
+                        "shape {shape:?} pair {pair} edges {:?}",
+                        sol.edges
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memo_caches_and_counts() {
+        let mut memo = EncoderMemo::new();
+        let problem = Case1Problem {
+            shape: Case1Shape { a_internal: false, b_internal: false },
+            required: {
+                let mut r = [0i8; 10];
+                r[pair_index(0, 1, 2)] = 1;
+                r
+            },
+            constrained: 1 << pair_index(0, 1, 2),
+        };
+        let a = memo.case1(&problem);
+        let b = memo.case1(&problem);
+        assert_eq!(a, b);
+        let (hits, misses) = memo.stats();
+        assert_eq!(hits, 1);
+        assert_eq!(misses, 1);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn disabled_memo_never_caches() {
+        let mut memo = EncoderMemo::disabled();
+        let problem = Case2Problem {
+            shape: Case2Shape { a_internal: false, b_internal: false, c_internal: false },
+            required: [1, 1, 0, 0, 0, 0, 0, 0],
+        };
+        let _ = memo.case2(&problem);
+        let _ = memo.case2(&problem);
+        let (hits, misses) = memo.stats();
+        assert_eq!(hits, 0);
+        assert_eq!(misses, 2);
+        assert_eq!(memo.len(), 0);
+    }
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        for k in 1..=4usize {
+            let mut seen = std::collections::HashSet::new();
+            for i in 0..k {
+                for j in i..k {
+                    assert!(seen.insert(pair_index(i, j, k)));
+                }
+            }
+            assert_eq!(seen.len(), k * (k + 1) / 2);
+            assert_eq!(*seen.iter().max().unwrap(), k * (k + 1) / 2 - 1);
+        }
+    }
+}

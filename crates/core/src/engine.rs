@@ -1,0 +1,757 @@
+//! The merge engine: incremental bookkeeping around a [`HierarchicalSummary`] that the
+//! merging step (Algorithm 2) needs — which supernode is the current root of each
+//! tree, which roots are adjacent through p/n-edges, per-root costs — plus the two
+//! operations at the heart of SLUGGER: evaluating `Saving(A, B, G)` (Eq. 8) and
+//! actually merging two roots while re-encoding their panel (Sect. III-B3).
+
+use crate::encoder::{
+    panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape, EncoderMemo,
+    pair_index, PanelSolution,
+};
+use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
+use slugger_graph::hash::FxHashMap;
+use slugger_graph::Graph;
+
+/// Per-root metadata maintained incrementally by the engine.
+#[derive(Clone, Debug, Default)]
+struct RootMeta {
+    /// Number of supernodes in the tree (so `h-edges = tree_size − 1`).
+    tree_size: usize,
+    /// Height of the tree (a lone leaf has height 0).
+    height: usize,
+    /// For each adjacent root (including the root itself for intra-tree edges), the
+    /// number of p/n-edges between the two trees.
+    adjacency: FxHashMap<SupernodeId, u32>,
+    /// Total number of p/n-edges incident to the tree (the sum of `adjacency`'s values,
+    /// cached so `Cost^P_A` is O(1) — evaluating savings against high-degree roots
+    /// would otherwise re-sum a large map for every candidate pair).
+    pn_count: usize,
+}
+
+impl RootMeta {
+    fn h_edges(&self) -> usize {
+        self.tree_size.saturating_sub(1)
+    }
+
+    /// Cost^P_A(G): number of p/n-edges incident to the tree (intra-tree edges counted
+    /// once).
+    fn pn_incident(&self) -> usize {
+        debug_assert_eq!(
+            self.pn_count,
+            self.adjacency.values().map(|&c| c as usize).sum::<usize>()
+        );
+        self.pn_count
+    }
+}
+
+/// Outcome of evaluating a candidate merge.
+#[derive(Clone, Debug)]
+pub struct MergeEvaluation {
+    /// `Saving(A, B, G)` as defined by Eq. 8 (may be negative).
+    pub saving: f64,
+    /// Encoding cost attributed to the pair before the merge (Eq. 8's denominator).
+    pub cost_before: usize,
+    /// Encoding cost of the merged root after the merge (Eq. 8's numerator).
+    pub cost_after: usize,
+}
+
+/// The merge engine. Owns the evolving [`HierarchicalSummary`] plus the root-level
+/// indices; borrows the input graph only for initialization (the merging phase itself
+/// works purely on the summary).
+pub struct MergeEngine {
+    summary: HierarchicalSummary,
+    /// Union-find over supernode ids; the representative of a set is mapped to the
+    /// current root supernode of that tree through `set_root`.
+    dsu_parent: Vec<SupernodeId>,
+    set_root: FxHashMap<SupernodeId, SupernodeId>,
+    roots: FxHashMap<SupernodeId, RootMeta>,
+}
+
+impl MergeEngine {
+    /// Initializes the engine with the identity summary of `graph`: every subnode is a
+    /// singleton root and every subedge becomes a p-edge between the two singletons
+    /// (Algorithm 1, lines 1–4).
+    pub fn new(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let mut summary = HierarchicalSummary::identity(n);
+        let mut roots: FxHashMap<SupernodeId, RootMeta> = FxHashMap::default();
+        for u in 0..n as SupernodeId {
+            roots.insert(
+                u,
+                RootMeta {
+                    tree_size: 1,
+                    height: 0,
+                    adjacency: FxHashMap::default(),
+                    pn_count: 0,
+                },
+            );
+        }
+        for (u, v) in graph.edges() {
+            summary.set_edge(u, v, EdgeSign::Positive);
+            let meta_u = roots.get_mut(&u).unwrap();
+            *meta_u.adjacency.entry(v).or_insert(0) += 1;
+            meta_u.pn_count += 1;
+            let meta_v = roots.get_mut(&v).unwrap();
+            *meta_v.adjacency.entry(u).or_insert(0) += 1;
+            meta_v.pn_count += 1;
+        }
+        let dsu_parent = (0..n as SupernodeId).collect();
+        let set_root = (0..n as SupernodeId).map(|u| (u, u)).collect();
+        MergeEngine {
+            summary,
+            dsu_parent,
+            set_root,
+            roots,
+        }
+    }
+
+    /// Read access to the evolving summary.
+    pub fn summary(&self) -> &HierarchicalSummary {
+        &self.summary
+    }
+
+    /// Consumes the engine and returns the summary.
+    pub fn into_summary(self) -> HierarchicalSummary {
+        self.summary
+    }
+
+    /// Current root supernodes.
+    pub fn roots(&self) -> Vec<SupernodeId> {
+        self.roots.keys().copied().collect()
+    }
+
+    /// Number of current roots.
+    pub fn num_roots(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Height of the tree rooted at `root`.
+    pub fn root_height(&self, root: SupernodeId) -> usize {
+        self.roots[&root].height
+    }
+
+    /// Current root of the tree containing supernode `id` (with path compression).
+    pub fn root_of(&mut self, id: SupernodeId) -> SupernodeId {
+        let rep = self.find(id);
+        self.set_root[&rep]
+    }
+
+    fn find(&mut self, mut x: SupernodeId) -> SupernodeId {
+        while self.dsu_parent[x as usize] != x {
+            let grand = self.dsu_parent[self.dsu_parent[x as usize] as usize];
+            self.dsu_parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    /// Roots adjacent to `root` through at least one p/n-edge (excluding itself).
+    pub fn adjacent_roots(&self, root: SupernodeId) -> Vec<SupernodeId> {
+        self.roots[&root]
+            .adjacency
+            .keys()
+            .copied()
+            .filter(|&r| r != root)
+            .collect()
+    }
+
+    /// Encoding cost attributed to root `A`: `Cost_A(G) = Cost^H_A + Cost^P_A` (Eq. 6).
+    pub fn root_cost(&self, root: SupernodeId) -> usize {
+        let meta = &self.roots[&root];
+        meta.h_edges() + meta.pn_incident()
+    }
+
+    /// Number of p/n-edges between the trees of two distinct roots (`Cost^P_{A,B}`).
+    pub fn edges_between_roots(&self, a: SupernodeId, b: SupernodeId) -> usize {
+        self.roots[&a].adjacency.get(&b).copied().unwrap_or(0) as usize
+    }
+
+    // ------------------------------------------------------------------
+    // Panel extraction
+    // ------------------------------------------------------------------
+
+    /// Panel supernodes of one side: the root plus its direct children when internal.
+    /// Returns (shape_internal, [root, child1, child2]) with unused slots `None`.
+    fn side_panel(&self, root: SupernodeId) -> (bool, [Option<SupernodeId>; 3]) {
+        let children = self.summary.children(root);
+        if children.is_empty() {
+            (false, [Some(root), None, None])
+        } else {
+            debug_assert_eq!(children.len(), 2, "merging phase trees are binary");
+            (true, [Some(root), Some(children[0]), Some(children[1])])
+        }
+    }
+
+    /// Maps an abstract panel index to the concrete supernode id for a merge of `a`
+    /// and `b` (with `m` the merged supernode, or a placeholder during evaluation) and
+    /// an optional orange root `c`.
+    #[allow(clippy::too_many_arguments)]
+    fn concrete(
+        &self,
+        abstract_id: u8,
+        m: SupernodeId,
+        a: SupernodeId,
+        b: SupernodeId,
+        a_kids: &[Option<SupernodeId>; 3],
+        b_kids: &[Option<SupernodeId>; 3],
+        c: Option<SupernodeId>,
+        c_kids: &[Option<SupernodeId>; 3],
+    ) -> SupernodeId {
+        match abstract_id {
+            panel::M => m,
+            panel::A => a,
+            panel::B => b,
+            panel::A1 => a_kids[1].expect("A1 requested for leaf A"),
+            panel::A2 => a_kids[2].expect("A2 requested for leaf A"),
+            panel::B1 => b_kids[1].expect("B1 requested for leaf B"),
+            panel::B2 => b_kids[2].expect("B2 requested for leaf B"),
+            panel::C => c.expect("C requested without orange panel"),
+            panel::C1 => c_kids[1].expect("C1 requested for leaf C"),
+            panel::C2 => c_kids[2].expect("C2 requested for leaf C"),
+            other => unreachable!("unknown abstract panel id {other}"),
+        }
+    }
+
+    /// Builds the Case-1 problem for merging roots `a` and `b`: the cell-pair
+    /// requirements induced by the existing panel edges, plus the list of those edges.
+    fn case1_problem(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+    ) -> (Case1Problem, Vec<(SupernodeId, SupernodeId)>) {
+        let (a_internal, a_kids) = self.side_panel(a);
+        let (b_internal, b_kids) = self.side_panel(b);
+        let shape = Case1Shape {
+            a_internal,
+            b_internal,
+        };
+        let cells = shape.cells();
+        let k = cells.len();
+        // Concrete supernode of each cell and its size.
+        let cell_concrete: Vec<SupernodeId> = cells
+            .iter()
+            .map(|&cell| match cell {
+                panel::A => a,
+                panel::B => b,
+                panel::A1 => a_kids[1].unwrap(),
+                panel::A2 => a_kids[2].unwrap(),
+                panel::B1 => b_kids[1].unwrap(),
+                panel::B2 => b_kids[2].unwrap(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut constrained = 0u16;
+        for i in 0..k {
+            for j in i..k {
+                let vacuous = i == j && self.summary.members(cell_concrete[i]).len() < 2;
+                if !vacuous {
+                    constrained |= 1 << pair_index(i, j, k);
+                }
+            }
+        }
+        // Existing panel edges: all p/n-edges among the panel supernodes of both sides.
+        let panel_supers: Vec<SupernodeId> = a_kids
+            .iter()
+            .chain(b_kids.iter())
+            .flatten()
+            .copied()
+            .collect();
+        let coverage: Vec<Vec<usize>> = panel_supers
+            .iter()
+            .map(|&s| self.panel_cell_coverage(s, &cell_concrete))
+            .collect();
+        let mut required = [0i8; 10];
+        let mut old_edges = Vec::new();
+        for (i, &x) in panel_supers.iter().enumerate() {
+            for (j, &y) in panel_supers.iter().enumerate().skip(i) {
+                let w = self.summary.edge_weight(x, y);
+                if w == 0 {
+                    continue;
+                }
+                old_edges.push((x, y));
+                let mut seen = [false; 10];
+                for &ci in &coverage[i] {
+                    for &cj in &coverage[j] {
+                        let idx = pair_index(ci.min(cj), ci.max(cj), k);
+                        if !seen[idx] {
+                            seen[idx] = true;
+                            required[idx] = (required[idx] as i32 + w) as i8;
+                        }
+                    }
+                }
+            }
+        }
+        (
+            Case1Problem {
+                shape,
+                required,
+                constrained,
+            },
+            old_edges,
+        )
+    }
+
+    /// Cells (by index into `cell_concrete`) covered by a concrete panel supernode:
+    /// the cells it equals or is an ancestor of.
+    fn panel_cell_coverage(&self, sup: SupernodeId, cell_concrete: &[SupernodeId]) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (idx, &cell) in cell_concrete.iter().enumerate() {
+            if cell == sup || self.summary.parent(cell) == Some(sup) {
+                out.push(idx);
+            }
+        }
+        out
+    }
+
+    /// Builds the Case-2 problem between the (about to be merged) roots `a`, `b` and
+    /// the adjacent root `c`.
+    fn case2_problem(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        c: SupernodeId,
+    ) -> (Case2Problem, Vec<(SupernodeId, SupernodeId)>) {
+        let (a_internal, a_kids) = self.side_panel(a);
+        let (b_internal, b_kids) = self.side_panel(b);
+        let (c_internal, c_kids) = self.side_panel(c);
+        let shape = Case2Shape {
+            a_internal,
+            b_internal,
+            c_internal,
+        };
+        let yellow_cells_abs = shape.yellow_cells();
+        let orange_cells_abs = shape.orange_cells();
+        let kc = orange_cells_abs.len();
+        let yellow_cells: Vec<SupernodeId> = yellow_cells_abs
+            .iter()
+            .map(|&cell| match cell {
+                panel::A => a,
+                panel::B => b,
+                panel::A1 => a_kids[1].unwrap(),
+                panel::A2 => a_kids[2].unwrap(),
+                panel::B1 => b_kids[1].unwrap(),
+                panel::B2 => b_kids[2].unwrap(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let orange_cells: Vec<SupernodeId> = orange_cells_abs
+            .iter()
+            .map(|&cell| match cell {
+                panel::C => c,
+                panel::C1 => c_kids[1].unwrap(),
+                panel::C2 => c_kids[2].unwrap(),
+                _ => unreachable!(),
+            })
+            .collect();
+        let yellow_supers: Vec<SupernodeId> = a_kids
+            .iter()
+            .chain(b_kids.iter())
+            .flatten()
+            .copied()
+            .collect();
+        let orange_supers: Vec<SupernodeId> = c_kids.iter().flatten().copied().collect();
+        let yellow_cov: Vec<Vec<usize>> = yellow_supers
+            .iter()
+            .map(|&s| self.panel_cell_coverage(s, &yellow_cells))
+            .collect();
+        let orange_cov: Vec<Vec<usize>> = orange_supers
+            .iter()
+            .map(|&s| self.panel_cell_coverage(s, &orange_cells))
+            .collect();
+        let mut required = [0i8; 8];
+        let mut old_edges = Vec::new();
+        for (i, &x) in yellow_supers.iter().enumerate() {
+            for (j, &y) in orange_supers.iter().enumerate() {
+                let w = self.summary.edge_weight(x, y);
+                if w == 0 {
+                    continue;
+                }
+                old_edges.push((x, y));
+                for &ci in &yellow_cov[i] {
+                    for &cj in &orange_cov[j] {
+                        let idx = ci * kc + cj;
+                        required[idx] = (required[idx] as i32 + w) as i8;
+                    }
+                }
+            }
+        }
+        (Case2Problem { shape, required }, old_edges)
+    }
+
+    // ------------------------------------------------------------------
+    // Saving evaluation and merge application
+    // ------------------------------------------------------------------
+
+    /// Evaluates `Saving(A, B, G)` (Eq. 8) without mutating the model.
+    pub fn evaluate_merge(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> MergeEvaluation {
+        debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
+        let cost_a = self.root_cost(a);
+        let cost_b = self.root_cost(b);
+        let cross = self.edges_between_roots(a, b);
+        let cost_before = cost_a + cost_b - cross;
+
+        // Case 1.
+        let (problem1, old1) = self.case1_problem(a, b);
+        let sol1 = memo.case1(&problem1);
+        let mut delta = sol1.cost as i64 - old1.len() as i64;
+
+        // Case 2, only for roots adjacent to both sides: for roots adjacent to exactly
+        // one side the existing encoding remains optimal within the panel, so the
+        // re-encoding is skipped both here and in `apply_merge` (keeping the two paths
+        // consistent is what makes the evaluation exact).
+        for c in self.common_adjacent_roots(a, b) {
+            let (problem2, old2) = self.case2_problem(a, b, c);
+            let sol2 = memo.case2(&problem2);
+            delta += sol2.cost as i64 - old2.len() as i64;
+        }
+
+        // +2 hierarchy edges for attaching A and B below the new root.
+        let cost_after = (cost_before as i64 + 2 + delta).max(0) as usize;
+        let saving = if cost_before == 0 {
+            f64::NEG_INFINITY
+        } else {
+            1.0 - cost_after as f64 / cost_before as f64
+        };
+        MergeEvaluation {
+            saving,
+            cost_before,
+            cost_after,
+        }
+    }
+
+    /// Roots adjacent (through p/n-edges) to both `a`'s and `b`'s trees.
+    pub fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId> {
+        let adj_a = &self.roots[&a].adjacency;
+        let adj_b = &self.roots[&b].adjacency;
+        let (small, large, skip1, skip2) = if adj_a.len() <= adj_b.len() {
+            (adj_a, adj_b, a, b)
+        } else {
+            (adj_b, adj_a, a, b)
+        };
+        small
+            .keys()
+            .copied()
+            .filter(|&r| r != skip1 && r != skip2 && large.contains_key(&r))
+            .collect()
+    }
+
+    /// Merges roots `a` and `b`, applying the Case-1 and Case-2 re-encodings, and
+    /// returns the id of the new root supernode.
+    pub fn apply_merge(
+        &mut self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> SupernodeId {
+        debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
+        // Solve everything against the *pre-merge* structure.
+        let (_, a_kids) = self.side_panel(a);
+        let (_, b_kids) = self.side_panel(b);
+        let cross_ab = self.edges_between_roots(a, b) as u32;
+        let (problem1, old1) = self.case1_problem(a, b);
+        let sol1 = memo.case1(&problem1);
+        let commons = self.common_adjacent_roots(a, b);
+        let mut case2: Vec<(SupernodeId, PanelSolution, Vec<(SupernodeId, SupernodeId)>, [Option<SupernodeId>; 3])> =
+            Vec::with_capacity(commons.len());
+        for c in commons {
+            let (problem2, old2) = self.case2_problem(a, b, c);
+            let sol2 = memo.case2(&problem2);
+            let (_, c_kids) = self.side_panel(c);
+            case2.push((c, sol2, old2, c_kids));
+        }
+
+        // Structural merge.
+        let m = self.summary.merge_roots(a, b);
+
+        // Union-find bookkeeping.
+        if self.dsu_parent.len() <= m as usize {
+            self.dsu_parent.resize(m as usize + 1, 0);
+        }
+        self.dsu_parent[m as usize] = m;
+        let rep_a = self.find(a);
+        let rep_b = self.find(b);
+        self.dsu_parent[rep_a as usize] = m;
+        self.dsu_parent[rep_b as usize] = m;
+        self.set_root.remove(&rep_a);
+        self.set_root.remove(&rep_b);
+        self.set_root.insert(m, m);
+
+        // Root metadata: merge adjacency maps of a and b into m.
+        let meta_a = self.roots.remove(&a).expect("root a");
+        let meta_b = self.roots.remove(&b).expect("root b");
+        let mut adjacency: FxHashMap<SupernodeId, u32> = FxHashMap::default();
+        for (other, count) in meta_a.adjacency.into_iter().chain(meta_b.adjacency) {
+            let key = if other == a || other == b { m } else { other };
+            *adjacency.entry(key).or_insert(0) += count;
+        }
+        // Edges between tree(a) and tree(b) appeared in both maps while intra-tree
+        // edges appeared once, so the folded self entry currently equals
+        // intra(a) + intra(b) + 2·cross; the true intra(m) subtracts one cross count.
+        if cross_ab > 0 {
+            let self_count = adjacency.get_mut(&m).expect("cross edges imply a self entry");
+            *self_count -= cross_ab;
+        }
+        let pn_count = adjacency.values().map(|&c| c as usize).sum();
+        let meta_m = RootMeta {
+            tree_size: meta_a.tree_size + meta_b.tree_size + 1,
+            height: meta_a.height.max(meta_b.height) + 1,
+            adjacency,
+            pn_count,
+        };
+        self.roots.insert(m, meta_m);
+        // Every neighbor root must relabel its adjacency keys a/b -> m.
+        let neighbor_roots: Vec<SupernodeId> = self.roots[&m]
+            .adjacency
+            .keys()
+            .copied()
+            .filter(|&r| r != m)
+            .collect();
+        for r in neighbor_roots {
+            let meta = self.roots.get_mut(&r).expect("adjacent root");
+            let mut moved = 0u32;
+            if let Some(c) = meta.adjacency.remove(&a) {
+                moved += c;
+            }
+            if let Some(c) = meta.adjacency.remove(&b) {
+                moved += c;
+            }
+            if moved > 0 {
+                *meta.adjacency.entry(m).or_insert(0) += moved;
+            }
+        }
+
+        // Apply Case-1 re-encoding: drop old panel edges, add the solved ones.
+        for (x, y) in old1 {
+            self.remove_pn_edge(x, y);
+        }
+        let none_kids = [None, None, None];
+        for e in &sol1.edges {
+            let x = self.concrete(e.a, m, a, b, &a_kids, &b_kids, None, &none_kids);
+            let y = self.concrete(e.b, m, a, b, &a_kids, &b_kids, None, &none_kids);
+            self.add_pn_edge(x, y, e.weight);
+        }
+
+        // Apply Case-2 re-encodings.
+        for (c, sol2, old2, c_kids) in case2 {
+            for (x, y) in old2 {
+                self.remove_pn_edge(x, y);
+            }
+            for e in &sol2.edges {
+                let x = self.concrete(e.a, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+                let y = self.concrete(e.b, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+                self.add_pn_edge(x, y, e.weight);
+            }
+        }
+        m
+    }
+
+    /// Adds a p/n-edge between two supernodes, updating root adjacency counts.
+    fn add_pn_edge(&mut self, x: SupernodeId, y: SupernodeId, weight: i8) {
+        let sign = EdgeSign::from_weight(weight as i32).expect("weight must be ±1");
+        let prev = self.summary.set_edge(x, y, sign);
+        if prev.is_none() {
+            let rx = self.root_of(x);
+            let ry = self.root_of(y);
+            let meta_x = self.roots.get_mut(&rx).expect("root");
+            *meta_x.adjacency.entry(ry).or_insert(0) += 1;
+            meta_x.pn_count += 1;
+            if rx != ry {
+                let meta_y = self.roots.get_mut(&ry).expect("root");
+                *meta_y.adjacency.entry(rx).or_insert(0) += 1;
+                meta_y.pn_count += 1;
+            }
+        }
+    }
+
+    /// Removes a p/n-edge between two supernodes, updating root adjacency counts.
+    fn remove_pn_edge(&mut self, x: SupernodeId, y: SupernodeId) {
+        if self.summary.remove_edge(x, y).is_some() {
+            let rx = self.root_of(x);
+            let ry = self.root_of(y);
+            Self::decrement(&mut self.roots, rx, ry);
+            if rx != ry {
+                Self::decrement(&mut self.roots, ry, rx);
+            }
+        }
+    }
+
+    fn decrement(
+        roots: &mut FxHashMap<SupernodeId, RootMeta>,
+        root: SupernodeId,
+        other: SupernodeId,
+    ) {
+        let meta = roots.get_mut(&root).expect("root");
+        let remove = match meta.adjacency.get_mut(&other) {
+            Some(c) => {
+                *c -= 1;
+                meta.pn_count -= 1;
+                *c == 0
+            }
+            None => false,
+        };
+        if remove {
+            meta.adjacency.remove(&other);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::Graph;
+
+    fn star_plus_edge() -> Graph {
+        // 0 is a hub connected to 1, 2, 3; plus edge (1, 2).
+        Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3), (1, 2)])
+    }
+
+    #[test]
+    fn new_engine_mirrors_graph_edges() {
+        let g = star_plus_edge();
+        let engine = MergeEngine::new(&g);
+        let s = engine.summary();
+        assert_eq!(s.num_p_edges(), 4);
+        assert_eq!(s.num_n_edges(), 0);
+        assert_eq!(s.num_h_edges(), 0);
+        assert_eq!(engine.num_roots(), 4);
+        assert_eq!(engine.root_cost(0), 3); // hub touches 3 edges
+        assert_eq!(engine.root_cost(3), 1);
+        assert_eq!(engine.edges_between_roots(0, 1), 1);
+        assert_eq!(engine.edges_between_roots(1, 3), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn common_adjacent_roots_of_two_spokes() {
+        let g = star_plus_edge();
+        let engine = MergeEngine::new(&g);
+        // Nodes 2 and 3 share only the hub 0.
+        let common = engine.common_adjacent_roots(2, 3);
+        assert_eq!(common, vec![0]);
+    }
+
+    #[test]
+    fn evaluate_merge_of_similar_spokes_is_beneficial() {
+        // Spokes 2 and 3 share hub 0, but 2 additionally connects to 1, so the merge
+        // only consolidates the two hub edges while paying two h-edges:
+        // cost 3 -> 4, saving negative.  In a larger double star the saving rises to 0
+        // and, once a pair is already merged, becomes strictly positive.
+        let g = star_plus_edge();
+        let engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let eval = engine.evaluate_merge(2, 3, &mut memo);
+        assert_eq!(eval.cost_before, 3);
+        assert_eq!(eval.cost_after, 4);
+        assert!(eval.saving < 0.0);
+
+        // Star with 5 spokes on two hubs: spokes adjacent to both hubs.
+        let g2 = Graph::from_edges(
+            7,
+            vec![(0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6)],
+        );
+        let engine2 = MergeEngine::new(&g2);
+        let eval2 = engine2.evaluate_merge(2, 3, &mut memo);
+        // Before: 4 p-edges attributed to the pair; after: 2 p-edges + 2 h-edges = 4.
+        assert_eq!(eval2.cost_before, 4);
+        assert_eq!(eval2.cost_after, 4);
+        // In a 6-clique, merging any two nodes is strictly beneficial: the four
+        // common neighbors each trade two p-edges for one (cost 9 -> 7).
+        let mut clique_edges = Vec::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6u32 {
+                clique_edges.push((u, v));
+            }
+        }
+        let clique = Graph::from_edges(6, clique_edges);
+        let engine_clique = MergeEngine::new(&clique);
+        let eval3 = engine_clique.evaluate_merge(0, 1, &mut memo);
+        assert_eq!(eval3.cost_before, 9);
+        assert_eq!(eval3.cost_after, 7);
+        assert!(
+            eval3.saving > 0.2,
+            "expected positive saving, got {}",
+            eval3.saving
+        );
+    }
+
+    #[test]
+    fn apply_merge_consolidates_edges_and_updates_indices() {
+        let g2 = Graph::from_edges(
+            7,
+            vec![(0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6)],
+        );
+        let mut engine = MergeEngine::new(&g2);
+        let mut memo = EncoderMemo::new();
+        let before_cost = engine.summary().encoding_cost();
+        let m = engine.apply_merge(2, 3, &mut memo);
+        let s = engine.summary();
+        s.validate().unwrap();
+        assert!(s.is_root(m));
+        assert_eq!(s.members(m), &[2, 3]);
+        // The four spoke edges to hubs 0 and 1 collapse to two edges (m,0), (m,1):
+        // 10 p-edges before, 8 after, while h-edges grew by 2 (total cost unchanged).
+        assert_eq!(s.num_p_edges(), 8);
+        assert_eq!(s.encoding_cost(), before_cost);
+        assert_eq!(engine.root_of(2), m);
+        assert_eq!(engine.root_of(3), m);
+        assert_eq!(engine.num_roots(), 6);
+        assert_eq!(engine.edges_between_roots(m, 0), 1);
+        assert_eq!(engine.edges_between_roots(m, 1), 1);
+        assert_eq!(engine.root_height(m), 1);
+
+        // Merge two more spokes and then merge the two pairs: the grand merge should
+        // produce a single pair of edges to the hubs.
+        let m2 = engine.apply_merge(4, 5, &mut memo);
+        let top = engine.apply_merge(m, m2, &mut memo);
+        let s = engine.summary();
+        s.validate().unwrap();
+        assert_eq!(s.members(top), &[2, 3, 4, 5]);
+        assert_eq!(engine.edges_between_roots(top, 0), 1);
+        assert_eq!(engine.edges_between_roots(top, 1), 1);
+        assert_eq!(engine.root_height(top), 2);
+    }
+
+    #[test]
+    fn merging_disconnected_roots_only_adds_hierarchy() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let eval = engine.evaluate_merge(0, 2, &mut memo);
+        // Lemma 1: merging distant roots strictly increases the cost.
+        assert!(eval.cost_after > eval.cost_before);
+        let before = engine.summary().encoding_cost();
+        engine.apply_merge(0, 2, &mut memo);
+        assert_eq!(engine.summary().encoding_cost(), before + 2);
+        engine.summary().validate().unwrap();
+    }
+
+    #[test]
+    fn evaluation_matches_application() {
+        // For a batch of merges on a small clique-ish graph, the cost predicted by
+        // evaluate_merge must equal the real cost change produced by apply_merge.
+        let g = Graph::from_edges(
+            6,
+            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (2, 5)],
+        );
+        let mut engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        for (a, b) in [(0u32, 1u32), (2, 3)] {
+            let eval = engine.evaluate_merge(a, b, &mut memo);
+            let total_before = engine.summary().encoding_cost();
+            let other = total_before - eval.cost_before;
+            engine.apply_merge(a, b, &mut memo);
+            let total_after = engine.summary().encoding_cost();
+            assert_eq!(
+                total_after,
+                other + eval.cost_after,
+                "prediction mismatch when merging {a} and {b}"
+            );
+            engine.summary().validate().unwrap();
+        }
+    }
+}

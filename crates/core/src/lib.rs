@@ -1,0 +1,61 @@
+//! # slugger-core
+//!
+//! The hierarchical graph summarization model and the **SLUGGER** algorithm from
+//! Lee, Ko, Shin, *SLUGGER: Lossless Hierarchical Summarization of Massive Graphs*
+//! (ICDE 2022).
+//!
+//! The public entry point is [`Slugger`], configured through [`SluggerConfig`]:
+//!
+//! ```
+//! use slugger_core::{Slugger, SluggerConfig};
+//! use slugger_graph::gen::{caveman, CavemanConfig};
+//!
+//! let graph = caveman(&CavemanConfig { num_nodes: 200, ..CavemanConfig::default() });
+//! let outcome = Slugger::new(SluggerConfig { iterations: 5, ..SluggerConfig::default() })
+//!     .summarize(&graph);
+//! assert!(outcome.summary.encoding_cost() <= graph.num_edges());
+//! // The summary is lossless: decoding reproduces the input exactly.
+//! let decoded = slugger_core::decode::decode_full(&outcome.summary);
+//! assert_eq!(decoded.edge_set(), graph.edge_set());
+//! ```
+//!
+//! Module map (mirroring Sect. III of the paper):
+//!
+//! * [`model`] — the representation model `G = (S, P+, P−, H)` (Sect. II-B).
+//! * [`candidates`] — min-hash candidate generation (Sect. III-B2).
+//! * [`encoder`] — constant-size local re-encoding with memoization (Sect. III-B3).
+//! * [`engine`] — incremental root/cost bookkeeping, `Saving(A, B, G)` and merge
+//!   application.
+//! * [`merge`] — the merging step over candidate sets (Algorithm 2).
+//! * [`prune`] — the three pruning substeps (Sect. III-B4, Algorithm 3).
+//! * [`slugger`] — the top-level driver (Algorithm 1).
+//! * [`decode`] — full and partial decompression (Algorithm 4) and losslessness
+//!   verification.
+//! * [`metrics`] — output-size and hierarchy statistics used by the experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod decode;
+pub mod encoder;
+pub mod engine;
+pub mod merge;
+pub mod metrics;
+pub mod model;
+pub mod prune;
+pub mod slugger;
+pub mod storage;
+
+pub use decode::SummaryNeighborView;
+pub use metrics::SummaryMetrics;
+pub use model::{EdgeSign, HierarchicalSummary, Supernode, SupernodeId};
+pub use slugger::{Slugger, SluggerConfig, SluggerOutcome};
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::decode::{decode_full, neighbors_of, verify_lossless};
+    pub use crate::metrics::SummaryMetrics;
+    pub use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
+    pub use crate::slugger::{Slugger, SluggerConfig, SluggerOutcome};
+}

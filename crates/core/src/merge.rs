@@ -1,0 +1,238 @@
+//! The merging step (Algorithm 2): within each candidate set, repeatedly pick a random
+//! root `A`, find the partner `B` maximizing `Saving(A, B, G)` (Eq. 8), and merge the
+//! pair when the saving clears the iteration threshold `θ(t)` (Eq. 9).
+
+use crate::encoder::EncoderMemo;
+use crate::engine::MergeEngine;
+use crate::model::SupernodeId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The merging threshold `θ(t)` of Eq. 9: high early on (so only clearly beneficial
+/// pairs merge first), zero at the final iteration (so any non-worsening merge is
+/// taken).
+pub fn merging_threshold(iteration: usize, total_iterations: usize) -> f64 {
+    if iteration >= total_iterations {
+        0.0
+    } else {
+        1.0 / (1.0 + iteration as f64)
+    }
+}
+
+/// Statistics of one merging pass over a single candidate set.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Number of candidate pairs whose saving was evaluated.
+    pub evaluated: usize,
+    /// Number of merges performed.
+    pub merged: usize,
+}
+
+impl MergeStats {
+    /// Accumulates another batch of statistics.
+    pub fn absorb(&mut self, other: MergeStats) {
+        self.evaluated += other.evaluated;
+        self.merged += other.merged;
+    }
+}
+
+/// Options for the merging step.
+#[derive(Clone, Copy, Debug)]
+pub struct MergeOptions {
+    /// Threshold `θ(t)` for the current iteration.
+    pub threshold: f64,
+    /// Optional upper bound on the hierarchy-tree height (the Table V variant): a merge
+    /// is skipped when the resulting tree would exceed this height.
+    pub height_bound: Option<usize>,
+}
+
+/// Processes one candidate set `D` (Algorithm 2): merges greedily until every root has
+/// been considered once as the pivot `A`.
+pub fn process_candidate_set(
+    engine: &mut MergeEngine,
+    memo: &mut EncoderMemo,
+    candidate_set: &[SupernodeId],
+    options: &MergeOptions,
+    rng: &mut StdRng,
+) -> MergeStats {
+    let mut stats = MergeStats::default();
+    // Q ← D; roots may have been merged away while processing earlier candidate sets
+    // of the same iteration, so drop anything that is no longer a root.
+    let mut queue: Vec<SupernodeId> = candidate_set
+        .iter()
+        .copied()
+        .filter(|&r| engine.summary().is_root(r))
+        .collect();
+    while queue.len() > 1 {
+        // Pick and remove a random pivot A.
+        let idx = rng.random_range(0..queue.len());
+        let a = queue.swap_remove(idx);
+        if !engine.summary().is_root(a) {
+            continue;
+        }
+        // Find the partner with maximum saving.
+        let mut best: Option<(usize, f64)> = None;
+        for (pos, &z) in queue.iter().enumerate() {
+            if z == a || !engine.summary().is_root(z) {
+                continue;
+            }
+            if let Some(bound) = options.height_bound {
+                let new_height = engine.root_height(a).max(engine.root_height(z)) + 1;
+                if new_height > bound {
+                    continue;
+                }
+            }
+            let eval = engine.evaluate_merge(a, z, memo);
+            stats.evaluated += 1;
+            let better = match best {
+                None => true,
+                Some((_, s)) => eval.saving > s,
+            };
+            if better {
+                best = Some((pos, eval.saving));
+            }
+        }
+        let Some((pos, saving)) = best else { continue };
+        if saving >= options.threshold {
+            let b = queue[pos];
+            let merged = engine.apply_merge(a, b, memo);
+            stats.merged += 1;
+            // Q ← (Q \ {B}) ∪ {A ∪ B}
+            queue[pos] = merged;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use slugger_graph::Graph;
+
+    #[test]
+    fn threshold_schedule_matches_eq9() {
+        assert!((merging_threshold(1, 20) - 0.5).abs() < 1e-12);
+        assert!((merging_threshold(2, 20) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((merging_threshold(19, 20) - 0.05).abs() < 1e-12);
+        assert_eq!(merging_threshold(20, 20), 0.0);
+        assert_eq!(merging_threshold(25, 20), 0.0);
+    }
+
+    fn twin_heavy_graph() -> Graph {
+        // Two hubs (0, 1) and six twin spokes attached to both: ideal merge fodder.
+        let mut edges = Vec::new();
+        for spoke in 2..8u32 {
+            edges.push((0, spoke));
+            edges.push((1, spoke));
+        }
+        edges.push((0, 1));
+        Graph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn processing_a_candidate_set_merges_twins() {
+        let g = twin_heavy_graph();
+        let mut engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let spokes: Vec<SupernodeId> = (2..8).collect();
+        let before = engine.summary().encoding_cost();
+        let stats = process_candidate_set(
+            &mut engine,
+            &mut memo,
+            &spokes,
+            &MergeOptions {
+                threshold: 0.0,
+                height_bound: None,
+            },
+            &mut rng,
+        );
+        assert!(stats.evaluated > 0);
+        assert!(stats.merged >= 4, "expected most twins to merge, got {stats:?}");
+        // Merging twins is cost-neutral before pruning (saved p-edges pay for the new
+        // h-edges); the gain appears once edge-free internal supernodes are pruned.
+        let after = engine.summary().encoding_cost();
+        assert!(after <= before, "cost must not grow ({before} -> {after})");
+        let graph = twin_heavy_graph();
+        let mut summary = engine.into_summary();
+        crate::prune::prune_all(&mut summary, &graph, 2);
+        assert!(
+            summary.encoding_cost() < before,
+            "pruned cost should drop ({before} -> {})",
+            summary.encoding_cost()
+        );
+        crate::decode::verify_lossless(&summary, &graph).unwrap();
+    }
+
+    #[test]
+    fn high_threshold_blocks_marginal_merges() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
+        let mut engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let all: Vec<SupernodeId> = (0..4).collect();
+        let stats = process_candidate_set(
+            &mut engine,
+            &mut memo,
+            &all,
+            &MergeOptions {
+                threshold: 0.9,
+                height_bound: None,
+            },
+            &mut rng,
+        );
+        assert_eq!(stats.merged, 0);
+        assert_eq!(engine.num_roots(), 4);
+    }
+
+    #[test]
+    fn height_bound_limits_tree_growth() {
+        let g = twin_heavy_graph();
+        let mut engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let spokes: Vec<SupernodeId> = (2..8).collect();
+        // Height bound 1: only leaf-leaf merges allowed, so every merged tree has
+        // exactly two leaves.
+        let _ = process_candidate_set(
+            &mut engine,
+            &mut memo,
+            &spokes,
+            &MergeOptions {
+                threshold: 0.0,
+                height_bound: Some(1),
+            },
+            &mut rng,
+        );
+        for root in engine.roots() {
+            assert!(engine.root_height(root) <= 1);
+            assert!(engine.summary().members(root).len() <= 2);
+        }
+        engine.summary().validate().unwrap();
+    }
+
+    #[test]
+    fn stale_candidates_are_skipped() {
+        let g = twin_heavy_graph();
+        let mut engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        // Merge 2 and 3 beforehand; the candidate set still names them.
+        let m = engine.apply_merge(2, 3, &mut memo);
+        let candidates: Vec<SupernodeId> = vec![2, 3, 4, 5, m];
+        let stats = process_candidate_set(
+            &mut engine,
+            &mut memo,
+            &candidates,
+            &MergeOptions {
+                threshold: 0.0,
+                height_bound: None,
+            },
+            &mut rng,
+        );
+        // No panic, and some work happened on the live roots.
+        assert!(stats.evaluated > 0);
+        engine.summary().validate().unwrap();
+    }
+}

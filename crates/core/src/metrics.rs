@@ -1,0 +1,124 @@
+//! Output-size and hierarchy statistics reported by the paper's experiments.
+
+use crate::model::HierarchicalSummary;
+use serde::{Deserialize, Serialize};
+
+/// Size and structure metrics of a hierarchical summary (the quantities appearing in
+/// Fig. 5/6 and Tables III–V of the paper).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct SummaryMetrics {
+    /// `|P+|`.
+    pub p_edges: usize,
+    /// `|P−|`.
+    pub n_edges: usize,
+    /// `|H|`.
+    pub h_edges: usize,
+    /// `Cost(G) = |P+| + |P−| + |H|` (Eq. 1).
+    pub cost: usize,
+    /// Relative size of the output, `Cost(G) / |E|` (Eq. 10).
+    pub relative_size: f64,
+    /// Number of alive supernodes.
+    pub num_supernodes: usize,
+    /// Number of root supernodes.
+    pub num_roots: usize,
+    /// Maximum height over all hierarchy trees.
+    pub max_height: usize,
+    /// Average depth of the leaf (singleton) supernodes.
+    pub avg_leaf_depth: f64,
+}
+
+impl SummaryMetrics {
+    /// Computes the metrics of a summary against the input-graph edge count.
+    pub fn compute(summary: &HierarchicalSummary, num_input_edges: usize) -> Self {
+        let p_edges = summary.num_p_edges();
+        let n_edges = summary.num_n_edges();
+        let h_edges = summary.num_h_edges();
+        let cost = p_edges + n_edges + h_edges;
+        let relative_size = if num_input_edges == 0 {
+            0.0
+        } else {
+            cost as f64 / num_input_edges as f64
+        };
+        let depths = summary.leaf_depths();
+        let avg_leaf_depth = if depths.is_empty() {
+            0.0
+        } else {
+            depths.iter().sum::<usize>() as f64 / depths.len() as f64
+        };
+        let mut max_height = 0usize;
+        let mut num_roots = 0usize;
+        for r in summary.roots() {
+            num_roots += 1;
+            max_height = max_height.max(summary.tree_height(r));
+        }
+        SummaryMetrics {
+            p_edges,
+            n_edges,
+            h_edges,
+            cost,
+            relative_size,
+            num_supernodes: summary.num_supernodes(),
+            num_roots,
+            max_height,
+            avg_leaf_depth,
+        }
+    }
+
+    /// Fraction of p-edges among all output edges (Fig. 6).
+    pub fn p_edge_ratio(&self) -> f64 {
+        ratio(self.p_edges, self.cost)
+    }
+
+    /// Fraction of n-edges among all output edges (Fig. 6).
+    pub fn n_edge_ratio(&self) -> f64 {
+        ratio(self.n_edges, self.cost)
+    }
+
+    /// Fraction of h-edges among all output edges (Fig. 6).
+    pub fn h_edge_ratio(&self) -> f64 {
+        ratio(self.h_edges, self.cost)
+    }
+}
+
+fn ratio(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::EdgeSign;
+
+    #[test]
+    fn metrics_of_handbuilt_summary() {
+        let mut s = HierarchicalSummary::identity(4);
+        let m = s.merge_roots(0, 1);
+        s.set_edge(m, 2, EdgeSign::Positive);
+        s.set_edge(0, 3, EdgeSign::Negative);
+        let metrics = SummaryMetrics::compute(&s, 10);
+        assert_eq!(metrics.p_edges, 1);
+        assert_eq!(metrics.n_edges, 1);
+        assert_eq!(metrics.h_edges, 2);
+        assert_eq!(metrics.cost, 4);
+        assert!((metrics.relative_size - 0.4).abs() < 1e-12);
+        assert_eq!(metrics.num_roots, 3);
+        assert_eq!(metrics.max_height, 1);
+        assert!((metrics.avg_leaf_depth - 0.5).abs() < 1e-12);
+        assert!((metrics.p_edge_ratio() - 0.25).abs() < 1e-12);
+        assert!((metrics.n_edge_ratio() - 0.25).abs() < 1e-12);
+        assert!((metrics.h_edge_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_edge_graph_has_zero_relative_size() {
+        let s = HierarchicalSummary::identity(3);
+        let metrics = SummaryMetrics::compute(&s, 0);
+        assert_eq!(metrics.cost, 0);
+        assert_eq!(metrics.relative_size, 0.0);
+        assert_eq!(metrics.p_edge_ratio(), 0.0);
+    }
+}

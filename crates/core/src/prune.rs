@@ -1,0 +1,440 @@
+//! The pruning step (Sect. III-B4, Algorithm 3): removes supernodes that do not
+//! contribute to a concise encoding, without changing the represented graph.
+//!
+//! Three substeps, each exposed individually so the Table IV experiment can measure
+//! the state after each one:
+//!
+//! 1. [`prune_step1`] — drop internal/root supernodes with no incident p/n-edge,
+//!    re-parenting their children (saves one h-edge per removal, or more for roots).
+//! 2. [`prune_step2`] — drop a non-leaf root with exactly one incident (non-loop)
+//!    p/n-edge by pushing that edge down to its children (saves at least one edge).
+//! 3. [`prune_step3`] — for every adjacent root pair, compare the current encoding of
+//!    the edges between the two trees against the *flat* (Navlakha-style) optimal
+//!    encoding of the same subedges and keep the cheaper of the two.  This is the
+//!    bridge to the non-hierarchical model, which is a special case of ours
+//!    (Sect. II-B), and it also clears internal-node edges so further rounds of
+//!    substeps 1–2 can prune more.
+
+use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
+use slugger_graph::hash::FxHashMap;
+use slugger_graph::{Graph, NodeId};
+
+/// Summary of what a pruning pass changed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Supernodes removed by substep 1.
+    pub step1_removed: usize,
+    /// Supernodes removed by substep 2.
+    pub step2_removed: usize,
+    /// Root pairs re-encoded flat by substep 3.
+    pub step3_reencoded: usize,
+}
+
+impl PruneReport {
+    /// Total number of structural changes.
+    pub fn total_changes(&self) -> usize {
+        self.step1_removed + self.step2_removed + self.step3_reencoded
+    }
+
+    /// Accumulates another report.
+    pub fn absorb(&mut self, other: PruneReport) {
+        self.step1_removed += other.step1_removed;
+        self.step2_removed += other.step2_removed;
+        self.step3_reencoded += other.step3_reencoded;
+    }
+}
+
+/// Substep 1: removes every alive non-leaf supernode with no incident p/n-edge.
+/// Returns the number of supernodes removed.
+pub fn prune_step1(summary: &mut HierarchicalSummary) -> usize {
+    let mut removed = 0usize;
+    // Pruning a node never makes another node newly edge-free (it has no edges to
+    // move), so a single pass over the arena suffices.
+    for id in 0..summary.arena_len() as SupernodeId {
+        if !summary.is_alive(id) || summary.supernode(id).is_leaf() {
+            continue;
+        }
+        if summary.incident_count(id) == 0 {
+            summary.prune_supernode(id);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Substep 2: removes every alive non-leaf **root** whose only incident p/n-edge is a
+/// single non-loop edge `(A, B)`, pushing that edge down to `A`'s children (flipping
+/// against existing opposite-sign edges).  Returns the number of roots removed.
+pub fn prune_step2(summary: &mut HierarchicalSummary) -> usize {
+    let mut removed = 0usize;
+    let mut queue: Vec<SupernodeId> = summary.roots().collect();
+    while let Some(a) = queue.pop() {
+        if !summary.is_alive(a) || !summary.is_root(a) || summary.supernode(a).is_leaf() {
+            continue;
+        }
+        if summary.incident_count(a) != 1 {
+            continue;
+        }
+        let b = summary.incident(a).next().expect("one incident edge");
+        if b == a {
+            continue; // the single edge is a self-loop: not eligible
+        }
+        let sign = summary.edge_sign(a, b).expect("incident edge");
+        let children: Vec<SupernodeId> = summary.children(a).to_vec();
+        // Guard (see module docs of `encoder`): the push-down is net-preserving only
+        // when no child already carries a same-sign edge to `b`.
+        let conflict = children
+            .iter()
+            .any(|&c| summary.edge_sign(c, b) == Some(sign));
+        if conflict {
+            continue;
+        }
+        // Remove A (drops (A, B) and the |children| h-edges, making children roots).
+        summary.prune_supernode(a);
+        removed += 1;
+        for &c in &children {
+            match summary.edge_sign(c, b) {
+                // Opposite sign: +1 and −1 cancelled before, so simply drop it.
+                Some(existing) if existing != sign => {
+                    summary.remove_edge(c, b);
+                }
+                Some(_) => unreachable!("conflict guard"),
+                None => {
+                    summary.set_edge(c, b, sign);
+                }
+            }
+            // Newly promoted roots may themselves become eligible.
+            queue.push(c);
+        }
+    }
+    removed
+}
+
+/// Substep 3: for every root pair (including a root with itself) connected by at least
+/// one p/n-edge between their trees, re-encode the subedges between the two member
+/// sets with the flat-model optimum when that is strictly cheaper.  Returns the number
+/// of pairs re-encoded.
+///
+/// `max_pair_product` guards against enumerating astronomically many subnode pairs for
+/// two huge roots; pairs above the limit are skipped (they are never profitable to
+/// flatten in practice).
+pub fn prune_step3(
+    summary: &mut HierarchicalSummary,
+    graph: &Graph,
+    max_pair_product: usize,
+) -> usize {
+    // Root of every subnode (for classifying subedges by root pair).
+    let mut root_of_subnode: Vec<SupernodeId> = vec![0; summary.num_subnodes()];
+    let roots: Vec<SupernodeId> = summary.roots().collect();
+    for &r in &roots {
+        for &u in summary.members(r) {
+            root_of_subnode[u as usize] = r;
+        }
+    }
+    // Subedge counts per root pair.
+    let mut subedge_count: FxHashMap<(SupernodeId, SupernodeId), usize> = FxHashMap::default();
+    for (u, v) in graph.edges() {
+        let key = pair_key(root_of_subnode[u as usize], root_of_subnode[v as usize]);
+        *subedge_count.entry(key).or_insert(0) += 1;
+    }
+    // Current p/n-edges per root pair.
+    let mut pn_edges: FxHashMap<(SupernodeId, SupernodeId), Vec<(SupernodeId, SupernodeId)>> =
+        FxHashMap::default();
+    for ((x, y), _) in summary.pn_edges() {
+        let key = pair_key(summary.root_of(x), summary.root_of(y));
+        pn_edges.entry(key).or_default().push((x, y));
+    }
+
+    let mut reencoded = 0usize;
+    for ((root_a, root_b), edges) in pn_edges {
+        let size_a = summary.members(root_a).len();
+        let size_b = summary.members(root_b).len();
+        let total_pairs = if root_a == root_b {
+            size_a * (size_a.saturating_sub(1)) / 2
+        } else {
+            size_a * size_b
+        };
+        if total_pairs == 0 || total_pairs > max_pair_product {
+            continue;
+        }
+        let existing = subedge_count
+            .get(&pair_key(root_a, root_b))
+            .copied()
+            .unwrap_or(0);
+        let current_cost = edges.len();
+        let sparse_cost = existing; // one p-edge per subedge
+        let dense_cost = total_pairs - existing + 1; // superedge + one n-edge per non-edge
+        let flat_cost = sparse_cost.min(dense_cost);
+        if flat_cost >= current_cost {
+            continue;
+        }
+        // Remove the current encoding of this pair ...
+        for (x, y) in edges {
+            summary.remove_edge(x, y);
+        }
+        // ... and re-encode flat.
+        if sparse_cost <= dense_cost {
+            let mut pairs = Vec::new();
+            collect_subedges_between(summary, graph, &root_of_subnode, root_a, root_b, &mut pairs);
+            for (u, v) in pairs {
+                summary.set_edge(u, v, EdgeSign::Positive);
+            }
+        } else {
+            summary.set_edge(root_a, root_b, EdgeSign::Positive);
+            let mut missing = Vec::new();
+            collect_missing_pairs_between(summary, graph, root_a, root_b, &mut missing);
+            for (u, v) in missing {
+                summary.set_edge(u, v, EdgeSign::Negative);
+            }
+        }
+        reencoded += 1;
+    }
+    reencoded
+}
+
+/// Collects the subedges of `graph` with one endpoint in each root's member set
+/// (or both endpoints in the same set when `root_a == root_b`).
+fn collect_subedges_between(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    root_of_subnode: &[SupernodeId],
+    root_a: SupernodeId,
+    root_b: SupernodeId,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    let (iterate, other) = if summary.members(root_a).len() <= summary.members(root_b).len() {
+        (root_a, root_b)
+    } else {
+        (root_b, root_a)
+    };
+    for &u in summary.members(iterate) {
+        for &w in graph.neighbors(u) {
+            if root_of_subnode[w as usize] != other {
+                continue;
+            }
+            if root_a == root_b {
+                if u < w {
+                    out.push((u, w));
+                }
+            } else {
+                out.push((u, w));
+            }
+        }
+    }
+}
+
+/// Collects the *non*-adjacent subnode pairs between the two roots' member sets.
+fn collect_missing_pairs_between(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    root_a: SupernodeId,
+    root_b: SupernodeId,
+    out: &mut Vec<(NodeId, NodeId)>,
+) {
+    if root_a == root_b {
+        let members = summary.members(root_a);
+        for (i, &u) in members.iter().enumerate() {
+            for &v in &members[i + 1..] {
+                if !graph.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+    } else {
+        for &u in summary.members(root_a) {
+            for &v in summary.members(root_b) {
+                if !graph.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn pair_key(a: SupernodeId, b: SupernodeId) -> (SupernodeId, SupernodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Runs the full pruning step: `rounds` passes of substeps 1 → 2 → 3 (the paper notes
+/// the substeps "can be repeated a few times"), stopping early once a pass changes
+/// nothing.
+pub fn prune_all(summary: &mut HierarchicalSummary, graph: &Graph, rounds: usize) -> PruneReport {
+    let mut report = PruneReport::default();
+    for _ in 0..rounds {
+        let pass = PruneReport {
+            step1_removed: prune_step1(summary),
+            step2_removed: prune_step2(summary),
+            step3_reencoded: prune_step3(summary, graph, DEFAULT_MAX_PAIR_PRODUCT),
+        };
+        let changed = pass.total_changes() > 0;
+        report.absorb(pass);
+        if !changed {
+            break;
+        }
+    }
+    report
+}
+
+/// Default cap on `|A| · |B|` for substep 3 (see [`prune_step3`]).
+pub const DEFAULT_MAX_PAIR_PRODUCT: usize = 4_000_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::verify_lossless;
+    use crate::encoder::EncoderMemo;
+    use crate::engine::MergeEngine;
+
+    #[test]
+    fn step1_removes_edge_free_internal_nodes() {
+        let mut s = HierarchicalSummary::identity(4);
+        let m01 = s.merge_roots(0, 1);
+        let m = s.merge_roots(m01, 2);
+        // Only the top supernode carries an edge; m01 is edge-free and prunable.
+        s.set_edge(m, 3, EdgeSign::Positive);
+        let cost_before = s.encoding_cost();
+        let removed = prune_step1(&mut s);
+        assert_eq!(removed, 1);
+        assert!(!s.is_alive(m01));
+        assert!(s.encoding_cost() < cost_before);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn step1_keeps_nodes_with_edges() {
+        let mut s = HierarchicalSummary::identity(3);
+        let m = s.merge_roots(0, 1);
+        s.set_edge(m, 2, EdgeSign::Positive);
+        assert_eq!(prune_step1(&mut s), 0);
+        assert!(s.is_alive(m));
+    }
+
+    #[test]
+    fn step2_pushes_single_edge_down() {
+        // Root m = {0, 1} whose only edge is (m, 2); removing m re-attaches the edge to
+        // its children 0 and 1 (cost 2+1=3 -> 2).
+        let mut s = HierarchicalSummary::identity(3);
+        let m = s.merge_roots(0, 1);
+        s.set_edge(m, 2, EdgeSign::Positive);
+        let graph = Graph::from_edges(3, vec![(0, 2), (1, 2)]);
+        verify_lossless(&s, &graph).unwrap();
+        let before = s.encoding_cost();
+        let removed = prune_step2(&mut s);
+        assert_eq!(removed, 1);
+        assert!(!s.is_alive(m));
+        assert!(s.encoding_cost() < before);
+        verify_lossless(&s, &graph).unwrap();
+    }
+
+    #[test]
+    fn step2_cancels_opposite_child_edges() {
+        // m = {0, 1}; edges: p (m, 2) and n (0, 2): node 0 is NOT adjacent to 2 but 1 is.
+        let mut s = HierarchicalSummary::identity(3);
+        let m = s.merge_roots(0, 1);
+        s.set_edge(m, 2, EdgeSign::Positive);
+        s.set_edge(0, 2, EdgeSign::Negative);
+        let graph = Graph::from_edges(3, vec![(1, 2)]);
+        verify_lossless(&s, &graph).unwrap();
+        // m has one incident edge? No: (m,2) only — (0,2) is incident to the leaf 0.
+        let removed = prune_step2(&mut s);
+        assert_eq!(removed, 1);
+        // After pushing down: the n-edge (0,2) cancels, leaving just p (1,2).
+        assert_eq!(s.num_p_edges(), 1);
+        assert_eq!(s.num_n_edges(), 0);
+        verify_lossless(&s, &graph).unwrap();
+    }
+
+    #[test]
+    fn step2_skips_roots_with_multiple_edges() {
+        let mut s = HierarchicalSummary::identity(4);
+        let m = s.merge_roots(0, 1);
+        s.set_edge(m, 2, EdgeSign::Positive);
+        s.set_edge(m, 3, EdgeSign::Positive);
+        assert_eq!(prune_step2(&mut s), 0);
+        assert!(s.is_alive(m));
+    }
+
+    #[test]
+    fn step3_flattens_wasteful_encodings() {
+        // Build a summary where the hierarchical encoding of a sparse connection is
+        // wasteful: supernode {0,1} and {2,3} joined by a p-edge plus two n-edges,
+        // even though only one subedge (0,2) exists.  Flat encoding costs 1.
+        let graph = Graph::from_edges(4, vec![(0, 2)]);
+        let mut s = HierarchicalSummary::identity(4);
+        let a = s.merge_roots(0, 1);
+        let b = s.merge_roots(2, 3);
+        s.set_edge(a, b, EdgeSign::Positive);
+        s.set_edge(0, 3, EdgeSign::Negative);
+        s.set_edge(1, 2, EdgeSign::Negative);
+        s.set_edge(1, 3, EdgeSign::Negative);
+        verify_lossless(&s, &graph).unwrap();
+        let before = s.num_p_edges() + s.num_n_edges();
+        let changed = prune_step3(&mut s, &graph, DEFAULT_MAX_PAIR_PRODUCT);
+        assert_eq!(changed, 1);
+        let after = s.num_p_edges() + s.num_n_edges();
+        assert!(after < before, "{after} !< {before}");
+        assert_eq!(after, 1);
+        verify_lossless(&s, &graph).unwrap();
+    }
+
+    #[test]
+    fn step3_prefers_dense_superedge_encoding() {
+        // Two supernodes {0,1}, {2,3} that are fully connected except (1,3): the dense
+        // encoding (superedge + one n-edge) costs 2 and beats three leaf p-edges.
+        let graph = Graph::from_edges(4, vec![(0, 2), (0, 3), (1, 2)]);
+        // Current encoding: one leaf-level p-edge per subedge (the sparse optimum,
+        // cost 3); the dense encoding (superedge + n-edge (1,3)) costs 2 and wins.
+        let mut s = HierarchicalSummary::identity(4);
+        let a = s.merge_roots(0, 1);
+        let b = s.merge_roots(2, 3);
+        s.set_edge(0, 2, EdgeSign::Positive);
+        s.set_edge(0, 3, EdgeSign::Positive);
+        s.set_edge(1, 2, EdgeSign::Positive);
+        verify_lossless(&s, &graph).unwrap();
+        let changed = prune_step3(&mut s, &graph, DEFAULT_MAX_PAIR_PRODUCT);
+        // Sparse cost (3) == current cost (3): nothing to do; dense cost is 2 via
+        // superedge + n-edge, which IS cheaper, so the pair must be re-encoded.
+        assert_eq!(changed, 1);
+        assert_eq!(s.num_p_edges() + s.num_n_edges(), 2);
+        assert_eq!(s.edge_sign(a, b), Some(EdgeSign::Positive));
+        verify_lossless(&s, &graph).unwrap();
+    }
+
+    #[test]
+    fn full_pruning_preserves_losslessness_after_real_merges() {
+        // Run real merges through the engine, then prune, and confirm the decoded
+        // graph never changes.
+        let graph = Graph::from_edges(
+            8,
+            vec![
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (6, 0),
+                (7, 1),
+                (6, 7),
+            ],
+        );
+        let mut engine = MergeEngine::new(&graph);
+        let mut memo = EncoderMemo::new();
+        let m1 = engine.apply_merge(2, 3, &mut memo);
+        let m2 = engine.apply_merge(4, 5, &mut memo);
+        let _m3 = engine.apply_merge(m1, m2, &mut memo);
+        let mut summary = engine.into_summary();
+        verify_lossless(&summary, &graph).unwrap();
+        let report = prune_all(&mut summary, &graph, 3);
+        assert!(report.total_changes() > 0 || summary.encoding_cost() <= graph.num_edges());
+        verify_lossless(&summary, &graph).unwrap();
+        summary.validate().unwrap();
+    }
+}

@@ -1,0 +1,342 @@
+//! The SLUGGER driver (Algorithm 1): `T` iterations of candidate generation followed
+//! by greedy merging, then pruning.
+
+use crate::candidates::{candidate_sets, CandidateConfig};
+use crate::encoder::EncoderMemo;
+use crate::engine::MergeEngine;
+use crate::merge::{merging_threshold, process_candidate_set, MergeOptions, MergeStats};
+use crate::metrics::SummaryMetrics;
+use crate::model::HierarchicalSummary;
+use crate::prune::{prune_all, PruneReport};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use slugger_graph::Graph;
+
+/// Configuration of a SLUGGER run.  The defaults reproduce the paper's experimental
+/// setting (T = 20, candidate sets of at most 500 roots, at most 10 shingle splits,
+/// unbounded hierarchy height, pruning enabled).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SluggerConfig {
+    /// Number of candidate-generation + merging iterations `T` (paper default: 20).
+    pub iterations: usize,
+    /// Maximum candidate-set size (paper: 500).
+    pub max_candidate_size: usize,
+    /// Maximum shingle-based splits before random splitting (paper: 10).
+    pub max_shingle_splits: usize,
+    /// Optional upper bound `H_b` on hierarchy-tree height (Table V variant); `None`
+    /// leaves the height unbounded as in the main algorithm.
+    pub height_bound: Option<usize>,
+    /// Number of pruning rounds (each round runs substeps 1 → 2 → 3); 0 disables
+    /// pruning entirely.
+    pub pruning_rounds: usize,
+    /// Whether the local re-encoding memo is enabled (disable only to measure the
+    /// effect of memoization).
+    pub memoization: bool,
+    /// Random seed controlling candidate grouping and pivot selection.
+    pub seed: u64,
+}
+
+impl Default for SluggerConfig {
+    fn default() -> Self {
+        SluggerConfig {
+            iterations: 20,
+            max_candidate_size: 500,
+            max_shingle_splits: 10,
+            height_bound: None,
+            pruning_rounds: 2,
+            memoization: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-iteration progress record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Merging threshold θ(t) used.
+    pub threshold: f64,
+    /// Candidate sets processed.
+    pub candidate_sets: usize,
+    /// Candidate pairs evaluated.
+    pub pairs_evaluated: usize,
+    /// Merges performed.
+    pub merges: usize,
+    /// Encoding cost at the end of the iteration.
+    pub cost: usize,
+    /// Number of roots at the end of the iteration.
+    pub roots: usize,
+}
+
+/// Result of a SLUGGER run: the summary plus bookkeeping used by the experiments.
+#[derive(Clone, Debug)]
+pub struct SluggerOutcome {
+    /// The hierarchical summary (already pruned when pruning is enabled).
+    pub summary: HierarchicalSummary,
+    /// Output metrics against the input graph.
+    pub metrics: SummaryMetrics,
+    /// Per-iteration progress.
+    pub iterations: Vec<IterationRecord>,
+    /// What pruning changed (all zeros when pruning is disabled).
+    pub prune_report: PruneReport,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: std::time::Duration,
+}
+
+/// The SLUGGER algorithm (Algorithm 1 of the paper).
+pub struct Slugger {
+    config: SluggerConfig,
+}
+
+impl Slugger {
+    /// Creates a runner with the given configuration.
+    pub fn new(config: SluggerConfig) -> Self {
+        Slugger { config }
+    }
+
+    /// Creates a runner with the paper's default configuration.
+    pub fn with_defaults() -> Self {
+        Slugger::new(SluggerConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SluggerConfig {
+        &self.config
+    }
+
+    /// Summarizes a graph: initializes the model to the input (every subedge a p-edge
+    /// between singleton supernodes), runs `T` iterations of candidate generation and
+    /// merging, prunes, and returns the outcome.
+    pub fn summarize(&self, graph: &Graph) -> SluggerOutcome {
+        let start = std::time::Instant::now();
+        let config = &self.config;
+        let mut engine = MergeEngine::new(graph);
+        let mut memo = if config.memoization {
+            EncoderMemo::new()
+        } else {
+            EncoderMemo::disabled()
+        };
+        let candidate_config = CandidateConfig {
+            max_group_size: config.max_candidate_size,
+            max_shingle_splits: config.max_shingle_splits,
+        };
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut iterations = Vec::with_capacity(config.iterations);
+
+        for t in 1..=config.iterations {
+            let threshold = merging_threshold(t, config.iterations);
+            let roots = engine.roots();
+            let iteration_seed = config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(t as u64);
+            let sets = candidate_sets(engine.summary(), graph, &roots, iteration_seed, &candidate_config);
+            let options = MergeOptions {
+                threshold,
+                height_bound: config.height_bound,
+            };
+            let mut stats = MergeStats::default();
+            for set in &sets {
+                stats.absorb(process_candidate_set(
+                    &mut engine,
+                    &mut memo,
+                    set,
+                    &options,
+                    &mut rng,
+                ));
+            }
+            iterations.push(IterationRecord {
+                iteration: t,
+                threshold,
+                candidate_sets: sets.len(),
+                pairs_evaluated: stats.evaluated,
+                merges: stats.merged,
+                cost: engine.summary().encoding_cost(),
+                roots: engine.num_roots(),
+            });
+        }
+
+        let mut summary = engine.into_summary();
+        let prune_report = if config.pruning_rounds > 0 {
+            prune_all(&mut summary, graph, config.pruning_rounds)
+        } else {
+            PruneReport::default()
+        };
+        let metrics = SummaryMetrics::compute(&summary, graph.num_edges());
+        SluggerOutcome {
+            summary,
+            metrics,
+            iterations,
+            prune_report,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::verify_lossless;
+    use slugger_graph::gen::{caveman, erdos_renyi, nested_sbm, CavemanConfig, NestedSbmConfig};
+
+    fn quick_config(iterations: usize, seed: u64) -> SluggerConfig {
+        SluggerConfig {
+            iterations,
+            max_candidate_size: 64,
+            max_shingle_splits: 5,
+            seed,
+            ..SluggerConfig::default()
+        }
+    }
+
+    #[test]
+    fn summarize_is_lossless_on_structured_graph() {
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 150,
+            num_cliques: 20,
+            min_clique: 4,
+            max_clique: 8,
+            rewire_probability: 0.02,
+            seed: 1,
+        });
+        let outcome = Slugger::new(quick_config(5, 7)).summarize(&graph);
+        verify_lossless(&outcome.summary, &graph).unwrap();
+        outcome.summary.validate().unwrap();
+        assert!(outcome.metrics.cost > 0);
+        assert_eq!(outcome.iterations.len(), 5);
+    }
+
+    #[test]
+    fn summarize_compresses_structured_graph() {
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 300,
+            num_cliques: 40,
+            min_clique: 5,
+            max_clique: 9,
+            rewire_probability: 0.0,
+            seed: 3,
+        });
+        let outcome = Slugger::new(quick_config(8, 1)).summarize(&graph);
+        assert!(
+            outcome.metrics.relative_size < 0.8,
+            "expected compression on a clique-heavy graph, got {}",
+            outcome.metrics.relative_size
+        );
+        verify_lossless(&outcome.summary, &graph).unwrap();
+    }
+
+    #[test]
+    fn summarize_is_lossless_on_random_graph() {
+        // Random graphs barely compress, but losslessness must still hold.
+        let graph = erdos_renyi(120, 360, 5);
+        let outcome = Slugger::new(quick_config(4, 2)).summarize(&graph);
+        verify_lossless(&outcome.summary, &graph).unwrap();
+    }
+
+    #[test]
+    fn more_iterations_never_hurt_much() {
+        let graph = nested_sbm(&NestedSbmConfig {
+            num_nodes: 240,
+            levels: 2,
+            branching: 4,
+            base_probability: 0.004,
+            level_boost: 18.0,
+            seed: 9,
+        });
+        let short = Slugger::new(quick_config(1, 4)).summarize(&graph);
+        let long = Slugger::new(quick_config(8, 4)).summarize(&graph);
+        assert!(
+            long.metrics.cost <= short.metrics.cost,
+            "T=8 ({}) should not be worse than T=1 ({})",
+            long.metrics.cost,
+            short.metrics.cost
+        );
+        verify_lossless(&long.summary, &graph).unwrap();
+    }
+
+    #[test]
+    fn height_bound_is_respected() {
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 200,
+            num_cliques: 30,
+            ..CavemanConfig::default()
+        });
+        let config = SluggerConfig {
+            height_bound: Some(2),
+            pruning_rounds: 0,
+            ..quick_config(6, 11)
+        };
+        let outcome = Slugger::new(config).summarize(&graph);
+        for root in outcome.summary.roots().collect::<Vec<_>>() {
+            assert!(outcome.summary.tree_height(root) <= 2);
+        }
+        verify_lossless(&outcome.summary, &graph).unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 120,
+            ..CavemanConfig::default()
+        });
+        let a = Slugger::new(quick_config(4, 42)).summarize(&graph);
+        let b = Slugger::new(quick_config(4, 42)).summarize(&graph);
+        assert_eq!(a.metrics.cost, b.metrics.cost);
+        assert_eq!(a.metrics.p_edges, b.metrics.p_edges);
+        assert_eq!(a.metrics.h_edges, b.metrics.h_edges);
+    }
+
+    #[test]
+    fn memoization_does_not_change_results() {
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 100,
+            ..CavemanConfig::default()
+        });
+        let with = Slugger::new(SluggerConfig {
+            memoization: true,
+            ..quick_config(3, 13)
+        })
+        .summarize(&graph);
+        let without = Slugger::new(SluggerConfig {
+            memoization: false,
+            ..quick_config(3, 13)
+        })
+        .summarize(&graph);
+        assert_eq!(with.metrics.cost, without.metrics.cost);
+    }
+
+    #[test]
+    fn pruning_never_increases_cost() {
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 160,
+            ..CavemanConfig::default()
+        });
+        let unpruned = Slugger::new(SluggerConfig {
+            pruning_rounds: 0,
+            ..quick_config(5, 21)
+        })
+        .summarize(&graph);
+        let pruned = Slugger::new(SluggerConfig {
+            pruning_rounds: 2,
+            ..quick_config(5, 21)
+        })
+        .summarize(&graph);
+        assert!(pruned.metrics.cost <= unpruned.metrics.cost);
+        verify_lossless(&pruned.summary, &graph).unwrap();
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs_are_handled() {
+        let empty = Graph::empty(5);
+        let outcome = Slugger::new(quick_config(2, 0)).summarize(&empty);
+        assert_eq!(outcome.metrics.cost, 0);
+        verify_lossless(&outcome.summary, &empty).unwrap();
+
+        let single_edge = Graph::from_edges(2, vec![(0, 1)]);
+        let outcome = Slugger::new(quick_config(2, 0)).summarize(&single_edge);
+        verify_lossless(&outcome.summary, &single_edge).unwrap();
+        assert!(outcome.metrics.cost <= 3);
+    }
+}

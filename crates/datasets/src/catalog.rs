@@ -1,0 +1,331 @@
+//! The catalog of the 16 dataset stand-ins with their scale-1 parameters.
+//!
+//! Sizes are chosen so that the *entire* 16-dataset × 5-algorithm sweep (Fig. 5)
+//! completes on a single laptop core in tens of minutes at scale 1.0; pass a larger
+//! scale to the harness binaries to stress bigger inputs.  The original datasets'
+//! node/edge counts are recorded in each spec for documentation and for the
+//! `EXPERIMENTS.md` tables.
+
+use crate::spec::{DatasetKey, DatasetSpec, Domain, GeneratorSpec};
+use slugger_graph::gen::{CavemanConfig, HubConfig, NestedSbmConfig, RmatConfig};
+
+/// Returns the full 16-dataset registry, in the paper's Table II order.
+pub fn registry() -> Vec<DatasetSpec> {
+    use DatasetKey::*;
+    vec![
+        DatasetSpec {
+            key: CA,
+            paper_name: "Caida",
+            domain: Domain::Internet,
+            paper_nodes: 26_475,
+            paper_edges: 53_381,
+            generator: GeneratorSpec::Hub(HubConfig {
+                num_nodes: 4_000,
+                num_hubs: 60,
+                hub_density: 0.25,
+                spokes_per_node: 1.6,
+                peripheral_link_probability: 0.08,
+                hub_skew: 1.1,
+                seed: 0xCA,
+            }),
+        },
+        DatasetSpec {
+            key: FA,
+            paper_name: "Ego-Facebook",
+            domain: Domain::Social,
+            paper_nodes: 4_039,
+            paper_edges: 88_234,
+            generator: GeneratorSpec::NestedSbm(NestedSbmConfig {
+                num_nodes: 1_300,
+                levels: 3,
+                branching: 4,
+                base_probability: 0.0016,
+                level_boost: 9.0,
+                seed: 0xFA,
+            }),
+        },
+        DatasetSpec {
+            key: PR,
+            paper_name: "Protein",
+            domain: Domain::Protein,
+            paper_nodes: 6_229,
+            paper_edges: 146_160,
+            generator: GeneratorSpec::NestedSbm(NestedSbmConfig {
+                num_nodes: 1_100,
+                levels: 2,
+                branching: 6,
+                base_probability: 0.004,
+                level_boost: 22.0,
+                seed: 0x97,
+            }),
+        },
+        DatasetSpec {
+            key: EM,
+            paper_name: "Email-Enron",
+            domain: Domain::Email,
+            paper_nodes: 36_692,
+            paper_edges: 183_831,
+            generator: GeneratorSpec::NestedSbm(NestedSbmConfig {
+                num_nodes: 3_600,
+                levels: 3,
+                branching: 5,
+                base_probability: 0.0006,
+                level_boost: 10.0,
+                seed: 0xE3,
+            }),
+        },
+        DatasetSpec {
+            key: DB,
+            paper_name: "DBLP",
+            domain: Domain::Collaboration,
+            paper_nodes: 317_080,
+            paper_edges: 1_049_866,
+            generator: GeneratorSpec::Caveman(CavemanConfig {
+                num_nodes: 8_000,
+                num_cliques: 1_900,
+                min_clique: 3,
+                max_clique: 8,
+                rewire_probability: 0.04,
+                seed: 0xDB,
+            }),
+        },
+        DatasetSpec {
+            key: AM,
+            paper_name: "Amazon0601",
+            domain: Domain::CoPurchase,
+            paper_nodes: 403_394,
+            paper_edges: 2_443_408,
+            generator: GeneratorSpec::NestedSbm(NestedSbmConfig {
+                num_nodes: 10_000,
+                levels: 4,
+                branching: 5,
+                base_probability: 0.00004,
+                level_boost: 11.0,
+                seed: 0xA6,
+            }),
+        },
+        DatasetSpec {
+            key: CN,
+            paper_name: "CNR-2000",
+            domain: Domain::Hyperlink,
+            paper_nodes: 325_557,
+            paper_edges: 2_738_969,
+            generator: GeneratorSpec::Rmat(RmatConfig {
+                scale: 13,
+                num_edges: 70_000,
+                a: 0.66,
+                b: 0.15,
+                c: 0.15,
+                seed: 0xC2,
+            }),
+        },
+        DatasetSpec {
+            key: YO,
+            paper_name: "Youtube",
+            domain: Domain::Social,
+            paper_nodes: 1_134_890,
+            paper_edges: 2_987_624,
+            generator: GeneratorSpec::BarabasiAlbert {
+                nodes: 14_000,
+                attach: 3,
+                seed: 0x40,
+            },
+        },
+        DatasetSpec {
+            key: SK,
+            paper_name: "Skitter",
+            domain: Domain::Internet,
+            paper_nodes: 1_696_415,
+            paper_edges: 11_095_298,
+            generator: GeneratorSpec::Hub(HubConfig {
+                num_nodes: 14_000,
+                num_hubs: 140,
+                hub_density: 0.25,
+                spokes_per_node: 2.2,
+                peripheral_link_probability: 0.12,
+                hub_skew: 1.0,
+                seed: 0x58,
+            }),
+        },
+        DatasetSpec {
+            key: EU,
+            paper_name: "EU-05",
+            domain: Domain::Hyperlink,
+            paper_nodes: 862_664,
+            paper_edges: 16_138_468,
+            generator: GeneratorSpec::Rmat(RmatConfig {
+                scale: 13,
+                num_edges: 110_000,
+                a: 0.68,
+                b: 0.14,
+                c: 0.14,
+                seed: 0xE5,
+            }),
+        },
+        DatasetSpec {
+            key: ES,
+            paper_name: "Eswiki-13",
+            domain: Domain::Social,
+            paper_nodes: 970_327,
+            paper_edges: 21_184_931,
+            generator: GeneratorSpec::BarabasiAlbert {
+                nodes: 13_000,
+                attach: 8,
+                seed: 0xE1,
+            },
+        },
+        DatasetSpec {
+            key: LJ,
+            paper_name: "LiveJournal",
+            domain: Domain::Social,
+            paper_nodes: 3_997_962,
+            paper_edges: 34_681_189,
+            generator: GeneratorSpec::NestedSbm(NestedSbmConfig {
+                num_nodes: 15_000,
+                levels: 4,
+                branching: 6,
+                base_probability: 0.00003,
+                level_boost: 14.0,
+                seed: 0x17,
+            }),
+        },
+        DatasetSpec {
+            key: HO,
+            paper_name: "Hollywood",
+            domain: Domain::Collaboration,
+            paper_nodes: 1_985_306,
+            paper_edges: 114_492_816,
+            generator: GeneratorSpec::Caveman(CavemanConfig {
+                num_nodes: 7_000,
+                num_cliques: 1_400,
+                min_clique: 6,
+                max_clique: 16,
+                rewire_probability: 0.02,
+                seed: 0x80,
+            }),
+        },
+        DatasetSpec {
+            key: IC,
+            paper_name: "IC-04",
+            domain: Domain::Hyperlink,
+            paper_nodes: 7_414_758,
+            paper_edges: 150_984_819,
+            generator: GeneratorSpec::Rmat(RmatConfig {
+                scale: 14,
+                num_edges: 150_000,
+                a: 0.7,
+                b: 0.13,
+                c: 0.13,
+                seed: 0x1C,
+            }),
+        },
+        DatasetSpec {
+            key: U2,
+            paper_name: "UK-02",
+            domain: Domain::Hyperlink,
+            paper_nodes: 18_483_186,
+            paper_edges: 261_787_258,
+            generator: GeneratorSpec::Rmat(RmatConfig {
+                scale: 14,
+                num_edges: 170_000,
+                a: 0.68,
+                b: 0.15,
+                c: 0.13,
+                seed: 0x02,
+            }),
+        },
+        DatasetSpec {
+            key: U5,
+            paper_name: "UK-05",
+            domain: Domain::Hyperlink,
+            paper_nodes: 39_454_463,
+            paper_edges: 783_027_125,
+            generator: GeneratorSpec::Rmat(RmatConfig {
+                scale: 15,
+                num_edges: 220_000,
+                a: 0.68,
+                b: 0.15,
+                c: 0.13,
+                seed: 0x05,
+            }),
+        },
+    ]
+}
+
+/// Looks up a single dataset spec by key.
+pub fn dataset(key: DatasetKey) -> DatasetSpec {
+    registry()
+        .into_iter()
+        .find(|d| d.key == key)
+        .expect("every key is in the registry")
+}
+
+/// A reduced registry (the five smallest, structurally diverse datasets) used by
+/// fast-running tests and example programs.
+pub fn small_registry() -> Vec<DatasetSpec> {
+    use DatasetKey::*;
+    let keep = [CA, FA, PR, EM, DB];
+    registry()
+        .into_iter()
+        .filter(|d| keep.contains(&d.key))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_sixteen_datasets_in_order() {
+        let reg = registry();
+        assert_eq!(reg.len(), 16);
+        let keys: Vec<DatasetKey> = reg.iter().map(|d| d.key).collect();
+        assert_eq!(keys, DatasetKey::all().to_vec());
+    }
+
+    #[test]
+    fn paper_sizes_match_table_ii() {
+        let reg = registry();
+        let pr = reg.iter().find(|d| d.key == DatasetKey::PR).unwrap();
+        assert_eq!(pr.paper_nodes, 6_229);
+        assert_eq!(pr.paper_edges, 146_160);
+        let u5 = reg.iter().find(|d| d.key == DatasetKey::U5).unwrap();
+        assert_eq!(u5.paper_edges, 783_027_125);
+    }
+
+    #[test]
+    fn every_dataset_generates_a_nonempty_graph_at_tiny_scale() {
+        for spec in registry() {
+            let g = spec.generate(0.05);
+            assert!(
+                g.num_edges() > 0,
+                "{} generated an empty graph",
+                spec.key.label()
+            );
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = dataset(DatasetKey::DB);
+        let a = spec.generate(0.1);
+        let b = spec.generate(0.1);
+        assert_eq!(a.edge_set(), b.edge_set());
+    }
+
+    #[test]
+    fn small_registry_is_a_subset() {
+        let small = small_registry();
+        assert_eq!(small.len(), 5);
+        assert!(small.iter().all(|d| registry().iter().any(|r| r.key == d.key)));
+    }
+
+    #[test]
+    fn hyperlink_standins_are_hub_heavy() {
+        // RMAT-based hyperlink stand-ins should show a skewed degree distribution,
+        // the property that makes the real hyperlink graphs so compressible.
+        let g = dataset(DatasetKey::CN).generate(0.25);
+        assert!(g.max_degree() as f64 > 8.0 * g.avg_degree());
+    }
+}

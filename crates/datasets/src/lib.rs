@@ -1,0 +1,29 @@
+//! # slugger-datasets
+//!
+//! Deterministic synthetic stand-ins for the 16 real-world graphs of the SLUGGER
+//! evaluation (Table II of the paper).
+//!
+//! The real datasets (Caida, Ego-Facebook, Protein, …, UK-05) are downloads this
+//! reproduction does not have; instead, every dataset key maps to a generator from
+//! `slugger-graph::gen` whose structure matches the dataset's domain (internet
+//! topologies → hub-and-spoke, social networks → nested SBM / preferential attachment,
+//! collaboration networks → overlapping cliques, hyperlink graphs → RMAT), scaled so
+//! the whole 16-graph suite runs on a single laptop core.  See DESIGN.md §2–3 for the
+//! substitution rationale.
+//!
+//! ```
+//! use slugger_datasets::{DatasetKey, registry};
+//!
+//! let pr = registry().into_iter().find(|d| d.key == DatasetKey::PR).unwrap();
+//! let graph = pr.generate(1.0);
+//! assert!(graph.num_edges() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod spec;
+
+pub use catalog::{dataset, registry, small_registry};
+pub use spec::{DatasetKey, DatasetSpec, Domain, GeneratorSpec};

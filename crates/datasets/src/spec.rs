@@ -1,0 +1,237 @@
+//! Dataset descriptors: which paper dataset a stand-in mimics, which generator builds
+//! it, and how to scale it.
+
+use serde::{Deserialize, Serialize};
+use slugger_graph::gen::{
+    barabasi_albert, caveman, hub_and_spoke, nested_sbm, rmat, CavemanConfig, HubConfig,
+    NestedSbmConfig, RmatConfig,
+};
+use slugger_graph::Graph;
+
+/// Two-letter keys of the 16 evaluation datasets (Table II of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(clippy::upper_case_acronyms)]
+pub enum DatasetKey {
+    /// Caida (internet topology).
+    CA,
+    /// Ego-Facebook (social).
+    FA,
+    /// Protein (protein interaction).
+    PR,
+    /// Email-Enron (email).
+    EM,
+    /// DBLP (collaboration).
+    DB,
+    /// Amazon0601 (co-purchase).
+    AM,
+    /// CNR-2000 (hyperlinks).
+    CN,
+    /// Youtube (social).
+    YO,
+    /// Skitter (internet).
+    SK,
+    /// EU-05 (hyperlinks).
+    EU,
+    /// Eswiki-13 (social / wiki).
+    ES,
+    /// LiveJournal (social).
+    LJ,
+    /// Hollywood (collaboration).
+    HO,
+    /// IC-04 (hyperlinks).
+    IC,
+    /// UK-02 (hyperlinks).
+    U2,
+    /// UK-05 (hyperlinks, the largest dataset).
+    U5,
+}
+
+impl DatasetKey {
+    /// All keys in the order the paper lists them (Table II, by edge count).
+    pub fn all() -> [DatasetKey; 16] {
+        use DatasetKey::*;
+        [CA, FA, PR, EM, DB, AM, CN, YO, SK, EU, ES, LJ, HO, IC, U2, U5]
+    }
+
+    /// Two-letter label used in the paper's tables and figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKey::CA => "CA",
+            DatasetKey::FA => "FA",
+            DatasetKey::PR => "PR",
+            DatasetKey::EM => "EM",
+            DatasetKey::DB => "DB",
+            DatasetKey::AM => "AM",
+            DatasetKey::CN => "CN",
+            DatasetKey::YO => "YO",
+            DatasetKey::SK => "SK",
+            DatasetKey::EU => "EU",
+            DatasetKey::ES => "ES",
+            DatasetKey::LJ => "LJ",
+            DatasetKey::HO => "HO",
+            DatasetKey::IC => "IC",
+            DatasetKey::U2 => "U2",
+            DatasetKey::U5 => "U5",
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Domain of the original dataset (drives the choice of generator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Internet/router topologies.
+    Internet,
+    /// Online social networks.
+    Social,
+    /// Protein–protein interaction.
+    Protein,
+    /// Email communication.
+    Email,
+    /// Co-authorship / cast collaboration.
+    Collaboration,
+    /// Product co-purchase.
+    CoPurchase,
+    /// Web hyperlink graphs.
+    Hyperlink,
+}
+
+/// Which generator family builds the stand-in, with its scale-1 parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum GeneratorSpec {
+    /// Hub-and-spoke internet-like topology.
+    Hub(HubConfig),
+    /// Nested stochastic block model.
+    NestedSbm(NestedSbmConfig),
+    /// Overlapping cliques (relaxed caveman).
+    Caveman(CavemanConfig),
+    /// RMAT / Kronecker-like hyperlink graph.
+    Rmat(RmatConfig),
+    /// Barabási–Albert preferential attachment: (nodes, edges per new node, seed).
+    BarabasiAlbert {
+        /// Number of nodes at scale 1.
+        nodes: usize,
+        /// Edges added per new node.
+        attach: usize,
+        /// Seed.
+        seed: u64,
+    },
+}
+
+/// Descriptor of one dataset stand-in.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Two-letter key.
+    pub key: DatasetKey,
+    /// Full name of the original dataset in the paper.
+    pub paper_name: &'static str,
+    /// Domain of the original dataset.
+    pub domain: Domain,
+    /// Node count of the original dataset (for documentation).
+    pub paper_nodes: usize,
+    /// Edge count of the original dataset (for documentation).
+    pub paper_edges: usize,
+    /// Generator and its scale-1 parameters.
+    pub generator: GeneratorSpec,
+}
+
+impl DatasetSpec {
+    /// Generates the stand-in graph at the given `scale` (1.0 = the default size,
+    /// 0.25 = roughly a quarter of the nodes/edges, etc.).  Scaling is applied to the
+    /// node count (and to edge-count-like parameters where the generator has one) so
+    /// the suite can be shrunk for tests or grown for longer benchmark runs.
+    pub fn generate(&self, scale: f64) -> Graph {
+        assert!(scale > 0.0, "scale must be positive");
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(8);
+        match &self.generator {
+            GeneratorSpec::Hub(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.num_nodes = s(cfg.num_nodes);
+                cfg.num_hubs = s(cfg.num_hubs).min(cfg.num_nodes.saturating_sub(1)).max(1);
+                hub_and_spoke(&cfg)
+            }
+            GeneratorSpec::NestedSbm(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.num_nodes = s(cfg.num_nodes);
+                nested_sbm(&cfg)
+            }
+            GeneratorSpec::Caveman(cfg) => {
+                let mut cfg = cfg.clone();
+                cfg.num_nodes = s(cfg.num_nodes);
+                cfg.num_cliques = s(cfg.num_cliques);
+                cfg.max_clique = cfg.max_clique.min(cfg.num_nodes);
+                cfg.min_clique = cfg.min_clique.min(cfg.max_clique);
+                caveman(&cfg)
+            }
+            GeneratorSpec::Rmat(cfg) => {
+                let mut cfg = cfg.clone();
+                // RMAT's node count is 2^scale; adjust the exponent by log2 of the
+                // scale factor and the edge count linearly.
+                let shift = scale.log2().round() as i32;
+                cfg.scale = (cfg.scale as i32 + shift).clamp(6, 26) as u32;
+                cfg.num_edges = s(cfg.num_edges);
+                rmat(&cfg)
+            }
+            GeneratorSpec::BarabasiAlbert { nodes, attach, seed } => {
+                let n = s(*nodes).max(attach + 2);
+                barabasi_albert(n, *attach, *seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_and_stable() {
+        let labels: std::collections::HashSet<&str> =
+            DatasetKey::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 16);
+        assert_eq!(DatasetKey::PR.to_string(), "PR");
+    }
+
+    #[test]
+    fn scaling_changes_graph_size() {
+        let spec = DatasetSpec {
+            key: DatasetKey::CA,
+            paper_name: "Caida",
+            domain: Domain::Internet,
+            paper_nodes: 26_475,
+            paper_edges: 53_381,
+            generator: GeneratorSpec::Hub(HubConfig {
+                num_nodes: 2_000,
+                ..HubConfig::default()
+            }),
+        };
+        let full = spec.generate(1.0);
+        let quarter = spec.generate(0.25);
+        assert_eq!(full.num_nodes(), 2_000);
+        assert_eq!(quarter.num_nodes(), 500);
+        assert!(quarter.num_edges() < full.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let spec = DatasetSpec {
+            key: DatasetKey::CA,
+            paper_name: "Caida",
+            domain: Domain::Internet,
+            paper_nodes: 1,
+            paper_edges: 1,
+            generator: GeneratorSpec::BarabasiAlbert {
+                nodes: 100,
+                attach: 2,
+                seed: 0,
+            },
+        };
+        let _ = spec.generate(0.0);
+    }
+}

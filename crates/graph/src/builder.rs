@@ -1,0 +1,110 @@
+//! Incremental graph construction.
+//!
+//! [`GraphBuilder`] accumulates undirected edges (in any order, with duplicates and
+//! self-loops tolerated) and freezes them into an immutable [`Graph`].  Generators,
+//! dataset loaders, and the MoSSo edge-stream driver all construct graphs through it.
+
+use crate::graph::{Graph, NodeId};
+
+/// Mutable accumulator of undirected edges.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes (ids `0..num_nodes`).
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with a pre-reserved edge capacity.
+    pub fn with_capacity(num_nodes: usize, edge_capacity: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(edge_capacity),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edge insertions so far (before deduplication).
+    pub fn num_inserted_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `(u, v)`.  Self-loops and duplicates are accepted here
+    /// and removed when the graph is frozen.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!((u as usize) < self.num_nodes && (v as usize) < self.num_nodes);
+        self.edges.push((u, v));
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(&mut self, iter: I) {
+        self.edges.extend(iter);
+    }
+
+    /// Grows the node count if `n` exceeds the current one. Useful when reading edge
+    /// lists whose node-id range is unknown up front.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        if n > self.num_nodes {
+            self.num_nodes = n;
+        }
+    }
+
+    /// Freezes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        Graph::from_edges(self.num_nodes, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        b.add_edge(2, 3);
+        assert_eq!(b.num_inserted_edges(), 3);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_dedups_on_build() {
+        let mut b = GraphBuilder::with_capacity(3, 4);
+        b.extend_edges(vec![(0, 1), (1, 0), (0, 0), (1, 2)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn ensure_nodes_grows() {
+        let mut b = GraphBuilder::new(2);
+        b.ensure_nodes(10);
+        b.add_edge(8, 9);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert!(g.has_edge(8, 9));
+    }
+
+    #[test]
+    fn ensure_nodes_never_shrinks() {
+        let mut b = GraphBuilder::new(5);
+        b.ensure_nodes(2);
+        assert_eq!(b.num_nodes(), 5);
+    }
+}

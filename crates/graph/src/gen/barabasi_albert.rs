@@ -1,0 +1,95 @@
+//! Barabási–Albert preferential-attachment graphs.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a Barabási–Albert graph: starting from a small clique, each new node
+/// attaches to `m` existing nodes chosen proportionally to their degree.
+///
+/// Produces the heavy-tailed degree distributions typical of social and web graphs;
+/// hubs with many shared neighbors are exactly the structure graph summarization
+/// merges into supernodes.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count must be at least 1");
+    assert!(n > m, "need more nodes than the attachment count");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, n * m);
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from it is
+    // sampling proportionally to degree (the classic BA implementation trick).
+    let mut endpoint_pool: Vec<NodeId> = Vec::with_capacity(2 * n * m);
+
+    let seed_nodes = m + 1;
+    for u in 0..seed_nodes as NodeId {
+        for v in (u + 1)..seed_nodes as NodeId {
+            builder.add_edge(u, v);
+            endpoint_pool.push(u);
+            endpoint_pool.push(v);
+        }
+    }
+
+    let mut picked: Vec<NodeId> = Vec::with_capacity(m);
+    for u in seed_nodes..n {
+        picked.clear();
+        let mut guard = 0usize;
+        while picked.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if t as usize != u && !picked.contains(&t) {
+                picked.push(t);
+            }
+        }
+        // Extremely unlikely fallback: fill with arbitrary distinct earlier nodes.
+        let mut fallback = 0 as NodeId;
+        while picked.len() < m {
+            if fallback as usize != u && !picked.contains(&fallback) {
+                picked.push(fallback);
+            }
+            fallback += 1;
+        }
+        for &t in &picked {
+            builder.add_edge(u as NodeId, t);
+            endpoint_pool.push(u as NodeId);
+            endpoint_pool.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let n = 200;
+        let m = 3;
+        let g = barabasi_albert(n, m, 5);
+        assert_eq!(g.num_nodes(), n);
+        // Seed clique has C(m+1, 2) edges; every further node adds exactly m.
+        let expected = (m + 1) * m / 2 + (n - m - 1) * m;
+        assert_eq!(g.num_edges(), expected);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let g = barabasi_albert(500, 2, 11);
+        // Preferential attachment should create at least one node far above average degree.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = barabasi_albert(100, 2, 3);
+        let b = barabasi_albert(100, 2, 3);
+        assert_eq!(a.edge_set(), b.edge_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "more nodes")]
+    fn rejects_too_few_nodes() {
+        let _ = barabasi_albert(2, 5, 0);
+    }
+}

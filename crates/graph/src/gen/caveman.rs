@@ -1,0 +1,140 @@
+//! Relaxed caveman / overlapping-clique graphs.
+//!
+//! Collaboration networks (DBLP, Hollywood in the paper) are unions of many small
+//! near-cliques (papers, movie casts) that overlap through shared members.  Such
+//! graphs compress extremely well under summarization because clique members have
+//! nearly identical connectivity.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for [`caveman`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CavemanConfig {
+    /// Total number of nodes.
+    pub num_nodes: usize,
+    /// Number of cliques ("caves").
+    pub num_cliques: usize,
+    /// Minimum clique size.
+    pub min_clique: usize,
+    /// Maximum clique size.
+    pub max_clique: usize,
+    /// Probability that an intra-clique edge is rewired to a random endpoint
+    /// (the "relaxation"; 0 = perfect cliques).
+    pub rewire_probability: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for CavemanConfig {
+    fn default() -> Self {
+        CavemanConfig {
+            num_nodes: 1_000,
+            num_cliques: 120,
+            min_clique: 4,
+            max_clique: 12,
+            rewire_probability: 0.05,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a relaxed caveman graph: `num_cliques` cliques whose members are drawn
+/// (with overlap) from the node set, with a fraction of edges rewired randomly.
+pub fn caveman(config: &CavemanConfig) -> Graph {
+    let n = config.num_nodes;
+    assert!(n >= 2);
+    assert!(config.min_clique >= 2 && config.min_clique <= config.max_clique);
+    assert!(config.max_clique <= n);
+    assert!((0.0..=1.0).contains(&config.rewire_probability));
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::new(n);
+    for clique_idx in 0..config.num_cliques {
+        let size = rng.random_range(config.min_clique..=config.max_clique);
+        // Anchor each clique in a contiguous region (locality) but let a couple of
+        // members come from anywhere (overlap between communities).
+        let anchor = (clique_idx * n / config.num_cliques.max(1)) % n;
+        let mut members: Vec<NodeId> = Vec::with_capacity(size);
+        for k in 0..size {
+            let node = if k + 2 < size {
+                ((anchor + k) % n) as NodeId
+            } else {
+                rng.random_range(0..n) as NodeId
+            };
+            if !members.contains(&node) {
+                members.push(node);
+            }
+        }
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.random_bool(config.rewire_probability) {
+                    let w = rng.random_range(0..n) as NodeId;
+                    if w != members[i] {
+                        builder.add_edge(members[i], w);
+                    }
+                } else {
+                    builder.add_edge(members[i], members[j]);
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_shape() {
+        let g = caveman(&CavemanConfig::default());
+        assert_eq!(g.num_nodes(), 1_000);
+        assert!(g.num_edges() > 1_000);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_rewire_yields_high_clustering() {
+        let cfg = CavemanConfig {
+            num_nodes: 200,
+            num_cliques: 25,
+            min_clique: 6,
+            max_clique: 6,
+            rewire_probability: 0.0,
+            seed: 4,
+        };
+        let g = caveman(&cfg);
+        // Count triangles crudely: any node in a 6-clique participates in many.
+        let mut triangles = 0usize;
+        for u in 0..g.num_nodes() as NodeId {
+            let nbrs = g.neighbors(u);
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if g.has_edge(a, b) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        assert!(triangles > 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = CavemanConfig::default();
+        assert_eq!(caveman(&cfg).edge_set(), caveman(&cfg).edge_set());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_bad_clique_bounds() {
+        let _ = caveman(&CavemanConfig {
+            min_clique: 10,
+            max_clique: 4,
+            ..CavemanConfig::default()
+        });
+    }
+}

@@ -1,0 +1,79 @@
+//! Erdős–Rényi `G(n, m)` random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::gen::random_pair;
+use crate::graph::Graph;
+use crate::hash::FxHashSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Generates a uniform random simple graph with `n` nodes and (approximately, exactly
+/// when feasible) `m` distinct edges.
+///
+/// Uniform random graphs have no similarity structure, so all summarization methods
+/// compress them poorly; they serve as a sanity baseline and as stress-test inputs.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(n >= 2, "erdos_renyi requires at least 2 nodes");
+    let max_edges = n * (n - 1) / 2;
+    let m = m.min(max_edges);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chosen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    // Rejection sampling is fine while m is well below the maximum; otherwise fall
+    // back to sampling from the complete edge list.
+    if m * 3 < max_edges || max_edges > 50_000_000 {
+        while chosen.len() < m {
+            let (u, v) = random_pair(&mut rng, n);
+            let key = (u.min(v), u.max(v));
+            if chosen.insert(key) {
+                builder.add_edge(key.0, key.1);
+            }
+        }
+    } else {
+        use rand::seq::SliceRandom;
+        let mut all: Vec<(u32, u32)> = Vec::with_capacity(max_edges);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                all.push((u, v));
+            }
+        }
+        all.shuffle(&mut rng);
+        for &(u, v) in all.iter().take(m) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_sparse() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.num_edges(), 300);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dense_request_clamped_to_complete_graph() {
+        let g = erdos_renyi(6, 1000, 2);
+        assert_eq!(g.num_edges(), 15);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = erdos_renyi(50, 120, 9);
+        let b = erdos_renyi(50, 120, 9);
+        assert_eq!(a.edge_set(), b.edge_set());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(50, 120, 9);
+        let b = erdos_renyi(50, 120, 10);
+        assert_ne!(a.edge_set(), b.edge_set());
+    }
+}

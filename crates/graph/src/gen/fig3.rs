@@ -1,0 +1,129 @@
+//! The Theorem 1 / Fig. 3(a) construction.
+//!
+//! Theorem 1 of the paper exhibits a family of graphs that the hierarchical graph
+//! summarization model represents with `o(n^1.5)` edges while *every* flat
+//! summarization takes `Ω(n^1.5)` edges.  The construction (read off Fig. 3 and the
+//! proof in Sect. VII-A): there are `n` "internal" groups and `k = o(n^0.5)` leaf
+//! blocks per group, i.e. `n·k` subnodes arranged in an `n × k` grid.  Every subnode
+//! is connected to every other subnode *except* those in the same column of a
+//! different row-group — concretely, each subnode has exactly `2k` non-neighbors
+//! besides itself (the proof states "the number of subnodes that are not directly
+//! connected to u is exactly 2k").
+//!
+//! We realize that degree profile with a circulant complement: subnode `(i, j)`
+//! (group `i`, offset `j`) is *not* adjacent to the `2k` subnodes in groups
+//! `i ± 1 (mod n)` (all offsets), and adjacent to everything else.  The complement
+//! (non-edges) then has `Θ(n·k²)` edges while each node keeps degree `(n-2)·k … `
+//! matching the proof's counting, and the hierarchical model encodes the graph with
+//! `Θ(n·k)` edges: one p-self-loop over the universe supernode, one n-edge per
+//! adjacent group pair, and `n·k + n` hierarchy edges.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Shape parameters of the Theorem 1 construction.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Theorem1Shape {
+    /// Number of groups (`n` in the paper's notation).
+    pub groups: usize,
+    /// Subnodes per group (`k` in the paper's notation, `k = o(n^0.5)` asymptotically).
+    pub per_group: usize,
+}
+
+impl Theorem1Shape {
+    /// Total number of subnodes (`n·k`).
+    pub fn num_nodes(&self) -> usize {
+        self.groups * self.per_group
+    }
+
+    /// Group index of a subnode.
+    pub fn group_of(&self, node: NodeId) -> usize {
+        (node as usize) / self.per_group
+    }
+
+    /// Whether two *distinct* subnodes are adjacent in the construction: everyone is
+    /// adjacent except nodes in cyclically neighboring groups.
+    pub fn adjacent(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let gu = self.group_of(u);
+        let gv = self.group_of(v);
+        let n = self.groups;
+        let diff = (gu + n - gv) % n;
+        !(diff == 1 || diff == n - 1)
+    }
+}
+
+/// Builds the Theorem 1 graph for the given shape.
+///
+/// The graph is dense (Θ(n²k²) subedges), so keep `groups · per_group` modest
+/// (≤ a few thousand nodes) — which is plenty to demonstrate the asymptotic gap in
+/// the `theorem1_conciseness` experiment.
+pub fn theorem1_graph(shape: Theorem1Shape) -> Graph {
+    assert!(shape.groups >= 4, "need at least 4 groups for the construction");
+    assert!(shape.per_group >= 1);
+    let n = shape.num_nodes();
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            if shape.adjacent(u, v) {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_node_has_exactly_2k_non_neighbors() {
+        let shape = Theorem1Shape {
+            groups: 8,
+            per_group: 3,
+        };
+        let g = theorem1_graph(shape);
+        let k = shape.per_group;
+        let total = shape.num_nodes();
+        for u in 0..total as NodeId {
+            let non_neighbors = total - 1 - g.degree(u);
+            assert_eq!(non_neighbors, 2 * k, "node {u}");
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_excludes_adjacent_groups() {
+        let shape = Theorem1Shape {
+            groups: 6,
+            per_group: 2,
+        };
+        let g = theorem1_graph(shape);
+        g.validate().unwrap();
+        // Nodes 0,1 are group 0; nodes 2,3 group 1 (cyclically adjacent): no edges.
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 3));
+        // Group 0 and group 2 are not adjacent groups: fully connected.
+        assert!(g.has_edge(0, 4));
+        assert!(g.has_edge(1, 5));
+        // Within-group pairs are connected (diff == 0).
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let shape = Theorem1Shape {
+            groups: 10,
+            per_group: 2,
+        };
+        let g = theorem1_graph(shape);
+        let total = shape.num_nodes();
+        let k = shape.per_group;
+        // Each node is adjacent to total - 1 - 2k others.
+        let expected = total * (total - 1 - 2 * k) / 2;
+        assert_eq!(g.num_edges(), expected);
+    }
+}

@@ -1,0 +1,157 @@
+//! Hub-and-spoke graphs mimicking internet topologies (Caida, Skitter in the paper).
+//!
+//! A small core of densely inter-connected hubs, plus a large periphery where each
+//! node attaches to a few hubs (chosen with skew) and occasionally to another
+//! peripheral node.  Peripheral nodes hanging off the same hubs have identical
+//! connectivity — ideal supernode material.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters for [`hub_and_spoke`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HubConfig {
+    /// Total number of nodes (core + periphery).
+    pub num_nodes: usize,
+    /// Number of core hub nodes.
+    pub num_hubs: usize,
+    /// Probability of an edge between any two hubs.
+    pub hub_density: f64,
+    /// Average number of hub attachments per peripheral node.
+    pub spokes_per_node: f64,
+    /// Probability that a peripheral node also links to a random peripheral node.
+    pub peripheral_link_probability: f64,
+    /// Zipf-like skew of hub popularity (0 = uniform, higher = more skewed).
+    pub hub_skew: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            num_nodes: 2_000,
+            num_hubs: 40,
+            hub_density: 0.3,
+            spokes_per_node: 2.0,
+            peripheral_link_probability: 0.1,
+            hub_skew: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a hub-and-spoke graph (see [`HubConfig`]).
+pub fn hub_and_spoke(config: &HubConfig) -> Graph {
+    let n = config.num_nodes;
+    let h = config.num_hubs;
+    assert!(h >= 1 && h < n, "need 1 <= num_hubs < num_nodes");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::new(n);
+
+    // Core: dense-ish hub mesh.
+    for a in 0..h as NodeId {
+        for b in (a + 1)..h as NodeId {
+            if rng.random_bool(config.hub_density) {
+                builder.add_edge(a, b);
+            }
+        }
+    }
+
+    // Zipf-like cumulative weights over hubs.
+    let weights: Vec<f64> = (0..h)
+        .map(|i| 1.0 / ((i + 1) as f64).powf(config.hub_skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut cumulative = Vec::with_capacity(h);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cumulative.push(acc);
+    }
+    let pick_hub = |rng: &mut StdRng| -> NodeId {
+        let r: f64 = rng.random::<f64>();
+        match cumulative.iter().position(|&c| r <= c) {
+            Some(i) => i as NodeId,
+            None => (h - 1) as NodeId,
+        }
+    };
+
+    // Periphery.
+    for u in h..n {
+        let spokes = sample_poisson_like(&mut rng, config.spokes_per_node).max(1);
+        for _ in 0..spokes {
+            let hub = pick_hub(&mut rng);
+            builder.add_edge(u as NodeId, hub);
+        }
+        if rng.random_bool(config.peripheral_link_probability) && n - h >= 2 {
+            let other = loop {
+                let candidate = rng.random_range(h..n) as NodeId;
+                if candidate as usize != u {
+                    break candidate;
+                }
+            };
+            builder.add_edge(u as NodeId, other);
+        }
+    }
+    builder.build()
+}
+
+/// A small Poisson-ish sampler (Knuth's algorithm), adequate for expected values ≤ 10.
+fn sample_poisson_like(rng: &mut StdRng, mean: f64) -> usize {
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.random::<f64>();
+        if p <= l || k > 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_shape() {
+        let g = hub_and_spoke(&HubConfig::default());
+        assert_eq!(g.num_nodes(), 2_000);
+        g.validate().unwrap();
+        // Hubs must dominate the degree distribution.
+        let max_hub_degree = (0..40u32).map(|u| g.degree(u)).max().unwrap();
+        let max_peripheral_degree = (40..2_000u32).map(|u| g.degree(u)).max().unwrap();
+        assert!(max_hub_degree > max_peripheral_degree);
+    }
+
+    #[test]
+    fn every_peripheral_node_has_a_spoke() {
+        let g = hub_and_spoke(&HubConfig {
+            num_nodes: 300,
+            num_hubs: 10,
+            ..HubConfig::default()
+        });
+        for u in 10..300u32 {
+            assert!(g.degree(u) >= 1, "node {u} is isolated");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = HubConfig::default();
+        assert_eq!(hub_and_spoke(&cfg).edge_set(), hub_and_spoke(&cfg).edge_set());
+    }
+
+    #[test]
+    fn poisson_sampler_has_reasonable_mean() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let samples: Vec<usize> = (0..5_000).map(|_| sample_poisson_like(&mut rng, 3.0)).collect();
+        let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
+        assert!((mean - 3.0).abs() < 0.3, "mean was {mean}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Deterministic synthetic graph generators.
+//!
+//! The SLUGGER evaluation runs on 16 real-world graphs that this reproduction cannot
+//! download; `slugger-datasets` builds stand-ins from the generators in this module
+//! (see DESIGN.md §2–3 for the substitution rationale).  Each generator takes an
+//! explicit seed and is fully deterministic.
+//!
+//! Available families:
+//!
+//! * [`erdos_renyi`] — uniform random graphs (baseline, incompressible).
+//! * [`barabasi_albert`] — preferential attachment, power-law degree distribution.
+//! * [`nested_sbm`] — a *hierarchical* stochastic block model: communities that contain
+//!   sub-communities that contain sub-sub-communities, the structure Sect. I of the
+//!   paper argues is pervasive and that the hierarchical model exploits.
+//! * [`rmat`] — recursive matrix (Kronecker-like) graphs, mimicking hyperlink graphs.
+//! * [`caveman`] — overlapping dense cliques connected sparsely (collaboration graphs).
+//! * [`hub_and_spoke`] — a small core of hubs plus power-law periphery (internet
+//!   topologies).
+//! * [`theorem1_graph`] — the explicit construction of Fig. 3(a)/Theorem 1, for which
+//!   the hierarchical model is provably more concise than the flat one.
+
+mod barabasi_albert;
+mod caveman;
+mod erdos_renyi;
+mod fig3;
+mod hub;
+mod nested_sbm;
+mod rmat;
+
+pub use barabasi_albert::barabasi_albert;
+pub use caveman::{caveman, CavemanConfig};
+pub use erdos_renyi::erdos_renyi;
+pub use fig3::{theorem1_graph, Theorem1Shape};
+pub use hub::{hub_and_spoke, HubConfig};
+pub use nested_sbm::{block_at_depth, nested_sbm, NestedSbmConfig};
+pub use rmat::{rmat, RmatConfig};
+
+use crate::graph::NodeId;
+use rand::{Rng, RngExt};
+
+/// Draws an unordered pair of distinct nodes uniformly at random.
+pub(crate) fn random_pair<R: Rng>(rng: &mut R, n: usize) -> (NodeId, NodeId) {
+    debug_assert!(n >= 2);
+    let u = rng.random_range(0..n) as NodeId;
+    loop {
+        let v = rng.random_range(0..n) as NodeId;
+        if v != u {
+            return (u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_pair_never_returns_loop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let (u, v) = random_pair(&mut rng, 5);
+            assert_ne!(u, v);
+            assert!(u < 5 && v < 5);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! RMAT (recursive matrix / Kronecker-style) graph generator.
+//!
+//! Hyperlink graphs (CNR-2000, EU-05, IC-04, UK-02, UK-05 in the paper) exhibit strong
+//! community-within-community locality and are by far the most compressible datasets
+//! in the evaluation.  RMAT graphs reproduce that self-similar structure: each edge is
+//! placed by recursively descending into one of the four quadrants of the adjacency
+//! matrix with skewed probabilities.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the RMAT generator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RmatConfig {
+    /// log2 of the number of nodes (the graph has `2^scale` nodes).
+    pub scale: u32,
+    /// Number of undirected edges to attempt (duplicates and self-loops are dropped,
+    /// so the final count is slightly lower).
+    pub num_edges: usize,
+    /// Quadrant probability `a` (top-left). Classic values: a=0.57.
+    pub a: f64,
+    /// Quadrant probability `b` (top-right). Classic values: b=0.19.
+    pub b: f64,
+    /// Quadrant probability `c` (bottom-left). Classic values: c=0.19.
+    pub c: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RmatConfig {
+    fn default() -> Self {
+        RmatConfig {
+            scale: 10,
+            num_edges: 8_192,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates an RMAT graph (see [`RmatConfig`]).
+pub fn rmat(config: &RmatConfig) -> Graph {
+    assert!(config.scale >= 1 && config.scale <= 30, "scale out of range");
+    let d = 1.0 - config.a - config.b - config.c;
+    assert!(
+        config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && d >= 0.0,
+        "quadrant probabilities must be a valid distribution"
+    );
+    let n = 1usize << config.scale;
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut builder = GraphBuilder::with_capacity(n, config.num_edges);
+    for _ in 0..config.num_edges {
+        let (u, v) = rmat_edge(&mut rng, config.scale, config.a, config.b, config.c);
+        builder.add_edge(u, v);
+    }
+    builder.build()
+}
+
+fn rmat_edge(rng: &mut StdRng, scale: u32, a: f64, b: f64, c: f64) -> (NodeId, NodeId) {
+    let mut u: u64 = 0;
+    let mut v: u64 = 0;
+    for _ in 0..scale {
+        u <<= 1;
+        v <<= 1;
+        // Add a little per-level noise so the graph is not exactly self-similar, as is
+        // standard practice (Graph500 does the same).
+        let noise = |rng: &mut StdRng| 0.9 + 0.2 * rng.random::<f64>();
+        let an = a * noise(rng);
+        let bn = b * noise(rng);
+        let cn = c * noise(rng);
+        let dn = (1.0 - a - b - c) * noise(rng);
+        let sum = an + bn + cn + dn;
+        let r: f64 = rng.random::<f64>() * sum;
+        if r < an {
+            // top-left quadrant: neither bit set
+        } else if r < an + bn {
+            v |= 1;
+        } else if r < an + bn + cn {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as NodeId, v as NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_count_is_power_of_two() {
+        let g = rmat(&RmatConfig {
+            scale: 8,
+            num_edges: 2000,
+            ..RmatConfig::default()
+        });
+        assert_eq!(g.num_nodes(), 256);
+        g.validate().unwrap();
+        // Duplicates get merged, so edge count is at most the attempts.
+        assert!(g.num_edges() <= 2000);
+        assert!(g.num_edges() > 500, "suspiciously few edges: {}", g.num_edges());
+    }
+
+    #[test]
+    fn skew_produces_heavy_hubs() {
+        let g = rmat(&RmatConfig {
+            scale: 10,
+            num_edges: 10_000,
+            ..RmatConfig::default()
+        });
+        assert!(g.max_degree() as f64 > 5.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = RmatConfig::default();
+        assert_eq!(rmat(&cfg).edge_set(), rmat(&cfg).edge_set());
+    }
+
+    #[test]
+    #[should_panic(expected = "valid distribution")]
+    fn invalid_probabilities_rejected() {
+        let _ = rmat(&RmatConfig {
+            a: 0.9,
+            b: 0.3,
+            c: 0.1,
+            ..RmatConfig::default()
+        });
+    }
+}

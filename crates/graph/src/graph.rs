@@ -1,0 +1,315 @@
+//! The compact undirected graph type and the neighbor-access abstraction.
+//!
+//! The paper considers *simple undirected graphs* `G = (V, E)` (Sect. II): no edge
+//! directions, no self-loops, no multi-edges.  [`Graph`] stores such a graph in CSR
+//! (compressed sparse row) form: one `offsets` array of length `|V| + 1` and one
+//! `neighbors` array of length `2·|E|`, with each adjacency list sorted so that edge
+//! membership queries are a binary search.
+
+use crate::hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+/// Node identifier. The paper's graphs have up to tens of millions of nodes, so `u32`
+/// is sufficient and halves memory traffic compared to `usize`.
+pub type NodeId = u32;
+
+/// Read-only neighbor access, the only interface the graph algorithms of
+/// `slugger-algos` need.  Both the raw [`Graph`] and the hierarchical summary of
+/// `slugger-core` implement it; for a summary, `for_each_neighbor` performs on-the-fly
+/// partial decompression (Algorithm 4 of the paper).
+pub trait NeighborAccess {
+    /// Number of nodes; node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Invokes `f` once for every neighbor of `u` (in unspecified order, no duplicates).
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId));
+
+    /// Collects the neighbors of `u` into a vector. Convenience wrapper around
+    /// [`NeighborAccess::for_each_neighbor`].
+    fn neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.for_each_neighbor(u, &mut |v| out.push(v));
+        out
+    }
+
+    /// Degree of `u`.
+    fn degree_of(&self, u: NodeId) -> usize {
+        let mut d = 0usize;
+        self.for_each_neighbor(u, &mut |_| d += 1);
+        d
+    }
+}
+
+/// A simple undirected graph in CSR form.
+///
+/// Construct one through [`crate::builder::GraphBuilder`], [`Graph::from_edges`], or a
+/// generator in [`crate::gen`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Graph {
+    num_nodes: usize,
+    num_edges: usize,
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `num_nodes` nodes from an iterator of undirected edges.
+    ///
+    /// Self-loops are dropped and duplicate edges (in either orientation) are merged,
+    /// mirroring the dataset preprocessing of Sect. IV-A ("we removed all edge
+    /// directions, duplicated edges, and self-loops").
+    pub fn from_edges<I>(num_nodes: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut adj: Vec<Vec<NodeId>> = vec![Vec::new(); num_nodes];
+        for (u, v) in edges {
+            if u == v {
+                continue;
+            }
+            let (u, v) = (u as usize, v as usize);
+            assert!(
+                u < num_nodes && v < num_nodes,
+                "edge ({u}, {v}) out of bounds for {num_nodes} nodes"
+            );
+            adj[u].push(v as NodeId);
+            adj[v].push(u as NodeId);
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        let mut num_edges = 0usize;
+        for list in adj.iter_mut() {
+            list.sort_unstable();
+            list.dedup();
+            num_edges += list.len();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        debug_assert_eq!(num_edges % 2, 0);
+        Graph {
+            num_nodes,
+            num_edges: num_edges / 2,
+            offsets,
+            neighbors,
+        }
+    }
+
+    /// The empty graph on `num_nodes` nodes.
+    pub fn empty(num_nodes: usize) -> Self {
+        Graph {
+            num_nodes,
+            num_edges: 0,
+            offsets: vec![0; num_nodes + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted adjacency list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. O(log deg(u)).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        // Search the shorter adjacency list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterates over every undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.num_nodes as NodeId).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes as NodeId)
+            .map(|u| self.degree(u))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|` (0 when there are no nodes).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Returns the set of edges as a hash set of `(min, max)` pairs.  Intended for
+    /// tests and verification (e.g. comparing a decoded summary against the input);
+    /// costs O(|E|) memory.
+    pub fn edge_set(&self) -> FxHashSet<(NodeId, NodeId)> {
+        self.edges().collect()
+    }
+
+    /// Checks structural invariants (sorted adjacency, symmetry, no loops). Used by
+    /// tests; O(|E| log |E|).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.offsets.len() != self.num_nodes + 1 {
+            return Err("offsets length mismatch".into());
+        }
+        for u in 0..self.num_nodes as NodeId {
+            let nbrs = self.neighbors(u);
+            if !nbrs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("adjacency of {u} not strictly sorted"));
+            }
+            for &v in nbrs {
+                if v == u {
+                    return Err(format!("self loop at {u}"));
+                }
+                if (v as usize) >= self.num_nodes {
+                    return Err(format!("neighbor {v} of {u} out of range"));
+                }
+                if self.neighbors(v).binary_search(&u).is_err() {
+                    return Err(format!("edge ({u},{v}) not symmetric"));
+                }
+            }
+        }
+        let half: usize = (0..self.num_nodes as NodeId).map(|u| self.degree(u)).sum();
+        if half != 2 * self.num_edges {
+            return Err("edge count mismatch".into());
+        }
+        Ok(())
+    }
+}
+
+impl NeighborAccess for Graph {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+
+    fn neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
+        self.neighbors(u).to_vec()
+    }
+
+    fn degree_of(&self, u: NodeId) -> usize {
+        self.degree(u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as NodeId - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn from_edges_dedups_and_drops_loops() {
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 0), (1, 1), (2, 3), (2, 3), (3, 2)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(1, 1));
+        assert!(!g.has_edge(0, 2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(5, vec![(0, 4), (0, 2), (0, 1), (0, 3)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = path_graph(6);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.iter().all(|&(u, v)| u < v));
+        assert_eq!(g.num_edges(), 5);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(3);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.neighbors(0), &[] as &[NodeId]);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbor_access_trait_matches_direct_access() {
+        let g = path_graph(5);
+        for u in 0..5u32 {
+            let via_trait = <Graph as NeighborAccess>::neighbors_vec(&g, u);
+            assert_eq!(via_trait, g.neighbors(u).to_vec());
+            assert_eq!(<Graph as NeighborAccess>::degree_of(&g, u), g.degree(u));
+        }
+        assert_eq!(<Graph as NeighborAccess>::num_nodes(&g), 5);
+    }
+
+    #[test]
+    fn edge_set_matches_edges() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        let set = g.edge_set();
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(&(0, 1)));
+        assert!(set.contains(&(1, 2)));
+        assert!(set.contains(&(3, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        let _ = Graph::from_edges(2, vec![(0, 5)]);
+    }
+}

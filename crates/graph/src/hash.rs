@@ -1,0 +1,169 @@
+//! Fast, deterministic hashing primitives.
+//!
+//! The SLUGGER pipeline hashes node identifiers constantly: min-hash shingles during
+//! candidate generation, adjacency keyed by supernode id, memo tables keyed by small
+//! integer vectors.  The default SipHash hasher of `std::collections::HashMap` is
+//! needlessly slow for these small integer keys, so this module provides
+//!
+//! * [`FxHasher`] — a re-implementation of the well-known Fx (Firefox/rustc) hash,
+//!   written here because the reproduction restricts itself to the whitelisted
+//!   dependency set (no `rustc-hash`),
+//! * [`FxHashMap`] / [`FxHashSet`] — aliases plugging [`FxHasher`] into the standard
+//!   collections,
+//! * [`splitmix64`] / [`hash_u64_with_seed`] — a statistically strong 64-bit mixer used
+//!   as the "random permutation" h(·) of the min-hash step (Sect. III-B2 of the paper).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`]. Drop-in replacement for `std::collections::HashMap`.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`]. Drop-in replacement for `std::collections::HashSet`.
+pub type FxHashSet<K> = std::collections::HashSet<K, BuildHasherDefault<FxHasher>>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hash function: a very fast multiply-and-rotate hash suitable for small
+/// integer-like keys where HashDoS resistance is irrelevant.
+#[derive(Default, Clone, Copy, Debug)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// The SplitMix64 finalizer: a bijective 64-bit mixer with excellent avalanche
+/// behaviour.  Used to derive per-iteration "random permutations" for min-hashing.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a value under a given seed; distinct seeds behave like independent random
+/// permutations of the input domain, which is exactly what the shingle computation of
+/// the candidate-generation step needs (a fresh permutation per iteration).
+#[inline]
+pub fn hash_u64_with_seed(value: u64, seed: u64) -> u64 {
+    splitmix64(value ^ splitmix64(seed))
+}
+
+/// Hashes a `u32` node identifier under a seed. Convenience wrapper around
+/// [`hash_u64_with_seed`].
+#[inline]
+pub fn hash_node_with_seed(node: u32, seed: u64) -> u64 {
+    hash_u64_with_seed(node as u64, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fx_hash_map_basic_roundtrip() {
+        let mut m: FxHashMap<u32, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn fx_hasher_distinguishes_small_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = BuildHasherDefault::default();
+        let h1 = bh.hash_one(1u64);
+        let h2 = bh.hash_one(2u64);
+        let h3 = bh.hash_one(3u64);
+        assert_ne!(h1, h2);
+        assert_ne!(h2, h3);
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn splitmix64_is_bijective_on_sample() {
+        // Not a proof of bijectivity, but distinct inputs must map to distinct outputs.
+        let mut seen = FxHashSet::default();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn seeded_hash_changes_with_seed() {
+        let a = hash_u64_with_seed(42, 1);
+        let b = hash_u64_with_seed(42, 2);
+        assert_ne!(a, b);
+        // Deterministic for the same seed.
+        assert_eq!(a, hash_u64_with_seed(42, 1));
+    }
+
+    #[test]
+    fn seeded_hash_behaves_like_permutation_per_seed() {
+        // Under a fixed seed, the ranking induced on a small domain has no collisions.
+        for seed in 0..8u64 {
+            let mut seen = FxHashSet::default();
+            for node in 0..2_000u32 {
+                assert!(seen.insert(hash_node_with_seed(node, seed)));
+            }
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Plain-text edge-list I/O.
+//!
+//! The paper's datasets are distributed as whitespace-separated edge lists (one edge
+//! per line, `#`-prefixed comments).  This module reads and writes that format so the
+//! harness can operate both on generated stand-ins and on real downloads if the user
+//! supplies them.
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors produced while reading an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is neither a comment nor a parsable `u v` pair.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "I/O error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for EdgeListError {
+    fn from(e: io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Reads an undirected edge list from any reader.
+///
+/// Lines starting with `#` or `%` are treated as comments; blank lines are skipped.
+/// Node ids may be arbitrary `u32`s; the resulting graph has `max_id + 1` nodes.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, EdgeListError> {
+    let reader = BufReader::new(reader);
+    let mut builder = GraphBuilder::new(0);
+    let mut line_buf = String::new();
+    let mut reader = reader;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let n = reader.read_line(&mut line_buf)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (u, v) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => {
+                let u: NodeId = a.parse().map_err(|_| EdgeListError::Parse {
+                    line: line_no,
+                    content: line.to_string(),
+                })?;
+                let v: NodeId = b.parse().map_err(|_| EdgeListError::Parse {
+                    line: line_no,
+                    content: line.to_string(),
+                })?;
+                (u, v)
+            }
+            _ => {
+                return Err(EdgeListError::Parse {
+                    line: line_no,
+                    content: line.to_string(),
+                })
+            }
+        };
+        builder.ensure_nodes((u.max(v) as usize) + 1);
+        builder.add_edge(u, v);
+    }
+    Ok(builder.build())
+}
+
+/// Reads an undirected edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, EdgeListError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(file)
+}
+
+/// Writes a graph as an edge list (`u v` per line, `u < v`) to any writer.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Writes a graph as an edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(graph: &Graph, path: P) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_simple_edge_list() {
+        let text = "# comment\n0 1\n1 2\n\n% another comment\n2 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 3));
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn read_rejects_single_column() {
+        let text = "42\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(EdgeListError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4), (0, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.edge_set(), g2.edge_set());
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = EdgeListError::Parse {
+            line: 7,
+            content: "x y z".into(),
+        };
+        let msg = format!("{err}");
+        assert!(msg.contains("line 7"));
+    }
+}

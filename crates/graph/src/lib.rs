@@ -1,0 +1,49 @@
+//! # slugger-graph
+//!
+//! Graph substrate for the SLUGGER reproduction (Lee, Ko, Shin, *SLUGGER: Lossless
+//! Hierarchical Summarization of Massive Graphs*, ICDE 2022).
+//!
+//! This crate provides everything the summarization algorithms need from "the graph
+//! side" of the system:
+//!
+//! * [`Graph`] — a compact, immutable, CSR-style simple undirected graph with sorted
+//!   adjacency lists, O(log d) edge lookup and cache-friendly neighbor iteration.
+//! * [`GraphBuilder`] — mutable edge accumulation (deduplicating, dropping self loops)
+//!   that freezes into a [`Graph`].
+//! * [`NeighborAccess`] — the trait through which graph algorithms (BFS, PageRank, …)
+//!   see a graph, implemented both by [`Graph`] and by the hierarchical summaries in
+//!   `slugger-core`, enabling the paper's Sect. VIII-C experiments.
+//! * [`gen`] — deterministic synthetic graph generators (Erdős–Rényi, Barabási–Albert,
+//!   nested stochastic block model, RMAT, caveman, hub-and-spoke, and the Theorem 1
+//!   construction of the paper).
+//! * [`sample`] — induced-subgraph node sampling used by the scalability experiment
+//!   (Fig. 1(b)).
+//! * [`io`] — plain-text edge-list reading/writing.
+//! * [`hash`] — a fast FxHash-style hasher plus the `SplitMix64`-based value hashing
+//!   used by min-hash candidate generation.
+//! * [`stats`] — summary statistics (degree distribution, components, …).
+//!
+//! All randomness is seeded explicitly; every generator is deterministic given its
+//! seed, which the experiment harness relies on for reproducibility.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod gen;
+pub mod graph;
+pub mod hash;
+pub mod io;
+pub mod sample;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, NeighborAccess, NodeId};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
+
+/// Convenience prelude re-exporting the items almost every consumer needs.
+pub mod prelude {
+    pub use crate::builder::GraphBuilder;
+    pub use crate::graph::{Graph, NeighborAccess, NodeId};
+    pub use crate::hash::{FxHashMap, FxHashSet};
+}

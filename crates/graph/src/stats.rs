@@ -1,0 +1,141 @@
+//! Graph summary statistics used by the dataset registry and the experiment harness.
+
+use crate::graph::{Graph, NodeId};
+
+/// Basic statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub num_nodes: usize,
+    /// `|E|`.
+    pub num_edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Average degree `2|E|/|V|`.
+    pub avg_degree: f64,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Number of isolated (degree-0) nodes.
+    pub num_isolated: usize,
+}
+
+/// Computes [`GraphStats`] for a graph. O(|V| + |E|).
+pub fn graph_stats(graph: &Graph) -> GraphStats {
+    GraphStats {
+        num_nodes: graph.num_nodes(),
+        num_edges: graph.num_edges(),
+        max_degree: graph.max_degree(),
+        avg_degree: graph.avg_degree(),
+        num_components: connected_components(graph),
+        num_isolated: (0..graph.num_nodes() as NodeId)
+            .filter(|&u| graph.degree(u) == 0)
+            .count(),
+    }
+}
+
+/// Number of connected components (isolated nodes count as their own component).
+pub fn connected_components(graph: &Graph) -> usize {
+    let n = graph.num_nodes();
+    let mut visited = vec![false; n];
+    let mut components = 0usize;
+    let mut stack: Vec<NodeId> = Vec::new();
+    for start in 0..n as NodeId {
+        if visited[start as usize] {
+            continue;
+        }
+        components += 1;
+        visited[start as usize] = true;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &v in graph.neighbors(u) {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; graph.max_degree() + 1];
+    for u in 0..graph.num_nodes() as NodeId {
+        hist[graph.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Global clustering coefficient estimated over at most `max_samples` length-2 paths
+/// centred on random-ish nodes (deterministic: nodes are visited in id order).
+pub fn clustering_coefficient(graph: &Graph, max_samples: usize) -> f64 {
+    let mut wedges = 0usize;
+    let mut closed = 0usize;
+    'outer: for u in 0..graph.num_nodes() as NodeId {
+        let nbrs = graph.neighbors(u);
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                wedges += 1;
+                if graph.has_edge(a, b) {
+                    closed += 1;
+                }
+                if wedges >= max_samples {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        0.0
+    } else {
+        closed as f64 / wedges as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_two_triangles() {
+        let g = Graph::from_edges(7, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.num_nodes, 7);
+        assert_eq!(s.num_edges, 6);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.num_components, 3); // two triangles + isolated node 6
+        assert_eq!(s.num_isolated, 1);
+    }
+
+    #[test]
+    fn components_of_path() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(connected_components(&g), 2);
+    }
+
+    #[test]
+    fn degree_histogram_star() {
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn clustering_of_clique_is_one() {
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5u32 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(5, edges);
+        assert!((clustering_coefficient(&g, 10_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(clustering_coefficient(&g, 10_000), 0.0);
+    }
+}

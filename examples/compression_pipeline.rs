@@ -1,0 +1,72 @@
+//! A small end-to-end compression pipeline, the way a downstream user would wire the
+//! library into a storage system:
+//!
+//! 1. read an edge list (here: generated and written to a temp file first, so the
+//!    example is self-contained),
+//! 2. summarize it with SLUGGER,
+//! 3. report the size of the three output edge sets (which, as the paper notes, are
+//!    themselves graphs and can be fed to any further graph compressor),
+//! 4. answer a few neighbor queries straight from the compressed representation.
+//!
+//! Run with `cargo run --release --example compression_pipeline`.
+
+use slugger::core::decode::neighbors_of;
+use slugger::datasets::{dataset, DatasetKey};
+use slugger::graph::io::{read_edge_list_file, write_edge_list_file};
+use slugger::prelude::*;
+
+fn main() {
+    // Step 0: materialize an edge list on disk (stand-in for the Caida dataset).
+    let graph = dataset(DatasetKey::CA).generate(1.0);
+    let dir = std::env::temp_dir();
+    let path = dir.join("slugger_example_caida.txt");
+    write_edge_list_file(&graph, &path).expect("write edge list");
+    println!("wrote {} edges to {}", graph.num_edges(), path.display());
+
+    // Step 1: read it back (this is where a real pipeline would start).
+    let graph = read_edge_list_file(&path).expect("read edge list");
+    println!(
+        "read graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Step 2: summarize.
+    let outcome = Slugger::new(SluggerConfig {
+        iterations: 20,
+        ..SluggerConfig::default()
+    })
+    .summarize(&graph);
+    let m = &outcome.metrics;
+
+    // Step 3: report the output components.  Each is a plain edge set over supernode
+    // ids, so it can be stored/compressed like any other graph.
+    println!("\noutput of lossless hierarchical summarization:");
+    println!("  positive edges  |P+| = {:>8}", m.p_edges);
+    println!("  negative edges  |P-| = {:>8}", m.n_edges);
+    println!("  hierarchy edges |H|  = {:>8}", m.h_edges);
+    println!(
+        "  total {:>8}  ({:.1}% of the input's {} edges)",
+        m.cost,
+        100.0 * m.relative_size,
+        graph.num_edges()
+    );
+    println!(
+        "  supernodes: {} (of which {} roots)",
+        m.num_supernodes, m.num_roots
+    );
+
+    // Step 4: query the compressed representation directly.
+    println!("\nsample neighbor queries answered from the summary:");
+    for v in [0u32, 1, 2] {
+        let from_summary = neighbors_of(&outcome.summary, v);
+        assert_eq!(from_summary, graph.neighbors(v).to_vec());
+        println!(
+            "  node {v}: {} neighbors (verified against the raw adjacency)",
+            from_summary.len()
+        );
+    }
+
+    std::fs::remove_file(&path).ok();
+    println!("\npipeline finished; temporary edge list removed");
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a small graph, summarize it with SLUGGER, inspect the output, and
+//! verify that decompression reproduces the input exactly.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use slugger::core::decode::{decode_full, neighbors_of, verify_lossless};
+use slugger::prelude::*;
+
+fn main() {
+    // A toy "two departments sharing a lab" graph: two dense groups {0..4} and {5..9},
+    // both fully connected to the shared facility node 10.
+    let mut builder = GraphBuilder::new(11);
+    for group in [0u32, 5] {
+        for i in group..group + 5 {
+            for j in (i + 1)..group + 5 {
+                builder.add_edge(i, j);
+            }
+            builder.add_edge(i, 10);
+        }
+    }
+    let graph = builder.build();
+    println!(
+        "input graph: {} nodes, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    // Summarize with a handful of iterations (the paper's default is T = 20; this toy
+    // graph converges immediately).
+    let outcome = Slugger::new(SluggerConfig {
+        iterations: 5,
+        seed: 7,
+        ..SluggerConfig::default()
+    })
+    .summarize(&graph);
+
+    let m = &outcome.metrics;
+    println!(
+        "summary: |P+| = {}, |P-| = {}, |H| = {}  =>  cost {} ({:.1}% of |E|)",
+        m.p_edges,
+        m.n_edges,
+        m.h_edges,
+        m.cost,
+        100.0 * m.relative_size
+    );
+    println!(
+        "supernodes: {} ({} roots, max tree height {}, avg leaf depth {:.2})",
+        m.num_supernodes, m.num_roots, m.max_height, m.avg_leaf_depth
+    );
+
+    // The summary is lossless: full decompression gives back exactly the input graph.
+    verify_lossless(&outcome.summary, &graph).expect("SLUGGER output must be lossless");
+    let decoded = decode_full(&outcome.summary);
+    assert_eq!(decoded.edge_set(), graph.edge_set());
+    println!("losslessness verified: decoded graph matches the input");
+
+    // Neighbors can be retrieved directly from the compressed form (Algorithm 4).
+    let neighbors_of_lab = neighbors_of(&outcome.summary, 10);
+    println!(
+        "neighbors of the shared facility node 10 (from the summary): {:?}",
+        neighbors_of_lab
+    );
+    assert_eq!(neighbors_of_lab.len(), 10);
+}

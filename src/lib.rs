@@ -1,0 +1,40 @@
+//! # slugger
+//!
+//! Facade crate of the SLUGGER reproduction (Lee, Ko, Shin, *SLUGGER: Lossless
+//! Hierarchical Summarization of Massive Graphs*, ICDE 2022).  It re-exports the
+//! workspace crates under one roof so applications can depend on a single crate:
+//!
+//! * [`graph`] — graph substrate, generators, sampling, I/O (`slugger-graph`).
+//! * [`core`] — the hierarchical summarization model and the SLUGGER algorithm
+//!   (`slugger-core`).
+//! * [`baselines`] — Randomized, SWeG, SAGS, MoSSo on the flat model
+//!   (`slugger-baselines`).
+//! * [`algos`] — BFS/DFS/PageRank/Dijkstra/triangles over raw graphs or summaries
+//!   (`slugger-algos`).
+//! * [`datasets`] — synthetic stand-ins for the paper's 16 evaluation graphs
+//!   (`slugger-datasets`).
+//!
+//! ```
+//! use slugger::prelude::*;
+//!
+//! let graph = slugger::graph::gen::caveman(&Default::default());
+//! let outcome = Slugger::with_defaults().summarize(&graph);
+//! assert!(verify_lossless(&outcome.summary, &graph).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use slugger_algos as algos;
+pub use slugger_baselines as baselines;
+pub use slugger_core as core;
+pub use slugger_datasets as datasets;
+pub use slugger_graph as graph;
+
+/// One-stop prelude for applications.
+pub mod prelude {
+    pub use slugger_baselines::prelude::*;
+    pub use slugger_core::decode::{decode_full, neighbors_of, verify_lossless};
+    pub use slugger_core::{Slugger, SluggerConfig, SluggerOutcome, SummaryMetrics};
+    pub use slugger_graph::prelude::*;
+}

@@ -1,0 +1,319 @@
+//! `slugger-cli` — command-line front end of the SLUGGER reproduction.
+//!
+//! ```text
+//! slugger-cli summarize <edges.txt> [--output summary.slg] [--iterations 20] [--seed 0]
+//! slugger-cli decode    <summary.slg> [--output edges.txt]
+//! slugger-cli neighbors <summary.slg> <node> [<node> ...]
+//! slugger-cli stats     <edges.txt>
+//! slugger-cli generate  <DATASET-KEY> [--scale 1.0] [--output edges.txt]
+//! ```
+//!
+//! Edge lists are whitespace-separated `u v` pairs (comments start with `#`); summaries
+//! use the compact binary format of `slugger_core::storage`.
+
+use slugger::core::decode::{decode_full, neighbors_of, verify_lossless};
+use slugger::core::storage::{read_summary, write_summary};
+use slugger::core::{Slugger, SluggerConfig};
+use slugger::datasets::{registry, DatasetKey};
+use slugger::graph::io::{read_edge_list_file, write_edge_list_file};
+use slugger::graph::stats::graph_stats;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  slugger-cli summarize <edges.txt> [--output summary.slg] [--iterations N] [--seed S] [--height-bound H]
+  slugger-cli decode    <summary.slg> [--output edges.txt]
+  slugger-cli neighbors <summary.slg> <node> [<node> ...]
+  slugger-cli stats     <edges.txt>
+  slugger-cli generate  <DATASET-KEY> [--scale X] [--output edges.txt]
+  slugger-cli datasets";
+
+/// Dispatches a parsed command line. Returns a human-readable error on misuse.
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "summarize" => cmd_summarize(rest),
+        "decode" => cmd_decode(rest),
+        "neighbors" => cmd_neighbors(rest),
+        "stats" => cmd_stats(rest),
+        "generate" => cmd_generate(rest),
+        "datasets" => cmd_datasets(),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// Extracts `--flag value` from an argument list, returning the remaining positionals.
+fn parse_flags(args: &[String]) -> (Vec<String>, std::collections::HashMap<String, String>) {
+    let mut positionals = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = iter.next().cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+        } else {
+            positionals.push(arg.clone());
+        }
+    }
+    (positionals, flags)
+}
+
+fn parse_number<T: std::str::FromStr>(
+    flags: &std::collections::HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {raw:?}")),
+    }
+}
+
+fn cmd_summarize(args: &[String]) -> Result<(), String> {
+    let (positionals, flags) = parse_flags(args);
+    let [input] = positionals.as_slice() else {
+        return Err("summarize expects exactly one input edge list".into());
+    };
+    let iterations: usize = parse_number(&flags, "iterations", 20)?;
+    let seed: u64 = parse_number(&flags, "seed", 0)?;
+    let height_bound: usize = parse_number(&flags, "height-bound", 0)?;
+    let graph = read_edge_list_file(input).map_err(|e| e.to_string())?;
+    eprintln!(
+        "read {}: {} nodes, {} edges",
+        input,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let config = SluggerConfig {
+        iterations,
+        seed,
+        height_bound: if height_bound == 0 { None } else { Some(height_bound) },
+        ..SluggerConfig::default()
+    };
+    let outcome = Slugger::new(config).summarize(&graph);
+    verify_lossless(&outcome.summary, &graph).map_err(|e| format!("internal error: {e}"))?;
+    let m = &outcome.metrics;
+    println!("p-edges          {}", m.p_edges);
+    println!("n-edges          {}", m.n_edges);
+    println!("h-edges          {}", m.h_edges);
+    println!("total cost       {}", m.cost);
+    println!("relative size    {:.4}", m.relative_size);
+    println!("supernodes       {} ({} roots)", m.num_supernodes, m.num_roots);
+    println!("max tree height  {}", m.max_height);
+    println!("avg leaf depth   {:.2}", m.avg_leaf_depth);
+    println!("elapsed          {:.3}s", outcome.elapsed.as_secs_f64());
+    if let Some(path) = flags.get("output") {
+        let file = std::fs::File::create(path).map_err(|e| e.to_string())?;
+        let written = write_summary(&outcome.summary, file).map_err(|e| e.to_string())?;
+        println!("summary written to {path} ({written} bytes)");
+    }
+    Ok(())
+}
+
+fn cmd_decode(args: &[String]) -> Result<(), String> {
+    let (positionals, flags) = parse_flags(args);
+    let [input] = positionals.as_slice() else {
+        return Err("decode expects exactly one summary file".into());
+    };
+    let file = std::fs::File::open(input).map_err(|e| e.to_string())?;
+    let summary = read_summary(file).map_err(|e| e.to_string())?;
+    let graph = decode_full(&summary);
+    println!(
+        "decoded {} supernodes back into {} nodes / {} edges",
+        summary.num_supernodes(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    if let Some(path) = flags.get("output") {
+        write_edge_list_file(&graph, path).map_err(|e| e.to_string())?;
+        println!("edge list written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_neighbors(args: &[String]) -> Result<(), String> {
+    let (positionals, _) = parse_flags(args);
+    let (input, nodes) = positionals
+        .split_first()
+        .ok_or("neighbors expects a summary file and at least one node id")?;
+    if nodes.is_empty() {
+        return Err("neighbors expects at least one node id".into());
+    }
+    let file = std::fs::File::open(input).map_err(|e| e.to_string())?;
+    let summary = read_summary(file).map_err(|e| e.to_string())?;
+    for raw in nodes {
+        let node: u32 = raw
+            .parse()
+            .map_err(|_| format!("node id {raw:?} is not a number"))?;
+        if node as usize >= summary.num_subnodes() {
+            return Err(format!(
+                "node {node} out of range (summary has {} nodes)",
+                summary.num_subnodes()
+            ));
+        }
+        let neighbors = neighbors_of(&summary, node);
+        println!(
+            "{node}: {} neighbors: {:?}",
+            neighbors.len(),
+            neighbors
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (positionals, _) = parse_flags(args);
+    let [input] = positionals.as_slice() else {
+        return Err("stats expects exactly one input edge list".into());
+    };
+    let graph = read_edge_list_file(input).map_err(|e| e.to_string())?;
+    let stats = graph_stats(&graph);
+    println!("nodes        {}", stats.num_nodes);
+    println!("edges        {}", stats.num_edges);
+    println!("max degree   {}", stats.max_degree);
+    println!("avg degree   {:.2}", stats.avg_degree);
+    println!("components   {}", stats.num_components);
+    println!("isolated     {}", stats.num_isolated);
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (positionals, flags) = parse_flags(args);
+    let [key_raw] = positionals.as_slice() else {
+        return Err("generate expects exactly one dataset key (see `slugger-cli datasets`)".into());
+    };
+    let key = DatasetKey::all()
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(key_raw))
+        .ok_or_else(|| format!("unknown dataset key {key_raw:?}"))?;
+    let scale: f64 = parse_number(&flags, "scale", 1.0)?;
+    let spec = registry()
+        .into_iter()
+        .find(|d| d.key == key)
+        .expect("key comes from the registry");
+    let graph = spec.generate(scale);
+    println!(
+        "{} ({}): generated {} nodes / {} edges at scale {scale}",
+        key,
+        spec.paper_name,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    if let Some(path) = flags.get("output") {
+        write_edge_list_file(&graph, path).map_err(|e| e.to_string())?;
+        println!("edge list written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!("available dataset stand-ins (original size in parentheses):");
+    for spec in registry() {
+        println!(
+            "  {}  {:<12} {:>9} nodes, {:>11} edges in the paper",
+            spec.key,
+            spec.paper_name,
+            spec.paper_nodes,
+            spec.paper_edges
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_parsing_splits_positionals_and_flags() {
+        let (pos, flags) = parse_flags(&s(&["input.txt", "--iterations", "7", "--output", "x"]));
+        assert_eq!(pos, vec!["input.txt"]);
+        assert_eq!(flags.get("iterations").map(String::as_str), Some("7"));
+        assert_eq!(flags.get("output").map(String::as_str), Some("x"));
+    }
+
+    #[test]
+    fn numeric_flag_parsing_validates() {
+        let (_, flags) = parse_flags(&s(&["--iterations", "abc"]));
+        assert!(parse_number::<usize>(&flags, "iterations", 20).is_err());
+        assert_eq!(parse_number::<usize>(&flags, "seed", 5).unwrap(), 5);
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn datasets_listing_and_help_succeed() {
+        assert!(run(&s(&["datasets"])).is_ok());
+        assert!(run(&s(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn end_to_end_summarize_decode_neighbors_via_temp_files() {
+        use slugger::graph::gen::{caveman, CavemanConfig};
+        let dir = std::env::temp_dir();
+        let edges_path = dir.join("slugger_cli_test_edges.txt");
+        let summary_path = dir.join("slugger_cli_test_summary.slg");
+        let decoded_path = dir.join("slugger_cli_test_decoded.txt");
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 60,
+            num_cliques: 10,
+            ..CavemanConfig::default()
+        });
+        slugger::graph::io::write_edge_list_file(&graph, &edges_path).unwrap();
+
+        run(&s(&[
+            "summarize",
+            edges_path.to_str().unwrap(),
+            "--iterations",
+            "3",
+            "--output",
+            summary_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&[
+            "decode",
+            summary_path.to_str().unwrap(),
+            "--output",
+            decoded_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&s(&["neighbors", summary_path.to_str().unwrap(), "0", "5"])).unwrap();
+        run(&s(&["stats", edges_path.to_str().unwrap()])).unwrap();
+
+        let decoded = slugger::graph::io::read_edge_list_file(&decoded_path).unwrap();
+        assert_eq!(decoded.edge_set(), graph.edge_set());
+
+        for p in [&edges_path, &summary_path, &decoded_path] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Integration of the dataset registry with the summarizers: every one of the 16
+//! stand-ins must generate, validate, and summarize losslessly (at a tiny scale so the
+//! whole suite stays fast under `cargo test`).
+
+use slugger::core::decode::verify_lossless;
+use slugger::datasets::{registry, DatasetKey, Domain};
+use slugger::prelude::*;
+
+#[test]
+fn all_sixteen_standins_generate_and_summarize_losslessly() {
+    for spec in registry() {
+        let graph = spec.generate(0.05);
+        graph
+            .validate()
+            .unwrap_or_else(|e| panic!("{} generated an invalid graph: {e}", spec.key));
+        assert!(graph.num_edges() > 0, "{} has no edges", spec.key);
+        let outcome = Slugger::new(SluggerConfig {
+            iterations: 3,
+            max_candidate_size: 64,
+            seed: 9,
+            ..SluggerConfig::default()
+        })
+        .summarize(&graph);
+        verify_lossless(&outcome.summary, &graph)
+            .unwrap_or_else(|e| panic!("{} not lossless: {e}", spec.key));
+        assert!(outcome.metrics.cost <= graph.num_edges());
+    }
+}
+
+#[test]
+fn registry_metadata_is_consistent_with_the_paper() {
+    let reg = registry();
+    assert_eq!(reg.len(), 16);
+    // Spot-check Table II numbers and domains.
+    let by_key = |k: DatasetKey| reg.iter().find(|d| d.key == k).unwrap();
+    assert_eq!(by_key(DatasetKey::CA).paper_nodes, 26_475);
+    assert_eq!(by_key(DatasetKey::FA).paper_edges, 88_234);
+    assert_eq!(by_key(DatasetKey::HO).domain, Domain::Collaboration);
+    assert_eq!(by_key(DatasetKey::U5).paper_edges, 783_027_125);
+    // Ordered by paper edge count (Table II lists them smallest to largest).
+    let edges: Vec<usize> = reg.iter().map(|d| d.paper_edges).collect();
+    let mut sorted = edges.clone();
+    sorted.sort_unstable();
+    assert_eq!(edges, sorted);
+}
+
+#[test]
+fn scaling_up_produces_more_edges() {
+    let spec = registry()
+        .into_iter()
+        .find(|d| d.key == DatasetKey::DB)
+        .unwrap();
+    let small = spec.generate(0.05);
+    let larger = spec.generate(0.2);
+    assert!(larger.num_edges() > small.num_edges());
+    assert!(larger.num_nodes() > small.num_nodes());
+}
+
+#[test]
+fn hyperlink_standins_compress_better_than_random_social_standins() {
+    // The paper's hyperlink graphs are by far the most compressible; our RMAT
+    // stand-ins should preserve that ordering against the BA-based Youtube stand-in.
+    let config = SluggerConfig {
+        iterations: 5,
+        seed: 4,
+        ..SluggerConfig::default()
+    };
+    let reg = registry();
+    let cn = reg.iter().find(|d| d.key == DatasetKey::CN).unwrap().generate(0.15);
+    let yo = reg.iter().find(|d| d.key == DatasetKey::YO).unwrap().generate(0.15);
+    let cn_size = Slugger::new(config).summarize(&cn).metrics.relative_size;
+    let yo_size = Slugger::new(config).summarize(&yo).metrics.relative_size;
+    assert!(
+        cn_size < yo_size,
+        "hyperlink stand-in ({cn_size:.3}) should compress better than the BA stand-in ({yo_size:.3})"
+    );
+}

@@ -1,0 +1,104 @@
+//! Workspace-level property tests: SLUGGER must be lossless on *every* graph, whatever
+//! generator, seed, or configuration produced it, and partial decompression must agree
+//! with full decompression.
+
+use proptest::prelude::*;
+use slugger::core::decode::{decode_full, neighbors_of, verify_lossless};
+use slugger::graph::gen::{caveman, erdos_renyi, nested_sbm, CavemanConfig, NestedSbmConfig};
+use slugger::prelude::*;
+
+/// Strategy: a random simple graph built from an explicit edge list over `n ≤ 40`
+/// nodes (arbitrary structure, including multi-component and isolated nodes).
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges.min(120))
+            .prop_map(move |edges| Graph::from_edges(n, edges))
+    })
+}
+
+fn quick_slugger(seed: u64, iterations: usize) -> Slugger {
+    Slugger::new(SluggerConfig {
+        iterations,
+        max_candidate_size: 32,
+        max_shingle_splits: 3,
+        seed,
+        ..SluggerConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn slugger_is_lossless_on_arbitrary_graphs(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let outcome = quick_slugger(seed, 3).summarize(&graph);
+        prop_assert!(verify_lossless(&outcome.summary, &graph).is_ok(),
+            "lossless verification failed: {:?}", verify_lossless(&outcome.summary, &graph));
+        prop_assert!(outcome.summary.validate().is_ok());
+    }
+
+    #[test]
+    fn partial_decompression_matches_full_decode(graph in arbitrary_graph(), seed in 0u64..1000) {
+        let outcome = quick_slugger(seed, 2).summarize(&graph);
+        let decoded = decode_full(&outcome.summary);
+        for v in 0..graph.num_nodes() as u32 {
+            let partial = neighbors_of(&outcome.summary, v);
+            prop_assert_eq!(partial, decoded.neighbors(v).to_vec(), "node {}", v);
+        }
+    }
+
+    #[test]
+    fn encoding_cost_never_exceeds_trivial_encoding(graph in arbitrary_graph(), seed in 0u64..1000) {
+        // The identity summary costs exactly |E|; SLUGGER only merges when the saving
+        // threshold is met, and pruning never increases the cost, so the final cost may
+        // never exceed |E|.
+        let outcome = quick_slugger(seed, 4).summarize(&graph);
+        prop_assert!(outcome.metrics.cost <= graph.num_edges(),
+            "cost {} exceeds |E| = {}", outcome.metrics.cost, graph.num_edges());
+    }
+}
+
+#[test]
+fn slugger_is_lossless_on_structured_generators() {
+    let graphs = vec![
+        caveman(&CavemanConfig {
+            num_nodes: 180,
+            num_cliques: 30,
+            ..CavemanConfig::default()
+        }),
+        nested_sbm(&NestedSbmConfig {
+            num_nodes: 220,
+            levels: 2,
+            branching: 4,
+            base_probability: 0.004,
+            level_boost: 14.0,
+            seed: 5,
+        }),
+        erdos_renyi(150, 450, 9),
+    ];
+    for (i, graph) in graphs.into_iter().enumerate() {
+        let outcome = Slugger::new(SluggerConfig {
+            iterations: 6,
+            seed: i as u64,
+            ..SluggerConfig::default()
+        })
+        .summarize(&graph);
+        verify_lossless(&outcome.summary, &graph)
+            .unwrap_or_else(|e| panic!("generator {i} not lossless: {e}"));
+        assert!(outcome.metrics.cost <= graph.num_edges());
+    }
+}
+
+#[test]
+fn repeated_runs_with_different_seeds_are_all_lossless() {
+    let graph = caveman(&CavemanConfig {
+        num_nodes: 120,
+        num_cliques: 18,
+        ..CavemanConfig::default()
+    });
+    for seed in 0..8u64 {
+        let outcome = quick_slugger(seed, 5).summarize(&graph);
+        verify_lossless(&outcome.summary, &graph).unwrap();
+    }
+}

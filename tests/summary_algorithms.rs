@@ -1,0 +1,93 @@
+//! Integration of `slugger-algos` with `slugger-core`: every algorithm must return the
+//! same answer when run on the compressed summary (through partial decompression) as on
+//! the raw graph — the property behind the paper's Sect. VIII-C experiments.
+
+use slugger::algos::{bfs_distances, bfs_order, count_triangles, dfs_order, dijkstra, pagerank, PageRankConfig};
+use slugger::core::decode::SummaryNeighborView;
+use slugger::datasets::{dataset, DatasetKey};
+use slugger::graph::gen::{caveman, CavemanConfig};
+use slugger::prelude::*;
+
+fn summarize(graph: &Graph) -> SluggerOutcome {
+    Slugger::new(SluggerConfig {
+        iterations: 6,
+        seed: 11,
+        ..SluggerConfig::default()
+    })
+    .summarize(graph)
+}
+
+#[test]
+fn traversals_agree_between_raw_and_summary() {
+    let graph = caveman(&CavemanConfig {
+        num_nodes: 150,
+        num_cliques: 22,
+        ..CavemanConfig::default()
+    });
+    let outcome = summarize(&graph);
+    let view = SummaryNeighborView::new(&outcome.summary);
+    for start in [0u32, 17, 90] {
+        let mut raw_bfs = bfs_order(&graph, start);
+        let mut sum_bfs = bfs_order(&view, start);
+        raw_bfs.sort_unstable();
+        sum_bfs.sort_unstable();
+        assert_eq!(raw_bfs, sum_bfs, "BFS reachability from {start}");
+
+        let mut raw_dfs = dfs_order(&graph, start);
+        let mut sum_dfs = dfs_order(&view, start);
+        raw_dfs.sort_unstable();
+        sum_dfs.sort_unstable();
+        assert_eq!(raw_dfs, sum_dfs, "DFS reachability from {start}");
+    }
+}
+
+#[test]
+fn distances_agree_between_raw_and_summary() {
+    let graph = dataset(DatasetKey::CA).generate(0.1);
+    let outcome = summarize(&graph);
+    let view = SummaryNeighborView::new(&outcome.summary);
+    let raw = bfs_distances(&graph, 0);
+    let summary = bfs_distances(&view, 0);
+    assert_eq!(raw, summary);
+
+    let raw_w = dijkstra(&graph, 0, |_, _| 1.0);
+    let summary_w = dijkstra(&view, 0, |_, _| 1.0);
+    for (a, b) in raw_w.iter().zip(summary_w.iter()) {
+        match (a, b) {
+            (None, None) => {}
+            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9),
+            other => panic!("distance mismatch: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn pagerank_agrees_between_raw_and_summary() {
+    let graph = dataset(DatasetKey::FA).generate(0.15);
+    let outcome = summarize(&graph);
+    let view = SummaryNeighborView::new(&outcome.summary);
+    let cfg = PageRankConfig {
+        iterations: 12,
+        ..PageRankConfig::default()
+    };
+    let raw = pagerank(&graph, &cfg);
+    let summary = pagerank(&view, &cfg);
+    for (a, b) in raw.iter().zip(summary.iter()) {
+        assert!((a - b).abs() < 1e-9, "pagerank mismatch {a} vs {b}");
+    }
+}
+
+#[test]
+fn triangle_counts_agree_between_raw_and_summary() {
+    let graph = caveman(&CavemanConfig {
+        num_nodes: 100,
+        num_cliques: 16,
+        min_clique: 4,
+        max_clique: 7,
+        rewire_probability: 0.03,
+        seed: 2,
+    });
+    let outcome = summarize(&graph);
+    let view = SummaryNeighborView::new(&outcome.summary);
+    assert_eq!(count_triangles(&graph), count_triangles(&view));
+}
