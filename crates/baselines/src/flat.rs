@@ -8,8 +8,8 @@
 //! (trivial once the grouping is fixed, as the paper notes).
 
 use serde::{Deserialize, Serialize};
-use slugger_graph::hash::FxHashMap;
 use slugger_graph::graph::NeighborAccess;
+use slugger_graph::hash::FxHashMap;
 use slugger_graph::{Graph, GraphBuilder, NodeId};
 
 /// Identifier of a flat supernode.
@@ -37,12 +37,19 @@ impl Grouping {
     /// Builds a grouping from an explicit assignment vector (group ids need not be
     /// contiguous, but must be `< num_nodes`).
     pub fn from_assignment(assignment: Vec<GroupId>) -> Self {
-        let max_group = assignment.iter().copied().max().map_or(0, |g| g as usize + 1);
+        let max_group = assignment
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |g| g as usize + 1);
         let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); max_group];
         for (u, &g) in assignment.iter().enumerate() {
             members[g as usize].push(u as NodeId);
         }
-        Grouping { assignment, members }
+        Grouping {
+            assignment,
+            members,
+        }
     }
 
     /// Number of subnodes.
@@ -370,7 +377,11 @@ fn push_missing_pairs(
 ///
 /// Generic over [`NeighborAccess`] so that streaming summarizers (MoSSo) can evaluate
 /// costs against an incrementally maintained adjacency structure.
-pub fn group_cost<G: NeighborAccess + ?Sized>(graph: &G, grouping: &Grouping, group: GroupId) -> usize {
+pub fn group_cost<G: NeighborAccess + ?Sized>(
+    graph: &G,
+    grouping: &Grouping,
+    group: GroupId,
+) -> usize {
     pairwise_costs(graph, grouping, group).values().sum()
 }
 

@@ -149,7 +149,9 @@ impl MossoSummarizer {
                 }
                 None // fresh singleton
             } else {
-                let Some(w) = self.sample_neighbor(via) else { continue };
+                let Some(w) = self.sample_neighbor(via) else {
+                    continue;
+                };
                 if w == node {
                     continue;
                 }
@@ -291,7 +293,10 @@ mod tests {
             num_nodes: 80,
             ..CavemanConfig::default()
         });
-        let cfg = MossoConfig { seed: 11, ..MossoConfig::default() };
+        let cfg = MossoConfig {
+            seed: 11,
+            ..MossoConfig::default()
+        };
         assert_eq!(
             mosso_summarize(&g, &cfg).total_cost(),
             mosso_summarize(&g, &cfg).total_cost()

@@ -51,7 +51,7 @@ pub fn randomized_summarize(graph: &Graph, config: &RandomizedConfig) -> FlatSum
                 continue;
             }
             let saving = merge_saving(graph, &grouping, pivot, cand);
-            if best.map_or(true, |(_, s)| saving > s) {
+            if best.is_none_or(|(_, s)| saving > s) {
                 best = Some((cand, saving));
             }
         }
@@ -150,8 +150,20 @@ mod tests {
             num_nodes: 80,
             ..CavemanConfig::default()
         });
-        let a = randomized_summarize(&g, &RandomizedConfig { seed: 5, ..Default::default() });
-        let b = randomized_summarize(&g, &RandomizedConfig { seed: 5, ..Default::default() });
+        let a = randomized_summarize(
+            &g,
+            &RandomizedConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
+        let b = randomized_summarize(
+            &g,
+            &RandomizedConfig {
+                seed: 5,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.total_cost(), b.total_cost());
     }
 }

@@ -67,8 +67,8 @@ pub fn sags_summarize(graph: &Graph, config: &SagsConfig) -> FlatSummary {
         let mut buckets: FxHashMap<u64, Vec<NodeId>> = FxHashMap::default();
         for u in 0..n as NodeId {
             let mut acc = 0xcbf2_9ce4_8422_2325u64;
-            for row in lo..hi {
-                acc = hash_u64_with_seed(acc ^ signatures[u as usize][row], band as u64 + 1);
+            for &sig in &signatures[u as usize][lo..hi] {
+                acc = hash_u64_with_seed(acc ^ sig, band as u64 + 1);
             }
             buckets.entry(acc).or_default().push(u);
         }
@@ -147,7 +147,10 @@ mod tests {
             num_nodes: 90,
             ..CavemanConfig::default()
         });
-        let cfg = SagsConfig { seed: 3, ..SagsConfig::default() };
+        let cfg = SagsConfig {
+            seed: 3,
+            ..SagsConfig::default()
+        };
         assert_eq!(
             sags_summarize(&g, &cfg).total_cost(),
             sags_summarize(&g, &cfg).total_cost()

@@ -7,11 +7,19 @@
 //! **SuperJaccard similarity** (cheap) and accepting a merge only when the actual
 //! flat-model saving clears the threshold `θ(t) = (1 + t)⁻¹`.  A final encoding phase
 //! computes the optimal `P`, `C+`, `C−` for the resulting grouping.
+//!
+//! The per-iteration execution runs on the **same sharded pipeline substrate as
+//! SLUGGER** ([`slugger_core::pipeline`]): shingle groups are dealt across worker
+//! shards, each shard plans its merges on a clone of the frozen grouping with a
+//! per-group RNG stream, and the planned merges are replayed on the authoritative
+//! grouping in deterministic group order.  [`SwegConfig::parallelism`] only chooses
+//! the thread count and never changes the result.
 
 use crate::flat::{merge_saving, FlatSummary, GroupId, Grouping};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
+use slugger_core::pipeline::{plan_shards, set_rng, Parallelism, ShardWorker, DEFAULT_SHARDS};
 use slugger_graph::hash::{hash_node_with_seed, FxHashMap};
 use slugger_graph::{Graph, NodeId};
 
@@ -24,6 +32,11 @@ pub struct SwegConfig {
     pub max_group_size: usize,
     /// Random seed.
     pub seed: u64,
+    /// Worker shards per iteration (deterministic structure, like
+    /// [`slugger_core::SluggerConfig::shards`]).
+    pub shards: usize,
+    /// Thread knob for shard execution; never affects results.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SwegConfig {
@@ -32,7 +45,43 @@ impl Default for SwegConfig {
             iterations: 20,
             max_group_size: 500,
             seed: 0,
+            shards: DEFAULT_SHARDS,
+            parallelism: Parallelism::Sequential,
         }
+    }
+}
+
+/// SWeG's shard worker: the frozen grouping of the iteration; forking clones it.
+///
+/// Unlike SLUGGER (which plans each set on a copy-on-write overlay), SWeG pays one
+/// O(|V|) `Grouping` clone per non-empty shard per iteration — cheap next to the
+/// SuperJaccard evaluations, and what makes a shard's plan self-consistent across
+/// its groups.  Consequently SWeG's output *does* depend on `shards` (but never on
+/// the thread count).
+struct SwegShardWorker<'a> {
+    graph: &'a Graph,
+    view: &'a Grouping,
+    threshold: f64,
+}
+
+impl ShardWorker for SwegShardWorker<'_> {
+    type Planner = Grouping;
+    /// Merges as `(survivor, absorbed)` pairs; flat-model group ids are stable, so no
+    /// positional references are needed (unlike the hierarchical engine's plans).
+    type Plan = Vec<(GroupId, GroupId)>;
+
+    fn fork(&self) -> Grouping {
+        self.view.clone()
+    }
+
+    fn plan_set(
+        &self,
+        planner: &mut Grouping,
+        _set_index: usize,
+        set: &[GroupId],
+        rng: &mut StdRng,
+    ) -> Vec<(GroupId, GroupId)> {
+        plan_within_group(self.graph, planner, set, self.threshold, rng)
     }
 }
 
@@ -40,7 +89,6 @@ impl Default for SwegConfig {
 pub fn sweg_summarize(graph: &Graph, config: &SwegConfig) -> FlatSummary {
     let n = graph.num_nodes();
     let mut grouping = Grouping::singletons(n);
-    let mut rng = StdRng::seed_from_u64(config.seed);
     for t in 1..=config.iterations {
         let threshold = if t >= config.iterations {
             0.0
@@ -48,8 +96,24 @@ pub fn sweg_summarize(graph: &Graph, config: &SwegConfig) -> FlatSummary {
             1.0 / (1.0 + t as f64)
         };
         let groups = shingle_groups(graph, &grouping, config, t as u64);
-        for group in groups {
-            merge_within_group(graph, &mut grouping, &group, threshold, &mut rng);
+        let worker = SwegShardWorker {
+            graph,
+            view: &grouping,
+            threshold,
+        };
+        let plans = plan_shards(
+            &worker,
+            &groups,
+            config.shards,
+            config.parallelism,
+            &|group_index| set_rng(config.seed, t, group_index),
+        );
+        // Apply stage: groups are disjoint, so replaying the planned merges in group
+        // order reproduces each shard's planned grouping exactly.
+        for plan in &plans {
+            for &(survivor, absorbed) in plan {
+                grouping.merge_groups(survivor, absorbed);
+            }
         }
     }
     FlatSummary::build(graph, grouping)
@@ -137,15 +201,19 @@ fn neighbor_weights(graph: &Graph, grouping: &Grouping, g: GroupId) -> FxHashMap
     weights
 }
 
-/// Greedy merging within one group: the pivot order is random; each pivot merges with
-/// its most SuperJaccard-similar partner when the flat saving clears the threshold.
-fn merge_within_group(
+/// Greedy merging within one group (the merge stage of the shared pipeline): the
+/// pivot order is random; each pivot merges with its most SuperJaccard-similar
+/// partner when the flat saving clears the threshold.  The merges are applied to the
+/// given (per-shard) grouping *and* returned as `(survivor, absorbed)` pairs so the
+/// apply stage can replay them on the authoritative grouping.
+fn plan_within_group(
     graph: &Graph,
     grouping: &mut Grouping,
     group: &[GroupId],
     threshold: f64,
     rng: &mut StdRng,
-) {
+) -> Vec<(GroupId, GroupId)> {
+    let mut merges: Vec<(GroupId, GroupId)> = Vec::new();
     let mut queue: Vec<GroupId> = group
         .iter()
         .copied()
@@ -163,7 +231,7 @@ fn merge_within_group(
                 continue;
             }
             let sim = super_jaccard(graph, grouping, pivot, other);
-            if best.map_or(true, |(_, s)| sim > s) {
+            if best.is_none_or(|(_, s)| sim > s) {
                 best = Some((pos, sim));
             }
         }
@@ -172,9 +240,11 @@ fn merge_within_group(
         let saving = merge_saving(graph, grouping, pivot, partner);
         if saving >= threshold {
             let survivor = grouping.merge_groups(pivot, partner);
+            merges.push((pivot, partner));
             queue[pos] = survivor;
         }
     }
+    merges
 }
 
 #[cfg(test)]
@@ -197,6 +267,7 @@ mod tests {
                     iterations: 5,
                     max_group_size: 64,
                     seed: 1,
+                    ..SwegConfig::default()
                 },
             );
             summary.verify_lossless(&g).unwrap();
@@ -220,6 +291,7 @@ mod tests {
                 iterations: 8,
                 max_group_size: 64,
                 seed: 4,
+                ..SwegConfig::default()
             },
         );
         summary.verify_lossless(&g).unwrap();
@@ -250,11 +322,49 @@ mod tests {
             iterations: 4,
             max_group_size: 64,
             seed: 9,
+            ..SwegConfig::default()
         };
         assert_eq!(
             sweg_summarize(&g, &cfg).total_cost(),
             sweg_summarize(&g, &cfg).total_cost()
         );
+    }
+
+    #[test]
+    fn parallel_execution_reproduces_the_sequential_grouping() {
+        // SWeG rides the same pipeline substrate as SLUGGER, so the same contract
+        // holds: the thread knob must never change the output.
+        let g = caveman(&CavemanConfig {
+            num_nodes: 200,
+            num_cliques: 30,
+            ..CavemanConfig::default()
+        });
+        let base = SwegConfig {
+            iterations: 5,
+            max_group_size: 64,
+            seed: 6,
+            ..SwegConfig::default()
+        };
+        let sequential = sweg_summarize(&g, &base);
+        for parallelism in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(8),
+            Parallelism::Auto,
+        ] {
+            let parallel = sweg_summarize(
+                &g,
+                &SwegConfig {
+                    parallelism,
+                    ..base
+                },
+            );
+            assert_eq!(
+                sequential.total_cost(),
+                parallel.total_cost(),
+                "thread knob changed SWeG's output at {parallelism:?}"
+            );
+            parallel.verify_lossless(&g).unwrap();
+        }
     }
 }
 
@@ -365,6 +475,7 @@ mod lossy_tests {
             iterations: 5,
             max_group_size: 64,
             seed: 2,
+            ..SwegConfig::default()
         }
     }
 

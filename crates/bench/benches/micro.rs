@@ -110,8 +110,10 @@ fn bench_flat_encoding(c: &mut Criterion) {
     let assignment: Vec<u32> = (0..graph.num_nodes() as u32).map(|u| u / 8 * 8).collect();
     c.bench_function("flat_optimal_encoding", |b| {
         b.iter(|| {
-            let summary =
-                FlatSummary::build(black_box(&graph), Grouping::from_assignment(assignment.clone()));
+            let summary = FlatSummary::build(
+                black_box(&graph),
+                Grouping::from_assignment(assignment.clone()),
+            );
             black_box(summary.total_cost())
         })
     });

@@ -1,5 +1,8 @@
 //! Harness binary for ablation_candidate_size.  Flags: `--scale`, `--iterations`, `--seed`, `--datasets`, `--quick`.
 fn main() {
     let scale = slugger_bench::ExperimentScale::from_env();
-    print!("{}", slugger_bench::experiments::ablation_candidate_size::run(&scale));
+    print!(
+        "{}",
+        slugger_bench::experiments::ablation_candidate_size::run(&scale)
+    );
 }

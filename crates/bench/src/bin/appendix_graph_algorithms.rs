@@ -1,5 +1,8 @@
 //! Harness binary for graph_algorithms.  Flags: `--scale`, `--iterations`, `--seed`, `--datasets`, `--quick`.
 fn main() {
     let scale = slugger_bench::ExperimentScale::from_env();
-    print!("{}", slugger_bench::experiments::graph_algorithms::run(&scale));
+    print!(
+        "{}",
+        slugger_bench::experiments::graph_algorithms::run(&scale)
+    );
 }

@@ -1,5 +1,8 @@
 //! Harness binary for neighbor_query.  Flags: `--scale`, `--iterations`, `--seed`, `--datasets`, `--quick`.
 fn main() {
     let scale = slugger_bench::ExperimentScale::from_env();
-    print!("{}", slugger_bench::experiments::neighbor_query::run(&scale));
+    print!(
+        "{}",
+        slugger_bench::experiments::neighbor_query::run(&scale)
+    );
 }

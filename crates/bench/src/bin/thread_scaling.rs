@@ -1,0 +1,13 @@
+//! Harness binary for the thread-scaling experiment (sharded merge pipeline).
+//!
+//! ```text
+//! cargo run --release --bin thread_scaling [--scale 1.0] [--iterations 10] [--seed 0]
+//! ```
+
+use slugger_bench::experiments::thread_scaling;
+use slugger_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    print!("{}", thread_scaling::run(&scale));
+}

@@ -52,7 +52,9 @@ pub fn run(scale: &ExperimentScale) -> String {
     let mut out = heading("Ablation — candidate-set size cap and re-encoding memoization");
     out.push_str("Candidate-set cap (paper default 500):\n\n");
     out.push_str(&cap_table.to_text());
-    out.push_str("\nMemoization of the local re-encoding (identical outputs, different runtime):\n\n");
+    out.push_str(
+        "\nMemoization of the local re-encoding (identical outputs, different runtime):\n\n",
+    );
     out.push_str(&memo_table.to_text());
     out
 }

@@ -30,8 +30,8 @@ pub fn run(scale: &ExperimentScale) -> String {
         .filter(|r| r.algorithm != Algorithm::Slugger)
         .min_by(|a, b| a.relative_size.total_cmp(&b.relative_size))
         .expect("competitor result");
-    let improvement =
-        100.0 * (1.0 - slugger.relative_size / best_competitor.relative_size.max(f64::MIN_POSITIVE));
+    let improvement = 100.0
+        * (1.0 - slugger.relative_size / best_competitor.relative_size.max(f64::MIN_POSITIVE));
 
     let mut out = heading("Fig. 1(a) — Relative size of outputs on the PR stand-in");
     out.push_str(&format!(

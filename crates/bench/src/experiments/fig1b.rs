@@ -1,11 +1,13 @@
 //! Fig. 1(b): scalability — SLUGGER's running time on node-sampled subgraphs of the
 //! largest dataset (UK-05 stand-in), which should grow linearly with the number of
-//! edges.
+//! edges.  Each sample is summarized twice — sequentially and through the sharded
+//! pipeline at `--threads` workers — to show that the parallel path preserves the
+//! linear-in-|E| behaviour *and* the exact output (identical cost by construction).
 
 use crate::experiments::heading;
 use crate::runner::ExperimentScale;
 use crate::table::{fmt_duration, TableWriter};
-use slugger_core::Slugger;
+use slugger_core::{Parallelism, Slugger, SluggerConfig};
 use slugger_datasets::{dataset, DatasetKey};
 use slugger_graph::sample::induced_node_sample;
 
@@ -16,28 +18,58 @@ pub const FRACTIONS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
 pub fn run(scale: &ExperimentScale) -> String {
     let spec = dataset(DatasetKey::U5);
     let full = spec.generate(scale.scale);
-    let mut table = TableWriter::new(["Fraction", "Nodes", "Edges", "SLUGGER time", "ns / edge"]);
+    let parallelism = match scale.parallelism() {
+        // A sequential default would make the comparison columns identical; measure a
+        // modest parallel setting instead.
+        Parallelism::Sequential => Parallelism::Fixed(4),
+        other => other,
+    };
+    let mut table = TableWriter::new([
+        "Fraction",
+        "Nodes",
+        "Edges",
+        "Seq time",
+        "Par time",
+        "Speedup",
+        "ns / edge (par)",
+    ]);
     let mut points: Vec<(usize, f64)> = Vec::new();
     for (i, &fraction) in FRACTIONS.iter().enumerate() {
         let (graph, _) = induced_node_sample(&full, fraction, scale.seed + i as u64);
         if graph.num_edges() == 0 {
             continue;
         }
-        let outcome = Slugger::new(scale.slugger_config()).summarize(&graph);
-        let secs = outcome.elapsed.as_secs_f64();
-        points.push((graph.num_edges(), secs));
+        let sequential = Slugger::new(SluggerConfig {
+            parallelism: Parallelism::Sequential,
+            ..scale.slugger_config()
+        })
+        .summarize(&graph);
+        let parallel = Slugger::new(SluggerConfig {
+            parallelism,
+            ..scale.slugger_config()
+        })
+        .summarize(&graph);
+        assert_eq!(
+            sequential.metrics.cost, parallel.metrics.cost,
+            "the parallelism knob must not change the summary"
+        );
+        let seq_secs = sequential.elapsed.as_secs_f64();
+        let par_secs = parallel.elapsed.as_secs_f64();
+        points.push((graph.num_edges(), par_secs));
         table.row([
             format!("{fraction:.2}"),
             graph.num_nodes().to_string(),
             graph.num_edges().to_string(),
-            fmt_duration(outcome.elapsed),
-            format!("{:.0}", secs * 1e9 / graph.num_edges() as f64),
+            fmt_duration(sequential.elapsed),
+            fmt_duration(parallel.elapsed),
+            format!("{:.2}x", seq_secs / par_secs.max(1e-9)),
+            format!("{:.0}", par_secs * 1e9 / graph.num_edges() as f64),
         ]);
     }
 
     let mut out = heading("Fig. 1(b) — Scalability of SLUGGER (node-sampled UK-05 stand-in)");
     out.push_str(&format!(
-        "Base graph: |V| = {}, |E| = {} (scale {}).\n\n",
+        "Base graph: |V| = {}, |E| = {} (scale {}); parallel runs at {parallelism:?}.\n\n",
         full.num_nodes(),
         full.num_edges(),
         scale.scale
@@ -49,8 +81,9 @@ pub fn run(scale: &ExperimentScale) -> String {
         let edge_ratio = e1 as f64 / e0 as f64;
         let time_ratio = t1 / t0.max(1e-9);
         out.push_str(&format!(
-            "\nEdges grew {edge_ratio:.1}x from the smallest to the largest sample while time grew {time_ratio:.1}x; \
-             a ratio close to the edge growth indicates the linear scaling of Fig. 1(b).\n"
+            "\nEdges grew {edge_ratio:.1}x from the smallest to the largest sample while parallel time grew \
+             {time_ratio:.1}x; a ratio close to the edge growth indicates the linear scaling of Fig. 1(b).  \
+             Sequential and parallel runs produce identical summaries (asserted above).\n"
         ));
     }
     out

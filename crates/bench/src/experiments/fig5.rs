@@ -41,7 +41,14 @@ pub fn sweep(scale: &ExperimentScale) -> Vec<DatasetSweep> {
 /// Renders panel (a): relative output sizes.
 pub fn report_compactness(sweeps: &[DatasetSweep]) -> String {
     let mut table = TableWriter::new([
-        "Dataset", "Nodes", "Edges", "Slugger", "SWeG", "MoSSo", "Randomized", "SAGS",
+        "Dataset",
+        "Nodes",
+        "Edges",
+        "Slugger",
+        "SWeG",
+        "MoSSo",
+        "Randomized",
+        "SAGS",
         "vs best competitor",
     ]);
     for sweep in sweeps {
@@ -81,7 +88,14 @@ pub fn report_compactness(sweeps: &[DatasetSweep]) -> String {
 /// Renders panel (b): running times and speed-ups over SWeG and SAGS.
 pub fn report_runtime(sweeps: &[DatasetSweep]) -> String {
     let mut table = TableWriter::new([
-        "Dataset", "Slugger", "SWeG", "MoSSo", "Randomized", "SAGS", "x vs SWeG", "x vs SAGS",
+        "Dataset",
+        "Slugger",
+        "SWeG",
+        "MoSSo",
+        "Randomized",
+        "SAGS",
+        "x vs SWeG",
+        "x vs SAGS",
     ]);
     for sweep in sweeps {
         let get = |a: Algorithm| {

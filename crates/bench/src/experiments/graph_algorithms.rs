@@ -53,12 +53,10 @@ pub fn run(scale: &ExperimentScale) -> String {
             r.len()
         });
 
-        let (dj_raw_t, dj_raw) = time(&mut || {
-            dijkstra(&graph, 0, |_, _| 1.0).iter().flatten().count()
-        });
-        let (dj_sum_t, dj_sum) = time(&mut || {
-            dijkstra(&view, 0, |_, _| 1.0).iter().flatten().count()
-        });
+        let (dj_raw_t, dj_raw) =
+            time(&mut || dijkstra(&graph, 0, |_, _| 1.0).iter().flatten().count());
+        let (dj_sum_t, dj_sum) =
+            time(&mut || dijkstra(&view, 0, |_, _| 1.0).iter().flatten().count());
         assert_eq!(dj_raw, dj_sum, "Dijkstra reachability must agree");
 
         let (tri_raw_t, tri_raw) = time(&mut || count_triangles(&graph));

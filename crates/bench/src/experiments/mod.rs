@@ -14,6 +14,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod theorem1;
+pub mod thread_scaling;
 
 /// Helper shared by the reports: a section heading.
 pub(crate) fn heading(title: &str) -> String {

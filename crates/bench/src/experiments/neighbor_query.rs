@@ -49,7 +49,10 @@ pub fn run(scale: &ExperimentScale) -> String {
             checksum_raw += graph.neighbors(v).len();
         }
         let raw_us = (start.elapsed().as_micros() as f64 / queries.len() as f64).max(0.001);
-        assert_eq!(checksum, checksum_raw, "partial decompression must be exact");
+        assert_eq!(
+            checksum, checksum_raw,
+            "partial decompression must be exact"
+        );
 
         depth_latency.push((outcome.metrics.avg_leaf_depth, summary_us));
         table.row([
@@ -61,7 +64,8 @@ pub fn run(scale: &ExperimentScale) -> String {
         ]);
     }
 
-    let mut out = heading("Sect. VIII-B — Neighbor retrieval by partial decompression (Algorithm 4)");
+    let mut out =
+        heading("Sect. VIII-B — Neighbor retrieval by partial decompression (Algorithm 4)");
     out.push_str(&table.to_text());
     out.push_str(&format!(
         "\nPearson correlation between average leaf depth and query latency: {:.2}\n(the paper reports ≈ 0.82 — deeper hierarchies make queries slower).\n",

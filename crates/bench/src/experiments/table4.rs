@@ -30,13 +30,15 @@ pub fn run(scale: &ExperimentScale) -> String {
         let mut sizes = Vec::new();
         let mut heights = Vec::new();
         let mut depths = Vec::new();
-        let record =
-            |summary: &slugger_core::HierarchicalSummary, sizes: &mut Vec<f64>, heights: &mut Vec<usize>, depths: &mut Vec<f64>| {
-                let m = SummaryMetrics::compute(summary, graph.num_edges());
-                sizes.push(m.relative_size);
-                heights.push(m.max_height);
-                depths.push(m.avg_leaf_depth);
-            };
+        let record = |summary: &slugger_core::HierarchicalSummary,
+                      sizes: &mut Vec<f64>,
+                      heights: &mut Vec<usize>,
+                      depths: &mut Vec<f64>| {
+            let m = SummaryMetrics::compute(summary, graph.num_edges());
+            sizes.push(m.relative_size);
+            heights.push(m.max_height);
+            depths.push(m.avg_leaf_depth);
+        };
         record(&summary, &mut sizes, &mut heights, &mut depths);
         prune_step1(&mut summary);
         record(&summary, &mut sizes, &mut heights, &mut depths);

@@ -62,7 +62,8 @@ pub fn run(scale: &ExperimentScale) -> String {
             outcome.metrics.cost.to_string(),
         ]);
     }
-    let mut out = heading("Theorem 1 / Fig. 3 — Expressiveness gap between the hierarchical and flat models");
+    let mut out =
+        heading("Theorem 1 / Fig. 3 — Expressiveness gap between the hierarchical and flat models");
     out.push_str("The flat/hierarchical ratio must grow with n (the paper proves Ω(n^1.5) vs o(n^1.5));\nSLUGGER's measured cost shows the heuristic exploiting the same structure on the actual graph.\n\n");
     out.push_str(&table.to_text());
     out
@@ -108,7 +109,11 @@ mod tests {
         s.set_edge(universe, universe, EdgeSign::Positive);
         for g in 0..shape.groups {
             let next = (g + 1) % shape.groups;
-            s.set_edge(group_supernode[g], group_supernode[next], EdgeSign::Negative);
+            s.set_edge(
+                group_supernode[g],
+                group_supernode[next],
+                EdgeSign::Negative,
+            );
         }
         verify_lossless(&s, &graph).unwrap();
         // The explicit encoding uses a deeper chain for the universe (extra internal

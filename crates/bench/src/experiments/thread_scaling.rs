@@ -1,0 +1,96 @@
+//! Thread scaling of the sharded merge pipeline: wall-clock time of one SLUGGER run
+//! on a large RMAT graph as the number of worker threads grows, with the output
+//! pinned identical across all thread counts (the pipeline's core contract).
+//!
+//! This is the experiment behind the ROADMAP's production-throughput goal: the
+//! candidate sets of an iteration are disjoint, so the merge stage parallelizes
+//! across shards; only candidate generation and the apply stage stay sequential.
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::{fmt_duration, TableWriter};
+use slugger_core::{Parallelism, Slugger, SluggerConfig};
+use slugger_graph::gen::{rmat, RmatConfig};
+
+/// Thread counts measured.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Attempted RMAT edges at `--scale 1.0` (the realized simple-graph edge count is
+/// slightly lower but stays well above the 100k-edge target).
+pub const BASE_EDGES: usize = 150_000;
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let graph = rmat(&RmatConfig {
+        scale: 16,
+        num_edges: (BASE_EDGES as f64 * scale.scale).round().max(1.0) as usize,
+        seed: scale.seed,
+        ..RmatConfig::default()
+    });
+    let iterations = scale.iterations.min(10);
+    let mut table = TableWriter::new(["Threads", "Wall clock", "Speedup", "Cost", "Merges"]);
+    let mut baseline_secs = 0.0f64;
+    let mut baseline_cost = None;
+    for &threads in &THREADS {
+        let parallelism = if threads == 1 {
+            Parallelism::Sequential
+        } else {
+            Parallelism::Fixed(threads)
+        };
+        let outcome = Slugger::new(SluggerConfig {
+            iterations,
+            seed: scale.seed,
+            parallelism,
+            ..SluggerConfig::default()
+        })
+        .summarize(&graph);
+        let secs = outcome.elapsed.as_secs_f64();
+        if threads == 1 {
+            baseline_secs = secs;
+        }
+        let cost = outcome.metrics.cost;
+        match baseline_cost {
+            None => baseline_cost = Some(cost),
+            Some(expected) => assert_eq!(
+                expected, cost,
+                "thread count changed the summary at {threads} threads"
+            ),
+        }
+        let merges: usize = outcome.iterations.iter().map(|it| it.merges).sum();
+        table.row([
+            threads.to_string(),
+            fmt_duration(outcome.elapsed),
+            format!("{:.2}x", baseline_secs / secs.max(1e-9)),
+            cost.to_string(),
+            merges.to_string(),
+        ]);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = heading("Thread scaling — sharded merge pipeline on RMAT");
+    out.push_str(&format!(
+        "RMAT graph: |V| = {}, |E| = {}; T = {iterations}, seed {}, shards = {}; host has {cores} CPU core(s).\n\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        scale.seed,
+        SluggerConfig::default().shards,
+    ));
+    out.push_str(&table.to_text());
+    out.push_str(
+        "\nEvery row produces the identical summary (asserted): the thread count is a pure \
+         throughput knob.  Speedup is bounded by min(threads, shards, host cores); the \
+         merge (planning) stage parallelizes across shards while candidate generation and \
+         the apply stage stay sequential.\n",
+    );
+    if cores < 2 {
+        out.push_str(
+            "\nNOTE: this host exposes a single CPU core, so no wall-clock speedup is \
+             physically possible here — the table then only demonstrates that extra threads \
+             cost (almost) nothing and never change the output.  Run on a multi-core host to \
+             see the scaling curve.\n",
+        );
+    }
+    out
+}

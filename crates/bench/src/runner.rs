@@ -6,7 +6,7 @@ use slugger_baselines::{
     mosso_summarize, randomized_summarize, sags_summarize, sweg_summarize, MossoConfig,
     RandomizedConfig, SagsConfig, SwegConfig,
 };
-use slugger_core::{Slugger, SluggerConfig};
+use slugger_core::{Parallelism, Slugger, SluggerConfig};
 use slugger_datasets::{registry, small_registry, DatasetKey, DatasetSpec};
 use slugger_graph::Graph;
 use std::time::{Duration, Instant};
@@ -86,6 +86,9 @@ pub struct ExperimentScale {
     pub datasets: Option<Vec<DatasetKey>>,
     /// Quick mode: small registry + reduced scale, for smoke-testing the harness.
     pub quick: bool,
+    /// Worker threads for the sharded merge pipeline (`--threads N`; 1 = sequential,
+    /// 0 = one per CPU).  Never changes results, only wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for ExperimentScale {
@@ -96,6 +99,7 @@ impl Default for ExperimentScale {
             seed: 0,
             datasets: None,
             quick: false,
+            threads: 1,
         }
     }
 }
@@ -138,6 +142,11 @@ impl ExperimentScale {
                         }
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = iter.next() {
+                        out.threads = v.parse().unwrap_or(out.threads);
+                    }
+                }
                 "--quick" => {
                     out.quick = true;
                     out.scale = out.scale.min(0.25);
@@ -172,11 +181,21 @@ impl ExperimentScale {
         }
     }
 
+    /// The pipeline parallelism implied by `--threads`.
+    pub fn parallelism(&self) -> Parallelism {
+        match self.threads {
+            0 => Parallelism::Auto,
+            1 => Parallelism::Sequential,
+            n => Parallelism::Fixed(n),
+        }
+    }
+
     /// SLUGGER configuration matching this scale.
     pub fn slugger_config(&self) -> SluggerConfig {
         SluggerConfig {
             iterations: self.iterations,
             seed: self.seed,
+            parallelism: self.parallelism(),
             ..SluggerConfig::default()
         }
     }
@@ -208,6 +227,8 @@ pub fn run_algorithm(graph: &Graph, algorithm: Algorithm, scale: &ExperimentScal
                     iterations: scale.iterations,
                     max_group_size: 500,
                     seed: scale.seed,
+                    parallelism: scale.parallelism(),
+                    ..SwegConfig::default()
                 },
             );
             flat_result(algorithm, start, &summary)
@@ -279,7 +300,14 @@ mod tests {
     fn argument_parsing_handles_all_flags() {
         let scale = ExperimentScale::from_args(
             [
-                "--scale", "0.5", "--iterations", "7", "--seed", "42", "--datasets", "ca,pr",
+                "--scale",
+                "0.5",
+                "--iterations",
+                "7",
+                "--seed",
+                "42",
+                "--datasets",
+                "ca,pr",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -303,7 +331,9 @@ mod tests {
     #[test]
     fn unknown_flags_are_ignored() {
         let scale = ExperimentScale::from_args(
-            ["--whatever", "--scale", "2.0"].iter().map(|s| s.to_string()),
+            ["--whatever", "--scale", "2.0"]
+                .iter()
+                .map(|s| s.to_string()),
         );
         assert!((scale.scale - 2.0).abs() < 1e-12);
     }

@@ -152,6 +152,9 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(fmt_relative(0.09444), "0.094");
-        assert_eq!(fmt_duration(std::time::Duration::from_millis(1500)), "1.500s");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(1500)),
+            "1.500s"
+        );
     }
 }

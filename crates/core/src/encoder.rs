@@ -69,13 +69,52 @@ pub struct AbstractEdge {
     pub weight: i8,
 }
 
+/// Maximum number of edges a panel solution can carry.  A Case-1 panel has at most
+/// 18 admissible slots and a Case-2 panel at most 21, so 24 covers every reachable
+/// solution; [`PanelSolution::push`] asserts the bound.
+pub const MAX_SOLUTION_EDGES: usize = 24;
+
 /// A solved minimum panel encoding.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Stored inline (`Copy`) rather than heap-allocated: the merge stage recalls one
+/// memoized solution per candidate-pair evaluation, and cloning a `Vec` there made
+/// the allocator the hottest object in the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PanelSolution {
     /// Total number of p/n-edges in the encoding.
     pub cost: u32,
+    len: u8,
+    edges: [AbstractEdge; MAX_SOLUTION_EDGES],
+}
+
+impl PanelSolution {
+    /// An empty (zero-cost) solution to extend via [`PanelSolution::push`].
+    pub fn empty() -> Self {
+        PanelSolution {
+            cost: 0,
+            len: 0,
+            edges: [AbstractEdge {
+                a: 0,
+                b: 0,
+                weight: 0,
+            }; MAX_SOLUTION_EDGES],
+        }
+    }
+
+    /// Appends an edge (does not touch `cost`, which callers account separately).
+    pub fn push(&mut self, edge: AbstractEdge) {
+        assert!(
+            (self.len as usize) < MAX_SOLUTION_EDGES,
+            "panel solution overflow"
+        );
+        self.edges[self.len as usize] = edge;
+        self.len += 1;
+    }
+
     /// The edges of the encoding, with abstract endpoints.
-    pub edges: Vec<AbstractEdge>,
+    pub fn edges(&self) -> &[AbstractEdge] {
+        &self.edges[..self.len as usize]
+    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -253,7 +292,9 @@ pub fn solve_case1(problem: &Case1Problem) -> PanelSolution {
     let (units, high) = case1_slots(problem.shape);
     let num_pairs = problem.shape.num_pairs();
     let required: Vec<i32> = (0..num_pairs).map(|i| problem.required[i] as i32).collect();
-    let constrained: Vec<bool> = (0..num_pairs).map(|i| problem.constrained >> i & 1 == 1).collect();
+    let constrained: Vec<bool> = (0..num_pairs)
+        .map(|i| problem.constrained >> i & 1 == 1)
+        .collect();
     solve_with_slots(&units, &high, &required, &constrained)
         .expect("Case-1 problems are always feasible")
 }
@@ -395,7 +436,7 @@ fn solve_side(problem: &SideProblem) -> Option<SideSolution> {
     let constrained = vec![true; num_pairs];
     solve_with_slots(&units, &high, &required, &constrained).map(|sol| SideSolution {
         cost: sol.cost,
-        edges: sol.edges,
+        edges: sol.edges().to_vec(),
     })
 }
 
@@ -556,28 +597,41 @@ fn enumerate_m_slots(
         );
         let Some(sol_b) = sol_b else { return };
         let total = m_cost + sol_a.cost + sol_b.cost;
-        let better = best.as_ref().map_or(true, |b| total < b.cost);
+        let better = best.as_ref().is_none_or(|b| total < b.cost);
         if better {
-            let mut edges = Vec::new();
+            let mut solution = PanelSolution::empty();
+            solution.cost = total;
             for (slot, &w) in m_slots.iter().zip(assignment.iter()) {
                 if w != 0 {
-                    edges.push(AbstractEdge {
+                    solution.push(AbstractEdge {
                         a: slot.a,
                         b: slot.b,
                         weight: w,
                     });
                 }
             }
-            edges.extend(sol_a.edges.iter().copied());
-            edges.extend(remap_side_to_b(&sol_b.edges));
-            *best = Some(PanelSolution { cost: total, edges });
+            for &e in &sol_a.edges {
+                solution.push(e);
+            }
+            for e in remap_side_to_b(&sol_b.edges) {
+                solution.push(e);
+            }
+            *best = Some(solution);
         }
         return;
     }
     for &w in &[0i8, 1, -1] {
         assignment[idx] = w;
         enumerate_m_slots(
-            m_slots, idx + 1, assignment, problem, a_cells, b_cells, kc, side_memo, best,
+            m_slots,
+            idx + 1,
+            assignment,
+            problem,
+            a_cells,
+            b_cells,
+            kc,
+            side_memo,
+            best,
         );
     }
     assignment[idx] = 0;
@@ -640,12 +694,13 @@ fn solve_with_slots(
                 }
             }
         }
-        let better = ctx.best.as_ref().map_or(true, |b| cost < b.cost);
+        let better = ctx.best.as_ref().is_none_or(|b| cost < b.cost);
         if better {
-            let mut edges = Vec::new();
+            let mut solution = PanelSolution::empty();
+            solution.cost = cost;
             for (slot, &w) in ctx.high.iter().zip(assignment.iter()) {
                 if w != 0 {
-                    edges.push(AbstractEdge {
+                    solution.push(AbstractEdge {
                         a: slot.a,
                         b: slot.b,
                         weight: w,
@@ -655,18 +710,24 @@ fn solve_with_slots(
             for (p, &w) in unit_weights.iter().enumerate() {
                 if w != 0 {
                     let slot = ctx.units[p].as_ref().unwrap();
-                    edges.push(AbstractEdge {
+                    solution.push(AbstractEdge {
                         a: slot.a,
                         b: slot.b,
                         weight: w,
                     });
                 }
             }
-            ctx.best = Some(PanelSolution { cost, edges });
+            ctx.best = Some(solution);
         }
     }
 
-    fn dfs(ctx: &mut Ctx<'_>, idx: usize, assignment: &mut Vec<i8>, contribution: &mut Vec<i32>, high_cost: u32) {
+    fn dfs(
+        ctx: &mut Ctx<'_>,
+        idx: usize,
+        assignment: &mut Vec<i8>,
+        contribution: &mut Vec<i32>,
+        high_cost: u32,
+    ) {
         if let Some(best) = &ctx.best {
             if high_cost >= best.cost {
                 return;
@@ -683,7 +744,13 @@ fn solve_with_slots(
                     contribution[p] += w as i32;
                 }
             }
-            dfs(ctx, idx + 1, assignment, contribution, high_cost + u32::from(w != 0));
+            dfs(
+                ctx,
+                idx + 1,
+                assignment,
+                contribution,
+                high_cost + u32::from(w != 0),
+            );
             if w != 0 {
                 for &p in &ctx.high[idx].covers {
                     contribution[p] -= w as i32;
@@ -751,13 +818,13 @@ impl EncoderMemo {
             self.misses += 1;
             return solve_case1(problem);
         }
-        if let Some(sol) = self.case1.get(problem) {
+        if let Some(&sol) = self.case1.get(problem) {
             self.hits += 1;
-            return sol.clone();
+            return sol;
         }
         self.misses += 1;
         let sol = solve_case1(problem);
-        self.case1.insert(*problem, sol.clone());
+        self.case1.insert(*problem, sol);
         sol
     }
 
@@ -767,13 +834,13 @@ impl EncoderMemo {
             self.misses += 1;
             return solve_case2(problem);
         }
-        if let Some(sol) = self.case2.get(problem) {
+        if let Some(&sol) = self.case2.get(problem) {
             self.hits += 1;
-            return sol.clone();
+            return sol;
         }
         self.misses += 1;
         let sol = solve_case2_with_memo(problem, &mut self.side);
-        self.case2.insert(*problem, sol.clone());
+        self.case2.insert(*problem, sol);
         sol
     }
 
@@ -797,7 +864,11 @@ impl EncoderMemo {
 mod tests {
     use super::*;
 
-    fn case1(shape: Case1Shape, reqs: &[(usize, usize, i8)], constrained_pairs: &[(usize, usize)]) -> PanelSolution {
+    fn case1(
+        shape: Case1Shape,
+        reqs: &[(usize, usize, i8)],
+        constrained_pairs: &[(usize, usize)],
+    ) -> PanelSolution {
         let k = shape.num_cells();
         let mut required = [0i8; 10];
         for &(i, j, v) in reqs {
@@ -844,7 +915,7 @@ mod tests {
         };
         let sol = case1(shape, &[], &all_cross_pairs(2));
         assert_eq!(sol.cost, 0);
-        assert!(sol.edges.is_empty());
+        assert!(sol.edges().is_empty());
     }
 
     #[test]
@@ -867,8 +938,8 @@ mod tests {
         let sol = case1(shape, &reqs, &constrained);
         assert_eq!(sol.cost, 1);
         assert_eq!(
-            sol.edges,
-            vec![AbstractEdge {
+            sol.edges(),
+            &[AbstractEdge {
                 a: panel::M,
                 b: panel::M,
                 weight: 1
@@ -895,10 +966,12 @@ mod tests {
         }
         let sol = case1(shape, &reqs, &constrained);
         assert_eq!(sol.cost, 2);
-        assert!(sol
-            .edges
-            .contains(&AbstractEdge { a: panel::M, b: panel::M, weight: 1 }));
-        assert!(sol.edges.iter().any(|e| e.weight == -1));
+        assert!(sol.edges().contains(&AbstractEdge {
+            a: panel::M,
+            b: panel::M,
+            weight: 1
+        }));
+        assert!(sol.edges().iter().any(|e| e.weight == -1));
     }
 
     #[test]
@@ -940,8 +1013,8 @@ mod tests {
         let sol = solve_case2(&problem);
         assert_eq!(sol.cost, 1);
         assert_eq!(
-            sol.edges,
-            vec![AbstractEdge {
+            sol.edges(),
+            &[AbstractEdge {
                 a: panel::M,
                 b: panel::C,
                 weight: 1
@@ -980,8 +1053,8 @@ mod tests {
         let sol = solve_case2(&problem);
         assert_eq!(sol.cost, 1);
         assert_eq!(
-            sol.edges,
-            vec![AbstractEdge {
+            sol.edges(),
+            &[AbstractEdge {
                 a: panel::M,
                 b: panel::C1,
                 weight: 1
@@ -1003,8 +1076,8 @@ mod tests {
         };
         let sol = solve_case2(&problem);
         assert_eq!(sol.cost, 1);
-        assert_eq!(sol.edges[0].a, panel::M);
-        assert_eq!(sol.edges[0].b, panel::C);
+        assert_eq!(sol.edges()[0].a, panel::M);
+        assert_eq!(sol.edges()[0].b, panel::C);
     }
 
     #[test]
@@ -1028,14 +1101,28 @@ mod tests {
         // Property-style check on a batch of random-ish Case-1 problems: the returned
         // edges must reproduce the required net on every constrained pair.
         let shapes = [
-            Case1Shape { a_internal: false, b_internal: false },
-            Case1Shape { a_internal: true, b_internal: false },
-            Case1Shape { a_internal: false, b_internal: true },
-            Case1Shape { a_internal: true, b_internal: true },
+            Case1Shape {
+                a_internal: false,
+                b_internal: false,
+            },
+            Case1Shape {
+                a_internal: true,
+                b_internal: false,
+            },
+            Case1Shape {
+                a_internal: false,
+                b_internal: true,
+            },
+            Case1Shape {
+                a_internal: true,
+                b_internal: true,
+            },
         ];
         let mut rng_state = 0x12345678u64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng_state >> 33) as u32
         };
         for &shape in &shapes {
@@ -1044,17 +1131,21 @@ mod tests {
             for _ in 0..200 {
                 let mut required = [0i8; 10];
                 let mut constrained = 0u16;
-                for p in 0..np {
+                for (p, r) in required.iter_mut().enumerate().take(np) {
                     if next() % 4 != 0 {
                         constrained |= 1 << p;
-                        required[p] = (next() % 3) as i8 - 1;
+                        *r = (next() % 3) as i8 - 1;
                     }
                 }
-                let problem = Case1Problem { shape, required, constrained };
+                let problem = Case1Problem {
+                    shape,
+                    required,
+                    constrained,
+                };
                 let sol = solve_case1(&problem);
                 // Re-derive the net coverage per pair from the returned edges.
                 let mut net = vec![0i32; np];
-                for e in &sol.edges {
+                for e in sol.edges() {
                     let cov_a = case1_coverage(shape, e.a);
                     let cov_b = case1_coverage(shape, e.b);
                     let mut seen = std::collections::HashSet::new();
@@ -1076,7 +1167,6 @@ mod tests {
         }
     }
 
-
     #[test]
     fn case2_solutions_reproduce_requirements_exactly() {
         // Same property as the Case-1 test, but through the decomposition solver: the
@@ -1091,11 +1181,17 @@ mod tests {
         ];
         let mut rng_state = 0xdeadbeefu64;
         let mut next = || {
-            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (rng_state >> 33) as u32
         };
         for &(a_internal, b_internal, c_internal) in &shapes {
-            let shape = Case2Shape { a_internal, b_internal, c_internal };
+            let shape = Case2Shape {
+                a_internal,
+                b_internal,
+                c_internal,
+            };
             let yellow = shape.yellow_cells();
             let orange = shape.orange_cells();
             let np = shape.num_pairs();
@@ -1112,8 +1208,12 @@ mod tests {
                 };
                 let b_offset = if a_internal { 2 } else { 1 };
                 let mut net = vec![0i32; np];
-                for e in &sol.edges {
-                    let (y, o) = if e.a < panel::C { (e.a, e.b) } else { (e.b, e.a) };
+                for e in sol.edges() {
+                    let (y, o) = if e.a < panel::C {
+                        (e.a, e.b)
+                    } else {
+                        (e.b, e.a)
+                    };
                     // Cells covered by the yellow endpoint.
                     let y_cov: Vec<usize> = match y {
                         panel::M => (0..yellow.len()).collect(),
@@ -1134,9 +1234,10 @@ mod tests {
                 }
                 for pair in 0..np {
                     assert_eq!(
-                        net[pair], required[pair] as i32,
+                        net[pair],
+                        required[pair] as i32,
                         "shape {shape:?} pair {pair} edges {:?}",
-                        sol.edges
+                        sol.edges()
                     );
                 }
             }
@@ -1147,7 +1248,10 @@ mod tests {
     fn memo_caches_and_counts() {
         let mut memo = EncoderMemo::new();
         let problem = Case1Problem {
-            shape: Case1Shape { a_internal: false, b_internal: false },
+            shape: Case1Shape {
+                a_internal: false,
+                b_internal: false,
+            },
             required: {
                 let mut r = [0i8; 10];
                 r[pair_index(0, 1, 2)] = 1;
@@ -1168,7 +1272,11 @@ mod tests {
     fn disabled_memo_never_caches() {
         let mut memo = EncoderMemo::disabled();
         let problem = Case2Problem {
-            shape: Case2Shape { a_internal: false, b_internal: false, c_internal: false },
+            shape: Case2Shape {
+                a_internal: false,
+                b_internal: false,
+                c_internal: false,
+            },
             required: [1, 1, 0, 0, 0, 0, 0, 0],
         };
         let _ = memo.case2(&problem);

@@ -3,44 +3,114 @@
 //! tree, which roots are adjacent through p/n-edges, per-root costs — plus the two
 //! operations at the heart of SLUGGER: evaluating `Saving(A, B, G)` (Eq. 8) and
 //! actually merging two roots while re-encoding their panel (Sect. III-B3).
+//!
+//! In the sharded pipeline ([`crate::pipeline`]) the engine is split into two roles:
+//!
+//! * the **immutable cost/topology view** — the engine as it stood when the
+//!   iteration's candidate sets were generated, shared as `&MergeEngine` by every
+//!   shard and queried through the [`view`] trait;
+//! * the **per-shard mutable state** — a copy-on-write [`plan::PlanningEngine`]
+//!   overlay on which a shard speculatively plans each candidate set's merges,
+//!   touching memory proportional to the set instead of deep-copying the engine.
+//!
+//! The plans are then replayed against the authoritative engine by the [`apply`]
+//! reconciliation layer, which re-runs the exact `Saving(A, B, G)` re-encoding
+//! machinery of [`MergeEngine::apply_merge`], so the final cost bookkeeping is exact
+//! regardless of how planning was sharded.
 
-use crate::encoder::{
-    panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape, EncoderMemo,
-    pair_index, PanelSolution,
-};
+pub mod apply;
+pub(crate) mod plan;
+pub(crate) mod view;
+
+use crate::encoder::{EncoderMemo, PanelSolution};
 use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
 use slugger_graph::hash::FxHashMap;
 use slugger_graph::Graph;
+use view::MergeView;
 
-/// Per-root metadata maintained incrementally by the engine.
+/// Per-root metadata maintained incrementally by the engine (and, copy-on-write, by
+/// the planning overlay in [`plan`]).
 #[derive(Clone, Debug, Default)]
-struct RootMeta {
+pub(crate) struct RootMeta {
     /// Number of supernodes in the tree (so `h-edges = tree_size − 1`).
-    tree_size: usize,
+    pub(crate) tree_size: usize,
     /// Height of the tree (a lone leaf has height 0).
-    height: usize,
+    pub(crate) height: usize,
     /// For each adjacent root (including the root itself for intra-tree edges), the
     /// number of p/n-edges between the two trees.
-    adjacency: FxHashMap<SupernodeId, u32>,
+    pub(crate) adjacency: FxHashMap<SupernodeId, u32>,
     /// Total number of p/n-edges incident to the tree (the sum of `adjacency`'s values,
     /// cached so `Cost^P_A` is O(1) — evaluating savings against high-degree roots
     /// would otherwise re-sum a large map for every candidate pair).
-    pn_count: usize,
+    pub(crate) pn_count: usize,
 }
 
 impl RootMeta {
-    fn h_edges(&self) -> usize {
+    pub(crate) fn h_edges(&self) -> usize {
         self.tree_size.saturating_sub(1)
     }
 
     /// Cost^P_A(G): number of p/n-edges incident to the tree (intra-tree edges counted
     /// once).
-    fn pn_incident(&self) -> usize {
+    pub(crate) fn pn_incident(&self) -> usize {
         debug_assert_eq!(
             self.pn_count,
             self.adjacency.values().map(|&c| c as usize).sum::<usize>()
         );
         self.pn_count
+    }
+}
+
+/// The mutable planning surface Algorithm 2 needs, implemented both by the
+/// authoritative [`MergeEngine`] (plan-and-apply in place) and by the per-shard
+/// copy-on-write overlay ([`plan::PlanningEngine`]).
+pub trait MergeState {
+    /// Whether `id` is currently a root.
+    fn is_root(&self, id: SupernodeId) -> bool;
+    /// Height of the tree rooted at `root`.
+    fn root_height(&self, root: SupernodeId) -> usize;
+    /// Evaluates `Saving(A, B, G)` (Eq. 8) without mutating the state.
+    fn evaluate_merge(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> MergeEvaluation;
+    /// Merges roots `a` and `b`, applying the panel re-encodings; returns the merged
+    /// root's id.
+    fn apply_merge(
+        &mut self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> SupernodeId;
+}
+
+impl MergeState for MergeEngine {
+    fn is_root(&self, id: SupernodeId) -> bool {
+        self.summary().is_root(id)
+    }
+
+    fn root_height(&self, root: SupernodeId) -> usize {
+        MergeEngine::root_height(self, root)
+    }
+
+    fn evaluate_merge(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> MergeEvaluation {
+        MergeEngine::evaluate_merge(self, a, b, memo)
+    }
+
+    fn apply_merge(
+        &mut self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> SupernodeId {
+        MergeEngine::apply_merge(self, a, b, memo)
     }
 }
 
@@ -167,218 +237,6 @@ impl MergeEngine {
     }
 
     // ------------------------------------------------------------------
-    // Panel extraction
-    // ------------------------------------------------------------------
-
-    /// Panel supernodes of one side: the root plus its direct children when internal.
-    /// Returns (shape_internal, [root, child1, child2]) with unused slots `None`.
-    fn side_panel(&self, root: SupernodeId) -> (bool, [Option<SupernodeId>; 3]) {
-        let children = self.summary.children(root);
-        if children.is_empty() {
-            (false, [Some(root), None, None])
-        } else {
-            debug_assert_eq!(children.len(), 2, "merging phase trees are binary");
-            (true, [Some(root), Some(children[0]), Some(children[1])])
-        }
-    }
-
-    /// Maps an abstract panel index to the concrete supernode id for a merge of `a`
-    /// and `b` (with `m` the merged supernode, or a placeholder during evaluation) and
-    /// an optional orange root `c`.
-    #[allow(clippy::too_many_arguments)]
-    fn concrete(
-        &self,
-        abstract_id: u8,
-        m: SupernodeId,
-        a: SupernodeId,
-        b: SupernodeId,
-        a_kids: &[Option<SupernodeId>; 3],
-        b_kids: &[Option<SupernodeId>; 3],
-        c: Option<SupernodeId>,
-        c_kids: &[Option<SupernodeId>; 3],
-    ) -> SupernodeId {
-        match abstract_id {
-            panel::M => m,
-            panel::A => a,
-            panel::B => b,
-            panel::A1 => a_kids[1].expect("A1 requested for leaf A"),
-            panel::A2 => a_kids[2].expect("A2 requested for leaf A"),
-            panel::B1 => b_kids[1].expect("B1 requested for leaf B"),
-            panel::B2 => b_kids[2].expect("B2 requested for leaf B"),
-            panel::C => c.expect("C requested without orange panel"),
-            panel::C1 => c_kids[1].expect("C1 requested for leaf C"),
-            panel::C2 => c_kids[2].expect("C2 requested for leaf C"),
-            other => unreachable!("unknown abstract panel id {other}"),
-        }
-    }
-
-    /// Builds the Case-1 problem for merging roots `a` and `b`: the cell-pair
-    /// requirements induced by the existing panel edges, plus the list of those edges.
-    fn case1_problem(
-        &self,
-        a: SupernodeId,
-        b: SupernodeId,
-    ) -> (Case1Problem, Vec<(SupernodeId, SupernodeId)>) {
-        let (a_internal, a_kids) = self.side_panel(a);
-        let (b_internal, b_kids) = self.side_panel(b);
-        let shape = Case1Shape {
-            a_internal,
-            b_internal,
-        };
-        let cells = shape.cells();
-        let k = cells.len();
-        // Concrete supernode of each cell and its size.
-        let cell_concrete: Vec<SupernodeId> = cells
-            .iter()
-            .map(|&cell| match cell {
-                panel::A => a,
-                panel::B => b,
-                panel::A1 => a_kids[1].unwrap(),
-                panel::A2 => a_kids[2].unwrap(),
-                panel::B1 => b_kids[1].unwrap(),
-                panel::B2 => b_kids[2].unwrap(),
-                _ => unreachable!(),
-            })
-            .collect();
-        let mut constrained = 0u16;
-        for i in 0..k {
-            for j in i..k {
-                let vacuous = i == j && self.summary.members(cell_concrete[i]).len() < 2;
-                if !vacuous {
-                    constrained |= 1 << pair_index(i, j, k);
-                }
-            }
-        }
-        // Existing panel edges: all p/n-edges among the panel supernodes of both sides.
-        let panel_supers: Vec<SupernodeId> = a_kids
-            .iter()
-            .chain(b_kids.iter())
-            .flatten()
-            .copied()
-            .collect();
-        let coverage: Vec<Vec<usize>> = panel_supers
-            .iter()
-            .map(|&s| self.panel_cell_coverage(s, &cell_concrete))
-            .collect();
-        let mut required = [0i8; 10];
-        let mut old_edges = Vec::new();
-        for (i, &x) in panel_supers.iter().enumerate() {
-            for (j, &y) in panel_supers.iter().enumerate().skip(i) {
-                let w = self.summary.edge_weight(x, y);
-                if w == 0 {
-                    continue;
-                }
-                old_edges.push((x, y));
-                let mut seen = [false; 10];
-                for &ci in &coverage[i] {
-                    for &cj in &coverage[j] {
-                        let idx = pair_index(ci.min(cj), ci.max(cj), k);
-                        if !seen[idx] {
-                            seen[idx] = true;
-                            required[idx] = (required[idx] as i32 + w) as i8;
-                        }
-                    }
-                }
-            }
-        }
-        (
-            Case1Problem {
-                shape,
-                required,
-                constrained,
-            },
-            old_edges,
-        )
-    }
-
-    /// Cells (by index into `cell_concrete`) covered by a concrete panel supernode:
-    /// the cells it equals or is an ancestor of.
-    fn panel_cell_coverage(&self, sup: SupernodeId, cell_concrete: &[SupernodeId]) -> Vec<usize> {
-        let mut out = Vec::new();
-        for (idx, &cell) in cell_concrete.iter().enumerate() {
-            if cell == sup || self.summary.parent(cell) == Some(sup) {
-                out.push(idx);
-            }
-        }
-        out
-    }
-
-    /// Builds the Case-2 problem between the (about to be merged) roots `a`, `b` and
-    /// the adjacent root `c`.
-    fn case2_problem(
-        &self,
-        a: SupernodeId,
-        b: SupernodeId,
-        c: SupernodeId,
-    ) -> (Case2Problem, Vec<(SupernodeId, SupernodeId)>) {
-        let (a_internal, a_kids) = self.side_panel(a);
-        let (b_internal, b_kids) = self.side_panel(b);
-        let (c_internal, c_kids) = self.side_panel(c);
-        let shape = Case2Shape {
-            a_internal,
-            b_internal,
-            c_internal,
-        };
-        let yellow_cells_abs = shape.yellow_cells();
-        let orange_cells_abs = shape.orange_cells();
-        let kc = orange_cells_abs.len();
-        let yellow_cells: Vec<SupernodeId> = yellow_cells_abs
-            .iter()
-            .map(|&cell| match cell {
-                panel::A => a,
-                panel::B => b,
-                panel::A1 => a_kids[1].unwrap(),
-                panel::A2 => a_kids[2].unwrap(),
-                panel::B1 => b_kids[1].unwrap(),
-                panel::B2 => b_kids[2].unwrap(),
-                _ => unreachable!(),
-            })
-            .collect();
-        let orange_cells: Vec<SupernodeId> = orange_cells_abs
-            .iter()
-            .map(|&cell| match cell {
-                panel::C => c,
-                panel::C1 => c_kids[1].unwrap(),
-                panel::C2 => c_kids[2].unwrap(),
-                _ => unreachable!(),
-            })
-            .collect();
-        let yellow_supers: Vec<SupernodeId> = a_kids
-            .iter()
-            .chain(b_kids.iter())
-            .flatten()
-            .copied()
-            .collect();
-        let orange_supers: Vec<SupernodeId> = c_kids.iter().flatten().copied().collect();
-        let yellow_cov: Vec<Vec<usize>> = yellow_supers
-            .iter()
-            .map(|&s| self.panel_cell_coverage(s, &yellow_cells))
-            .collect();
-        let orange_cov: Vec<Vec<usize>> = orange_supers
-            .iter()
-            .map(|&s| self.panel_cell_coverage(s, &orange_cells))
-            .collect();
-        let mut required = [0i8; 8];
-        let mut old_edges = Vec::new();
-        for (i, &x) in yellow_supers.iter().enumerate() {
-            for (j, &y) in orange_supers.iter().enumerate() {
-                let w = self.summary.edge_weight(x, y);
-                if w == 0 {
-                    continue;
-                }
-                old_edges.push((x, y));
-                for &ci in &yellow_cov[i] {
-                    for &cj in &orange_cov[j] {
-                        let idx = ci * kc + cj;
-                        required[idx] = (required[idx] as i32 + w) as i8;
-                    }
-                }
-            }
-        }
-        (Case2Problem { shape, required }, old_edges)
-    }
-
-    // ------------------------------------------------------------------
     // Saving evaluation and merge application
     // ------------------------------------------------------------------
 
@@ -390,38 +248,7 @@ impl MergeEngine {
         memo: &mut EncoderMemo,
     ) -> MergeEvaluation {
         debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
-        let cost_a = self.root_cost(a);
-        let cost_b = self.root_cost(b);
-        let cross = self.edges_between_roots(a, b);
-        let cost_before = cost_a + cost_b - cross;
-
-        // Case 1.
-        let (problem1, old1) = self.case1_problem(a, b);
-        let sol1 = memo.case1(&problem1);
-        let mut delta = sol1.cost as i64 - old1.len() as i64;
-
-        // Case 2, only for roots adjacent to both sides: for roots adjacent to exactly
-        // one side the existing encoding remains optimal within the panel, so the
-        // re-encoding is skipped both here and in `apply_merge` (keeping the two paths
-        // consistent is what makes the evaluation exact).
-        for c in self.common_adjacent_roots(a, b) {
-            let (problem2, old2) = self.case2_problem(a, b, c);
-            let sol2 = memo.case2(&problem2);
-            delta += sol2.cost as i64 - old2.len() as i64;
-        }
-
-        // +2 hierarchy edges for attaching A and B below the new root.
-        let cost_after = (cost_before as i64 + 2 + delta).max(0) as usize;
-        let saving = if cost_before == 0 {
-            f64::NEG_INFINITY
-        } else {
-            1.0 - cost_after as f64 / cost_before as f64
-        };
-        MergeEvaluation {
-            saving,
-            cost_before,
-            cost_after,
-        }
+        view::evaluate_merge(self, a, b, memo)
     }
 
     /// Roots adjacent (through p/n-edges) to both `a`'s and `b`'s trees.
@@ -450,18 +277,23 @@ impl MergeEngine {
     ) -> SupernodeId {
         debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
         // Solve everything against the *pre-merge* structure.
-        let (_, a_kids) = self.side_panel(a);
-        let (_, b_kids) = self.side_panel(b);
+        let (_, a_kids) = view::side_panel(self, a);
+        let (_, b_kids) = view::side_panel(self, b);
         let cross_ab = self.edges_between_roots(a, b) as u32;
-        let (problem1, old1) = self.case1_problem(a, b);
+        let (problem1, old1) = view::case1_problem(self, a, b);
         let sol1 = memo.case1(&problem1);
         let commons = self.common_adjacent_roots(a, b);
-        let mut case2: Vec<(SupernodeId, PanelSolution, Vec<(SupernodeId, SupernodeId)>, [Option<SupernodeId>; 3])> =
-            Vec::with_capacity(commons.len());
+        #[allow(clippy::type_complexity)]
+        let mut case2: Vec<(
+            SupernodeId,
+            PanelSolution,
+            Vec<(SupernodeId, SupernodeId)>,
+            [Option<SupernodeId>; 3],
+        )> = Vec::with_capacity(commons.len());
         for c in commons {
-            let (problem2, old2) = self.case2_problem(a, b, c);
+            let (problem2, old2) = view::case2_problem(self, a, b, c);
             let sol2 = memo.case2(&problem2);
-            let (_, c_kids) = self.side_panel(c);
+            let (_, c_kids) = view::side_panel(self, c);
             case2.push((c, sol2, old2, c_kids));
         }
 
@@ -493,7 +325,9 @@ impl MergeEngine {
         // edges appeared once, so the folded self entry currently equals
         // intra(a) + intra(b) + 2·cross; the true intra(m) subtracts one cross count.
         if cross_ab > 0 {
-            let self_count = adjacency.get_mut(&m).expect("cross edges imply a self entry");
+            let self_count = adjacency
+                .get_mut(&m)
+                .expect("cross edges imply a self entry");
             *self_count -= cross_ab;
         }
         let pn_count = adjacency.values().map(|&c| c as usize).sum();
@@ -530,9 +364,9 @@ impl MergeEngine {
             self.remove_pn_edge(x, y);
         }
         let none_kids = [None, None, None];
-        for e in &sol1.edges {
-            let x = self.concrete(e.a, m, a, b, &a_kids, &b_kids, None, &none_kids);
-            let y = self.concrete(e.b, m, a, b, &a_kids, &b_kids, None, &none_kids);
+        for e in sol1.edges() {
+            let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, None, &none_kids);
+            let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, None, &none_kids);
             self.add_pn_edge(x, y, e.weight);
         }
 
@@ -541,9 +375,9 @@ impl MergeEngine {
             for (x, y) in old2 {
                 self.remove_pn_edge(x, y);
             }
-            for e in &sol2.edges {
-                let x = self.concrete(e.a, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
-                let y = self.concrete(e.b, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+            for e in sol2.edges() {
+                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
                 self.add_pn_edge(x, y, e.weight);
             }
         }
@@ -600,6 +434,64 @@ impl MergeEngine {
     }
 }
 
+// ----------------------------------------------------------------------------------
+// Frozen-view access (used by the per-shard planning overlay)
+// ----------------------------------------------------------------------------------
+
+impl MergeEngine {
+    /// Current root of the tree containing `id`, without path compression — usable on
+    /// a shared (frozen) engine.
+    pub(crate) fn root_of_frozen(&self, mut x: SupernodeId) -> SupernodeId {
+        while self.dsu_parent[x as usize] != x {
+            x = self.dsu_parent[x as usize];
+        }
+        self.set_root[&x]
+    }
+
+    /// Root metadata, if `root` currently is one.
+    pub(crate) fn root_meta(&self, root: SupernodeId) -> Option<&RootMeta> {
+        self.roots.get(&root)
+    }
+}
+
+impl MergeView for MergeEngine {
+    fn is_root(&self, id: SupernodeId) -> bool {
+        self.summary.is_root(id)
+    }
+
+    fn children_of(&self, id: SupernodeId) -> &[SupernodeId] {
+        self.summary.children(id)
+    }
+
+    fn node_size(&self, id: SupernodeId) -> usize {
+        self.summary.members(id).len()
+    }
+
+    fn parent_of(&self, id: SupernodeId) -> Option<SupernodeId> {
+        self.summary.parent(id)
+    }
+
+    fn edge_weight(&self, x: SupernodeId, y: SupernodeId) -> i32 {
+        self.summary.edge_weight(x, y)
+    }
+
+    fn root_cost(&self, root: SupernodeId) -> usize {
+        MergeEngine::root_cost(self, root)
+    }
+
+    fn root_height(&self, root: SupernodeId) -> usize {
+        MergeEngine::root_height(self, root)
+    }
+
+    fn edges_between_roots(&self, a: SupernodeId, b: SupernodeId) -> usize {
+        MergeEngine::edges_between_roots(self, a, b)
+    }
+
+    fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId> {
+        MergeEngine::common_adjacent_roots(self, a, b)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,7 +544,18 @@ mod tests {
         // Star with 5 spokes on two hubs: spokes adjacent to both hubs.
         let g2 = Graph::from_edges(
             7,
-            vec![(0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6)],
+            vec![
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (1, 6),
+            ],
         );
         let engine2 = MergeEngine::new(&g2);
         let eval2 = engine2.evaluate_merge(2, 3, &mut memo);
@@ -683,7 +586,18 @@ mod tests {
     fn apply_merge_consolidates_edges_and_updates_indices() {
         let g2 = Graph::from_edges(
             7,
-            vec![(0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (1, 2), (1, 3), (1, 4), (1, 5), (1, 6)],
+            vec![
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (0, 6),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (1, 6),
+            ],
         );
         let mut engine = MergeEngine::new(&g2);
         let mut memo = EncoderMemo::new();
@@ -736,7 +650,17 @@ mod tests {
         // evaluate_merge must equal the real cost change produced by apply_merge.
         let g = Graph::from_edges(
             6,
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (2, 5)],
+            vec![
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (2, 5),
+            ],
         );
         let mut engine = MergeEngine::new(&g);
         let mut memo = EncoderMemo::new();

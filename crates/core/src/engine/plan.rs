@@ -1,0 +1,443 @@
+//! The per-shard mutable planning state: a copy-on-write overlay over a frozen
+//! [`MergeEngine`].
+//!
+//! Cloning the whole engine per shard would cost O(|V| + |E|) per shard per
+//! iteration — more than the planning work itself on large graphs.  The overlay
+//! instead borrows the frozen engine immutably and records only this candidate set's
+//! own mutations:
+//!
+//! * **structure** — merged supernodes live in a local arena (ids continue past the
+//!   frozen arena); merged-away frozen roots get a parent override;
+//! * **edges** — a delta map shadows the frozen p/n-edges (`0` = removed);
+//! * **root metadata** — maintained only for the *tracked* roots (the candidate set's
+//!   members and their merge products).  Candidate sets are disjoint and the frozen
+//!   view never changes mid-iteration, so untracked roots can never be merged away
+//!   while planning, and their metadata is never read: `evaluate_merge` touches the
+//!   metadata of its two (tracked) operands only.
+//!
+//! The cost of building an overlay is proportional to the candidate set's incident
+//! edges, not to the graph — which is what lets the merge stage actually scale with
+//! threads.
+
+use super::view::{self, MergeView};
+use super::{MergeEngine, MergeEvaluation, MergeState, RootMeta};
+use crate::encoder::{EncoderMemo, PanelSolution};
+use crate::model::{edge_key, SupernodeId};
+use slugger_graph::hash::FxHashMap;
+
+/// A supernode created by this overlay's own merges.
+#[derive(Clone, Debug)]
+struct LocalNode {
+    children: [SupernodeId; 2],
+    size: usize,
+    parent: Option<SupernodeId>,
+}
+
+/// Copy-on-write planning overlay over a frozen engine (see the module docs).
+pub(crate) struct PlanningEngine<'a> {
+    base: &'a MergeEngine,
+    /// Arena length of the frozen summary; local ids start here.
+    base_len: usize,
+    local: Vec<LocalNode>,
+    /// Parent overrides for frozen roots merged away by this overlay.
+    parent_override: FxHashMap<SupernodeId, SupernodeId>,
+    /// Edge delta: `±1` = (re)written sign, `0` = removed.
+    edges: FxHashMap<(SupernodeId, SupernodeId), i8>,
+    /// Root metadata for tracked roots only (copied from the frozen engine on entry).
+    metas: FxHashMap<SupernodeId, RootMeta>,
+}
+
+impl<'a> PlanningEngine<'a> {
+    /// Builds an overlay tracking the given candidate set (non-root entries are
+    /// ignored; they cannot participate in merges anyway).
+    pub(crate) fn new(base: &'a MergeEngine, tracked: &[SupernodeId]) -> Self {
+        let mut metas = FxHashMap::default();
+        for &r in tracked {
+            if let Some(meta) = base.root_meta(r) {
+                metas.insert(r, meta.clone());
+            }
+        }
+        PlanningEngine {
+            base,
+            base_len: base.summary().arena_len(),
+            local: Vec::new(),
+            parent_override: FxHashMap::default(),
+            edges: FxHashMap::default(),
+            metas,
+        }
+    }
+
+    fn local_index(&self, id: SupernodeId) -> Option<usize> {
+        (id as usize >= self.base_len).then(|| id as usize - self.base_len)
+    }
+
+    /// Current root of the tree containing `id`, resolving through both the frozen
+    /// union-find and this overlay's merges.
+    fn root_of(&self, id: SupernodeId) -> SupernodeId {
+        let mut r = match self.local_index(id) {
+            Some(_) => id,
+            None => self.base.root_of_frozen(id),
+        };
+        loop {
+            let parent = match self.local_index(r) {
+                Some(i) => self.local[i].parent,
+                None => self.parent_override.get(&r).copied(),
+            };
+            match parent {
+                Some(p) => r = p,
+                None => return r,
+            }
+        }
+    }
+
+    fn set_parent(&mut self, id: SupernodeId, parent: SupernodeId) {
+        match self.local_index(id) {
+            Some(i) => self.local[i].parent = Some(parent),
+            None => {
+                self.parent_override.insert(id, parent);
+            }
+        }
+    }
+
+    fn meta_increment(&mut self, root: SupernodeId, other: SupernodeId) {
+        if let Some(meta) = self.metas.get_mut(&root) {
+            *meta.adjacency.entry(other).or_insert(0) += 1;
+            meta.pn_count += 1;
+        }
+    }
+
+    fn meta_decrement(&mut self, root: SupernodeId, other: SupernodeId) {
+        if let Some(meta) = self.metas.get_mut(&root) {
+            let remove = match meta.adjacency.get_mut(&other) {
+                Some(c) => {
+                    *c -= 1;
+                    meta.pn_count -= 1;
+                    *c == 0
+                }
+                None => false,
+            };
+            if remove {
+                meta.adjacency.remove(&other);
+            }
+        }
+    }
+
+    /// Adds a p/n-edge, updating the tracked endpoint roots' metadata (mirrors
+    /// [`MergeEngine`]'s private `add_pn_edge`).
+    fn add_pn_edge(&mut self, x: SupernodeId, y: SupernodeId, weight: i8) {
+        debug_assert!(weight == 1 || weight == -1);
+        let prev = MergeView::edge_weight(self, x, y);
+        self.edges.insert(edge_key(x, y), weight);
+        if prev == 0 {
+            let rx = self.root_of(x);
+            let ry = self.root_of(y);
+            self.meta_increment(rx, ry);
+            if rx != ry {
+                self.meta_increment(ry, rx);
+            }
+        }
+    }
+
+    /// Removes a p/n-edge, updating the tracked endpoint roots' metadata.
+    fn remove_pn_edge(&mut self, x: SupernodeId, y: SupernodeId) {
+        if MergeView::edge_weight(self, x, y) != 0 {
+            self.edges.insert(edge_key(x, y), 0);
+            let rx = self.root_of(x);
+            let ry = self.root_of(y);
+            self.meta_decrement(rx, ry);
+            if rx != ry {
+                self.meta_decrement(ry, rx);
+            }
+        }
+    }
+
+    /// Merges roots `a` and `b` inside the overlay, mirroring
+    /// [`MergeEngine::apply_merge`] (same pre-merge problem construction, same
+    /// re-encoding application) on the copy-on-write state.
+    fn merge(&mut self, a: SupernodeId, b: SupernodeId, memo: &mut EncoderMemo) -> SupernodeId {
+        debug_assert!(
+            self.metas.contains_key(&a) && self.metas.contains_key(&b) && a != b,
+            "planned merges must involve tracked roots"
+        );
+        // Solve everything against the *pre-merge* structure.
+        let (_, a_kids) = view::side_panel(self, a);
+        let (_, b_kids) = view::side_panel(self, b);
+        let cross_ab = MergeView::edges_between_roots(self, a, b) as u32;
+        let (problem1, old1) = view::case1_problem(self, a, b);
+        let sol1 = memo.case1(&problem1);
+        let commons = MergeView::common_adjacent_roots(self, a, b);
+        #[allow(clippy::type_complexity)]
+        let mut case2: Vec<(
+            SupernodeId,
+            PanelSolution,
+            Vec<(SupernodeId, SupernodeId)>,
+            [Option<SupernodeId>; 3],
+        )> = Vec::with_capacity(commons.len());
+        for c in commons {
+            let (problem2, old2) = view::case2_problem(self, a, b, c);
+            let sol2 = memo.case2(&problem2);
+            let (_, c_kids) = view::side_panel(self, c);
+            case2.push((c, sol2, old2, c_kids));
+        }
+
+        // Structural merge in the local arena.
+        let m = (self.base_len + self.local.len()) as SupernodeId;
+        let size = self.node_size(a) + self.node_size(b);
+        self.local.push(LocalNode {
+            children: [a, b],
+            size,
+            parent: None,
+        });
+        self.set_parent(a, m);
+        self.set_parent(b, m);
+
+        // Fold the two tracked metas into the merged root's meta, exactly as the
+        // authoritative engine does.
+        let meta_a = self.metas.remove(&a).expect("tracked root a");
+        let meta_b = self.metas.remove(&b).expect("tracked root b");
+        let (tree_a, height_a) = (meta_a.tree_size, meta_a.height);
+        let (tree_b, height_b) = (meta_b.tree_size, meta_b.height);
+        let mut adjacency: FxHashMap<SupernodeId, u32> = FxHashMap::default();
+        for (other, count) in meta_a.adjacency.into_iter().chain(meta_b.adjacency) {
+            let key = if other == a || other == b { m } else { other };
+            *adjacency.entry(key).or_insert(0) += count;
+        }
+        // Edges between tree(a) and tree(b) appeared in both maps while intra-tree
+        // edges appeared once; the true intra(m) subtracts one cross count.
+        if cross_ab > 0 {
+            let self_count = adjacency
+                .get_mut(&m)
+                .expect("cross edges imply a self entry");
+            *self_count -= cross_ab;
+        }
+        let neighbors: Vec<SupernodeId> = adjacency.keys().copied().filter(|&r| r != m).collect();
+        let pn_count = adjacency.values().map(|&c| c as usize).sum();
+        self.metas.insert(
+            m,
+            RootMeta {
+                tree_size: tree_a + tree_b + 1,
+                height: height_a.max(height_b) + 1,
+                adjacency,
+                pn_count,
+            },
+        );
+        // Relabel a/b → m in *tracked* neighbor roots; untracked neighbors' metadata
+        // is never read during this overlay's lifetime.
+        for r in neighbors {
+            if let Some(meta) = self.metas.get_mut(&r) {
+                let mut moved = 0u32;
+                if let Some(c) = meta.adjacency.remove(&a) {
+                    moved += c;
+                }
+                if let Some(c) = meta.adjacency.remove(&b) {
+                    moved += c;
+                }
+                if moved > 0 {
+                    *meta.adjacency.entry(m).or_insert(0) += moved;
+                }
+            }
+        }
+
+        // Apply the Case-1 re-encoding: drop old panel edges, add the solved ones.
+        for (x, y) in old1 {
+            self.remove_pn_edge(x, y);
+        }
+        let none_kids = [None, None, None];
+        for e in sol1.edges() {
+            let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, None, &none_kids);
+            let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, None, &none_kids);
+            self.add_pn_edge(x, y, e.weight);
+        }
+
+        // Apply the Case-2 re-encodings.
+        for (c, sol2, old2, c_kids) in case2 {
+            for (x, y) in old2 {
+                self.remove_pn_edge(x, y);
+            }
+            for e in sol2.edges() {
+                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+                self.add_pn_edge(x, y, e.weight);
+            }
+        }
+        m
+    }
+}
+
+impl MergeView for PlanningEngine<'_> {
+    fn is_root(&self, id: SupernodeId) -> bool {
+        match self.local_index(id) {
+            Some(i) => self.local[i].parent.is_none(),
+            None => !self.parent_override.contains_key(&id) && self.base.summary().is_root(id),
+        }
+    }
+
+    fn children_of(&self, id: SupernodeId) -> &[SupernodeId] {
+        match self.local_index(id) {
+            Some(i) => &self.local[i].children,
+            None => self.base.summary().children(id),
+        }
+    }
+
+    fn node_size(&self, id: SupernodeId) -> usize {
+        match self.local_index(id) {
+            Some(i) => self.local[i].size,
+            None => self.base.summary().members(id).len(),
+        }
+    }
+
+    fn parent_of(&self, id: SupernodeId) -> Option<SupernodeId> {
+        match self.local_index(id) {
+            Some(i) => self.local[i].parent,
+            None => self
+                .parent_override
+                .get(&id)
+                .copied()
+                .or_else(|| self.base.summary().parent(id)),
+        }
+    }
+
+    fn edge_weight(&self, x: SupernodeId, y: SupernodeId) -> i32 {
+        match self.edges.get(&edge_key(x, y)) {
+            Some(&w) => w as i32,
+            None => self.base.summary().edge_weight(x, y),
+        }
+    }
+
+    fn root_cost(&self, root: SupernodeId) -> usize {
+        let meta = &self.metas[&root];
+        meta.h_edges() + meta.pn_incident()
+    }
+
+    fn root_height(&self, root: SupernodeId) -> usize {
+        self.metas[&root].height
+    }
+
+    fn edges_between_roots(&self, a: SupernodeId, b: SupernodeId) -> usize {
+        self.metas[&a].adjacency.get(&b).copied().unwrap_or(0) as usize
+    }
+
+    fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId> {
+        let adj_a = &self.metas[&a].adjacency;
+        let adj_b = &self.metas[&b].adjacency;
+        let (small, large) = if adj_a.len() <= adj_b.len() {
+            (adj_a, adj_b)
+        } else {
+            (adj_b, adj_a)
+        };
+        small
+            .keys()
+            .copied()
+            .filter(|&r| r != a && r != b && large.contains_key(&r))
+            .collect()
+    }
+}
+
+impl MergeState for PlanningEngine<'_> {
+    fn is_root(&self, id: SupernodeId) -> bool {
+        MergeView::is_root(self, id)
+    }
+
+    fn root_height(&self, root: SupernodeId) -> usize {
+        MergeView::root_height(self, root)
+    }
+
+    fn evaluate_merge(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> MergeEvaluation {
+        view::evaluate_merge(self, a, b, memo)
+    }
+
+    fn apply_merge(
+        &mut self,
+        a: SupernodeId,
+        b: SupernodeId,
+        memo: &mut EncoderMemo,
+    ) -> SupernodeId {
+        self.merge(a, b, memo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slugger_graph::Graph;
+
+    fn double_star() -> Graph {
+        let mut edges = vec![(0, 1)];
+        for s in 2..8u32 {
+            edges.push((0, s));
+            edges.push((1, s));
+        }
+        Graph::from_edges(8, edges)
+    }
+
+    #[test]
+    fn overlay_evaluation_matches_the_engine() {
+        let g = double_star();
+        let engine = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let overlay = PlanningEngine::new(&engine, &[2, 3, 4, 5]);
+        for (a, b) in [(2u32, 3u32), (4, 5), (2, 5)] {
+            let direct = engine.evaluate_merge(a, b, &mut memo);
+            let planned = MergeState::evaluate_merge(&overlay, a, b, &mut memo);
+            assert_eq!(direct.cost_before, planned.cost_before, "({a},{b})");
+            assert_eq!(direct.cost_after, planned.cost_after, "({a},{b})");
+        }
+    }
+
+    #[test]
+    fn overlay_merges_track_the_engine_exactly() {
+        // Perform the same merge sequence on a real engine and on an overlay; every
+        // intermediate evaluation must agree, proving the CoW metadata stays exact.
+        let g = double_star();
+        let mut engine = MergeEngine::new(&g);
+        let frozen = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let mut overlay = PlanningEngine::new(&frozen, &[2, 3, 4, 5, 6]);
+
+        let em = engine.apply_merge(2, 3, &mut memo);
+        let om = overlay.merge(2, 3, &mut memo);
+        assert!(MergeView::is_root(&overlay, om));
+        assert!(!MergeView::is_root(&overlay, 2));
+        assert_eq!(overlay.node_size(om), 2);
+        assert_eq!(overlay.root_of(2), om);
+
+        // Evaluate the follow-up merge (m ∪ 4) on both.
+        let direct = engine.evaluate_merge(em, 4, &mut memo);
+        let planned = MergeState::evaluate_merge(&overlay, om, 4, &mut memo);
+        assert_eq!(direct.cost_before, planned.cost_before);
+        assert_eq!(direct.cost_after, planned.cost_after);
+
+        // And apply it; the overlay's root cost must match the engine's.
+        let em2 = engine.apply_merge(em, 4, &mut memo);
+        let om2 = overlay.merge(om, 4, &mut memo);
+        assert_eq!(engine.root_cost(em2), MergeView::root_cost(&overlay, om2));
+        assert_eq!(
+            engine.root_height(em2),
+            MergeView::root_height(&overlay, om2)
+        );
+        assert_eq!(
+            engine.edges_between_roots(em2, 0),
+            MergeView::edges_between_roots(&overlay, om2, 0)
+        );
+    }
+
+    #[test]
+    fn untracked_roots_are_left_alone() {
+        let g = double_star();
+        let frozen = MergeEngine::new(&g);
+        let mut memo = EncoderMemo::new();
+        let mut overlay = PlanningEngine::new(&frozen, &[2, 3]);
+        overlay.merge(2, 3, &mut memo);
+        // The hubs (0, 1) are untracked: still roots, structure untouched, and the
+        // frozen engine itself never changed.
+        assert!(MergeView::is_root(&overlay, 0));
+        assert!(MergeView::is_root(&overlay, 1));
+        assert_eq!(frozen.num_roots(), 8);
+        frozen.summary().validate().unwrap();
+    }
+}

@@ -1,0 +1,297 @@
+//! The read-side of the merge engine, factored out as a trait so the same
+//! `Saving(A, B, G)` machinery (panel extraction, Case-1/Case-2 problem building,
+//! merge evaluation) runs against two backings:
+//!
+//! * the authoritative [`MergeEngine`](super::MergeEngine) itself, and
+//! * the copy-on-write [`PlanningEngine`](super::plan::PlanningEngine) overlay that
+//!   shard workers use to plan merges against a frozen iteration view.
+//!
+//! Keeping the problem builders generic (rather than duplicated) is what guarantees
+//! planning and application agree on the encoding semantics.
+
+use super::MergeEvaluation;
+use crate::encoder::{
+    pair_index, panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape, EncoderMemo,
+};
+use crate::model::SupernodeId;
+
+/// Read-only cost/topology queries the merge machinery needs.
+///
+/// All queries refer to the *current* state of the implementor — for the planning
+/// overlay that is "frozen view + this set's own merges".
+pub(crate) trait MergeView {
+    /// Whether `id` is currently a root.
+    fn is_root(&self, id: SupernodeId) -> bool;
+    /// Direct children of a supernode (empty for leaves; exactly two during the
+    /// merging phase).
+    fn children_of(&self, id: SupernodeId) -> &[SupernodeId];
+    /// Number of subnodes contained in the supernode.
+    fn node_size(&self, id: SupernodeId) -> usize;
+    /// Parent of a supernode, if any.
+    fn parent_of(&self, id: SupernodeId) -> Option<SupernodeId>;
+    /// Signed p/n-edge weight between two supernodes (0 = no edge).
+    fn edge_weight(&self, x: SupernodeId, y: SupernodeId) -> i32;
+    /// `Cost_A(G) = Cost^H_A + Cost^P_A` (Eq. 6) for a root.
+    fn root_cost(&self, root: SupernodeId) -> usize;
+    /// Height of the tree rooted at `root`.
+    fn root_height(&self, root: SupernodeId) -> usize;
+    /// Number of p/n-edges between two distinct roots (`Cost^P_{A,B}`).
+    fn edges_between_roots(&self, a: SupernodeId, b: SupernodeId) -> usize;
+    /// Roots adjacent (through p/n-edges) to both `a`'s and `b`'s trees.
+    fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId>;
+}
+
+/// Panel supernodes of one side: the root plus its direct children when internal.
+/// Returns (shape_internal, [root, child1, child2]) with unused slots `None`.
+pub(crate) fn side_panel<V: MergeView + ?Sized>(
+    view: &V,
+    root: SupernodeId,
+) -> (bool, [Option<SupernodeId>; 3]) {
+    let children = view.children_of(root);
+    if children.is_empty() {
+        (false, [Some(root), None, None])
+    } else {
+        debug_assert_eq!(children.len(), 2, "merging phase trees are binary");
+        (true, [Some(root), Some(children[0]), Some(children[1])])
+    }
+}
+
+/// Maps an abstract panel index to the concrete supernode id for a merge of `a`
+/// and `b` (with `m` the merged supernode) and an optional orange root `c`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn concrete(
+    abstract_id: u8,
+    m: SupernodeId,
+    a: SupernodeId,
+    b: SupernodeId,
+    a_kids: &[Option<SupernodeId>; 3],
+    b_kids: &[Option<SupernodeId>; 3],
+    c: Option<SupernodeId>,
+    c_kids: &[Option<SupernodeId>; 3],
+) -> SupernodeId {
+    match abstract_id {
+        panel::M => m,
+        panel::A => a,
+        panel::B => b,
+        panel::A1 => a_kids[1].expect("A1 requested for leaf A"),
+        panel::A2 => a_kids[2].expect("A2 requested for leaf A"),
+        panel::B1 => b_kids[1].expect("B1 requested for leaf B"),
+        panel::B2 => b_kids[2].expect("B2 requested for leaf B"),
+        panel::C => c.expect("C requested without orange panel"),
+        panel::C1 => c_kids[1].expect("C1 requested for leaf C"),
+        panel::C2 => c_kids[2].expect("C2 requested for leaf C"),
+        other => unreachable!("unknown abstract panel id {other}"),
+    }
+}
+
+/// Cells (by index into `cell_concrete`) covered by a concrete panel supernode:
+/// the cells it equals or is an ancestor of.
+fn panel_cell_coverage<V: MergeView + ?Sized>(
+    view: &V,
+    sup: SupernodeId,
+    cell_concrete: &[SupernodeId],
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (idx, &cell) in cell_concrete.iter().enumerate() {
+        if cell == sup || view.parent_of(cell) == Some(sup) {
+            out.push(idx);
+        }
+    }
+    out
+}
+
+/// Builds the Case-1 problem for merging roots `a` and `b`: the cell-pair
+/// requirements induced by the existing panel edges, plus the list of those edges.
+pub(crate) fn case1_problem<V: MergeView + ?Sized>(
+    view: &V,
+    a: SupernodeId,
+    b: SupernodeId,
+) -> (Case1Problem, Vec<(SupernodeId, SupernodeId)>) {
+    let (a_internal, a_kids) = side_panel(view, a);
+    let (b_internal, b_kids) = side_panel(view, b);
+    let shape = Case1Shape {
+        a_internal,
+        b_internal,
+    };
+    let cells = shape.cells();
+    let k = cells.len();
+    // Concrete supernode of each cell and its size.
+    let cell_concrete: Vec<SupernodeId> = cells
+        .iter()
+        .map(|&cell| match cell {
+            panel::A => a,
+            panel::B => b,
+            panel::A1 => a_kids[1].unwrap(),
+            panel::A2 => a_kids[2].unwrap(),
+            panel::B1 => b_kids[1].unwrap(),
+            panel::B2 => b_kids[2].unwrap(),
+            _ => unreachable!(),
+        })
+        .collect();
+    let mut constrained = 0u16;
+    for (i, &cell) in cell_concrete.iter().enumerate() {
+        for j in i..k {
+            let vacuous = i == j && view.node_size(cell) < 2;
+            if !vacuous {
+                constrained |= 1 << pair_index(i, j, k);
+            }
+        }
+    }
+    // Existing panel edges: all p/n-edges among the panel supernodes of both sides.
+    let panel_supers: Vec<SupernodeId> = a_kids
+        .iter()
+        .chain(b_kids.iter())
+        .flatten()
+        .copied()
+        .collect();
+    let coverage: Vec<Vec<usize>> = panel_supers
+        .iter()
+        .map(|&s| panel_cell_coverage(view, s, &cell_concrete))
+        .collect();
+    let mut required = [0i8; 10];
+    let mut old_edges = Vec::new();
+    for (i, &x) in panel_supers.iter().enumerate() {
+        for (j, &y) in panel_supers.iter().enumerate().skip(i) {
+            let w = view.edge_weight(x, y);
+            if w == 0 {
+                continue;
+            }
+            old_edges.push((x, y));
+            let mut seen = [false; 10];
+            for &ci in &coverage[i] {
+                for &cj in &coverage[j] {
+                    let idx = pair_index(ci.min(cj), ci.max(cj), k);
+                    if !seen[idx] {
+                        seen[idx] = true;
+                        required[idx] = (required[idx] as i32 + w) as i8;
+                    }
+                }
+            }
+        }
+    }
+    (
+        Case1Problem {
+            shape,
+            required,
+            constrained,
+        },
+        old_edges,
+    )
+}
+
+/// Builds the Case-2 problem between the (about to be merged) roots `a`, `b` and
+/// the adjacent root `c`.
+pub(crate) fn case2_problem<V: MergeView + ?Sized>(
+    view: &V,
+    a: SupernodeId,
+    b: SupernodeId,
+    c: SupernodeId,
+) -> (Case2Problem, Vec<(SupernodeId, SupernodeId)>) {
+    let (a_internal, a_kids) = side_panel(view, a);
+    let (b_internal, b_kids) = side_panel(view, b);
+    let (c_internal, c_kids) = side_panel(view, c);
+    let shape = Case2Shape {
+        a_internal,
+        b_internal,
+        c_internal,
+    };
+    let yellow_cells_abs = shape.yellow_cells();
+    let orange_cells_abs = shape.orange_cells();
+    let kc = orange_cells_abs.len();
+    let yellow_cells: Vec<SupernodeId> = yellow_cells_abs
+        .iter()
+        .map(|&cell| match cell {
+            panel::A => a,
+            panel::B => b,
+            panel::A1 => a_kids[1].unwrap(),
+            panel::A2 => a_kids[2].unwrap(),
+            panel::B1 => b_kids[1].unwrap(),
+            panel::B2 => b_kids[2].unwrap(),
+            _ => unreachable!(),
+        })
+        .collect();
+    let orange_cells: Vec<SupernodeId> = orange_cells_abs
+        .iter()
+        .map(|&cell| match cell {
+            panel::C => c,
+            panel::C1 => c_kids[1].unwrap(),
+            panel::C2 => c_kids[2].unwrap(),
+            _ => unreachable!(),
+        })
+        .collect();
+    let yellow_supers: Vec<SupernodeId> = a_kids
+        .iter()
+        .chain(b_kids.iter())
+        .flatten()
+        .copied()
+        .collect();
+    let orange_supers: Vec<SupernodeId> = c_kids.iter().flatten().copied().collect();
+    let yellow_cov: Vec<Vec<usize>> = yellow_supers
+        .iter()
+        .map(|&s| panel_cell_coverage(view, s, &yellow_cells))
+        .collect();
+    let orange_cov: Vec<Vec<usize>> = orange_supers
+        .iter()
+        .map(|&s| panel_cell_coverage(view, s, &orange_cells))
+        .collect();
+    let mut required = [0i8; 8];
+    let mut old_edges = Vec::new();
+    for (i, &x) in yellow_supers.iter().enumerate() {
+        for (j, &y) in orange_supers.iter().enumerate() {
+            let w = view.edge_weight(x, y);
+            if w == 0 {
+                continue;
+            }
+            old_edges.push((x, y));
+            for &ci in &yellow_cov[i] {
+                for &cj in &orange_cov[j] {
+                    let idx = ci * kc + cj;
+                    required[idx] = (required[idx] as i32 + w) as i8;
+                }
+            }
+        }
+    }
+    (Case2Problem { shape, required }, old_edges)
+}
+
+/// Evaluates `Saving(A, B, G)` (Eq. 8) against any [`MergeView`] without mutating it.
+pub(crate) fn evaluate_merge<V: MergeView + ?Sized>(
+    view: &V,
+    a: SupernodeId,
+    b: SupernodeId,
+    memo: &mut EncoderMemo,
+) -> MergeEvaluation {
+    debug_assert!(view.is_root(a) && view.is_root(b) && a != b);
+    let cost_a = view.root_cost(a);
+    let cost_b = view.root_cost(b);
+    let cross = view.edges_between_roots(a, b);
+    let cost_before = cost_a + cost_b - cross;
+
+    // Case 1.
+    let (problem1, old1) = case1_problem(view, a, b);
+    let sol1 = memo.case1(&problem1);
+    let mut delta = sol1.cost as i64 - old1.len() as i64;
+
+    // Case 2, only for roots adjacent to both sides: for roots adjacent to exactly
+    // one side the existing encoding remains optimal within the panel, so the
+    // re-encoding is skipped both here and during application (keeping the two paths
+    // consistent is what makes the evaluation exact).
+    for c in view.common_adjacent_roots(a, b) {
+        let (problem2, old2) = case2_problem(view, a, b, c);
+        let sol2 = memo.case2(&problem2);
+        delta += sol2.cost as i64 - old2.len() as i64;
+    }
+
+    // +2 hierarchy edges for attaching A and B below the new root.
+    let cost_after = (cost_before as i64 + 2 + delta).max(0) as usize;
+    let saving = if cost_before == 0 {
+        f64::NEG_INFINITY
+    } else {
+        1.0 - cost_after as f64 / cost_before as f64
+    };
+    MergeEvaluation {
+        saving,
+        cost_before,
+        cost_after,
+    }
+}

@@ -19,16 +19,27 @@
 //! assert_eq!(decoded.edge_set(), graph.edge_set());
 //! ```
 //!
-//! Module map (mirroring Sect. III of the paper):
+//! Module map (mirroring Sect. III of the paper, plus the execution substrate):
 //!
 //! * [`model`] — the representation model `G = (S, P+, P−, H)` (Sect. II-B).
-//! * [`candidates`] — min-hash candidate generation (Sect. III-B2).
+//! * [`candidates`] — min-hash candidate generation (Sect. III-B2); stage 1 of each
+//!   pipeline iteration.
 //! * [`encoder`] — constant-size local re-encoding with memoization (Sect. III-B3).
 //! * [`engine`] — incremental root/cost bookkeeping, `Saving(A, B, G)` and merge
-//!   application.
-//! * [`merge`] — the merging step over candidate sets (Algorithm 2).
-//! * [`prune`] — the three pruning substeps (Sect. III-B4, Algorithm 3).
-//! * [`slugger`] — the top-level driver (Algorithm 1).
+//!   application; doubles as the frozen iteration view that shards fork
+//!   ([`engine::MergeEngine::fork`]).
+//! * [`engine::apply`] — the **apply** reconciliation stage: replays per-shard merge
+//!   plans on the authoritative engine with exact cost bookkeeping.
+//! * [`merge`] — the merging step over one candidate set (Algorithm 2), in planning
+//!   ([`merge::plan_candidate_set`]) and direct ([`merge::process_candidate_set`])
+//!   form.
+//! * [`pipeline`] — the stage-based sharded execution substrate (candidates → shard
+//!   → merge → apply → prune): deterministic set-to-shard partitioning, per-set RNG
+//!   streams seeded by `(seed, iteration, set_index)`, and the [`pipeline::Parallelism`]
+//!   thread knob, which never changes results.  Shared with the SWeG baseline.
+//! * [`prune`] — the three pruning substeps (Sect. III-B4, Algorithm 3); the final
+//!   pipeline stage.
+//! * [`slugger`] — the top-level driver (Algorithm 1) wiring the stages together.
 //! * [`decode`] — full and partial decompression (Algorithm 4) and losslessness
 //!   verification.
 //! * [`metrics`] — output-size and hierarchy statistics used by the experiments.
@@ -43,6 +54,7 @@ pub mod engine;
 pub mod merge;
 pub mod metrics;
 pub mod model;
+pub mod pipeline;
 pub mod prune;
 pub mod slugger;
 pub mod storage;
@@ -50,6 +62,7 @@ pub mod storage;
 pub use decode::SummaryNeighborView;
 pub use metrics::SummaryMetrics;
 pub use model::{EdgeSign, HierarchicalSummary, Supernode, SupernodeId};
+pub use pipeline::Parallelism;
 pub use slugger::{Slugger, SluggerConfig, SluggerOutcome};
 
 /// Convenience prelude.
@@ -57,5 +70,6 @@ pub mod prelude {
     pub use crate::decode::{decode_full, neighbors_of, verify_lossless};
     pub use crate::metrics::SummaryMetrics;
     pub use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
+    pub use crate::pipeline::Parallelism;
     pub use crate::slugger::{Slugger, SluggerConfig, SluggerOutcome};
 }

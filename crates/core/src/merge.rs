@@ -3,10 +3,12 @@
 //! pair when the saving clears the iteration threshold `θ(t)` (Eq. 9).
 
 use crate::encoder::EncoderMemo;
-use crate::engine::MergeEngine;
+use crate::engine::apply::{MergeRef, PlannedMerge};
+use crate::engine::{MergeEngine, MergeState};
 use crate::model::SupernodeId;
 use rand::rngs::StdRng;
 use rand::RngExt;
+use slugger_graph::hash::FxHashMap;
 
 /// The merging threshold `θ(t)` of Eq. 9: high early on (so only clearly beneficial
 /// pairs merge first), zero at the final iteration (so any non-worsening merge is
@@ -46,34 +48,46 @@ pub struct MergeOptions {
     pub height_bound: Option<usize>,
 }
 
-/// Processes one candidate set `D` (Algorithm 2): merges greedily until every root has
-/// been considered once as the pivot `A`.
-pub fn process_candidate_set(
-    engine: &mut MergeEngine,
+/// Plans one candidate set `D` (Algorithm 2): merges greedily until every root has
+/// been considered once as the pivot `A`, recording each merge as a
+/// [`PlannedMerge`] so the sequence can be replayed on the authoritative engine by
+/// the [`crate::engine::apply`] reconciliation layer.
+///
+/// The merges *are applied* to the given [`MergeState`] — in the sharded pipeline
+/// that is a per-set copy-on-write overlay over the frozen iteration view; planning
+/// directly on the authoritative [`MergeEngine`] is the in-place special case used
+/// by [`process_candidate_set`].
+pub fn plan_candidate_set<E: MergeState>(
+    engine: &mut E,
     memo: &mut EncoderMemo,
     candidate_set: &[SupernodeId],
     options: &MergeOptions,
     rng: &mut StdRng,
-) -> MergeStats {
+) -> (Vec<PlannedMerge>, MergeStats) {
     let mut stats = MergeStats::default();
-    // Q ← D; roots may have been merged away while processing earlier candidate sets
-    // of the same iteration, so drop anything that is no longer a root.
+    let mut merges: Vec<PlannedMerge> = Vec::new();
+    // Supernodes created by this set's own merges, mapped to their plan position so
+    // later merges can reference them positionally (engine-local ids are not stable
+    // across a replay).
+    let mut planned_ids: FxHashMap<SupernodeId, usize> = FxHashMap::default();
+    // Q ← D; in the sharded pipeline candidate sets are disjoint, but stay defensive
+    // against callers feeding stale ids (e.g. hand-built sets in tests).
     let mut queue: Vec<SupernodeId> = candidate_set
         .iter()
         .copied()
-        .filter(|&r| engine.summary().is_root(r))
+        .filter(|&r| engine.is_root(r))
         .collect();
     while queue.len() > 1 {
         // Pick and remove a random pivot A.
         let idx = rng.random_range(0..queue.len());
         let a = queue.swap_remove(idx);
-        if !engine.summary().is_root(a) {
+        if !engine.is_root(a) {
             continue;
         }
         // Find the partner with maximum saving.
         let mut best: Option<(usize, f64)> = None;
         for (pos, &z) in queue.iter().enumerate() {
-            if z == a || !engine.summary().is_root(z) {
+            if z == a || !engine.is_root(z) {
                 continue;
             }
             if let Some(bound) = options.height_bound {
@@ -95,13 +109,34 @@ pub fn process_candidate_set(
         let Some((pos, saving)) = best else { continue };
         if saving >= options.threshold {
             let b = queue[pos];
+            let as_ref = |id: SupernodeId| match planned_ids.get(&id) {
+                Some(&i) => MergeRef::Planned(i),
+                None => MergeRef::Root(id),
+            };
+            merges.push(PlannedMerge {
+                a: as_ref(a),
+                b: as_ref(b),
+            });
             let merged = engine.apply_merge(a, b, memo);
+            planned_ids.insert(merged, merges.len() - 1);
             stats.merged += 1;
             // Q ← (Q \ {B}) ∪ {A ∪ B}
             queue[pos] = merged;
         }
     }
-    stats
+    (merges, stats)
+}
+
+/// Processes one candidate set `D` (Algorithm 2) directly on the given engine: the
+/// plan-and-apply-in-place special case of [`plan_candidate_set`].
+pub fn process_candidate_set(
+    engine: &mut MergeEngine,
+    memo: &mut EncoderMemo,
+    candidate_set: &[SupernodeId],
+    options: &MergeOptions,
+    rng: &mut StdRng,
+) -> MergeStats {
+    plan_candidate_set(engine, memo, candidate_set, options, rng).1
 }
 
 #[cfg(test)]
@@ -149,7 +184,10 @@ mod tests {
             &mut rng,
         );
         assert!(stats.evaluated > 0);
-        assert!(stats.merged >= 4, "expected most twins to merge, got {stats:?}");
+        assert!(
+            stats.merged >= 4,
+            "expected most twins to merge, got {stats:?}"
+        );
         // Merging twins is cost-neutral before pruning (saved p-edges pay for the new
         // h-edges); the gain appears once edge-free internal supernodes are pruned.
         let after = engine.summary().encoding_cost();

@@ -231,10 +231,16 @@ impl HierarchicalSummary {
     /// the union of the children's members.  The children must currently be roots.
     /// Returns the new supernode's id.
     pub fn merge_roots(&mut self, a: SupernodeId, b: SupernodeId) -> SupernodeId {
-        assert!(self.is_root(a) && self.is_root(b), "merge_roots requires two roots");
+        assert!(
+            self.is_root(a) && self.is_root(b),
+            "merge_roots requires two roots"
+        );
         assert_ne!(a, b, "cannot merge a root with itself");
         let id = self.supernodes.len() as SupernodeId;
-        let members = merge_sorted(&self.supernodes[a as usize].members, &self.supernodes[b as usize].members);
+        let members = merge_sorted(
+            &self.supernodes[a as usize].members,
+            &self.supernodes[b as usize].members,
+        );
         self.supernodes.push(Supernode {
             parent: None,
             children: vec![a, b],
@@ -252,7 +258,10 @@ impl HierarchicalSummary {
     /// [`HierarchicalSummary::merge_roots`], used when reconstructing a pruned
     /// hierarchy from storage).  Returns the new supernode's id.
     pub fn create_supernode_with_children(&mut self, children: &[SupernodeId]) -> SupernodeId {
-        assert!(children.len() >= 2, "a supernode needs at least two children");
+        assert!(
+            children.len() >= 2,
+            "a supernode needs at least two children"
+        );
         for &c in children {
             assert!(self.is_root(c), "child {c} must currently be a root");
         }
@@ -374,7 +383,10 @@ impl HierarchicalSummary {
             !self.supernodes[id as usize].is_leaf(),
             "singleton leaf supernodes cannot be pruned"
         );
-        assert!(self.supernodes[id as usize].alive, "supernode already pruned");
+        assert!(
+            self.supernodes[id as usize].alive,
+            "supernode already pruned"
+        );
         // Drop incident p/n-edges.
         let incident: Vec<SupernodeId> = self.incidence[id as usize].iter().copied().collect();
         for other in incident {
@@ -413,14 +425,14 @@ impl HierarchicalSummary {
     /// the path from the leaf to its root.
     pub fn leaf_depths(&self) -> Vec<usize> {
         let mut depths = vec![0usize; self.num_subnodes];
-        for u in 0..self.num_subnodes {
+        for (u, depth) in depths.iter_mut().enumerate() {
             let mut d = 0usize;
             let mut cur = u as SupernodeId;
             while let Some(p) = self.supernodes[cur as usize].parent {
                 d += 1;
                 cur = p;
             }
-            depths[u] = d;
+            *depth = d;
         }
         depths
     }
@@ -434,7 +446,8 @@ impl HierarchicalSummary {
             if !self.supernodes[a as usize].alive || !self.supernodes[b as usize].alive {
                 return Err(format!("edge ({a},{b}) touches a pruned supernode"));
             }
-            if !self.incidence[a as usize].contains(&b) || !self.incidence[b as usize].contains(&a) {
+            if !self.incidence[a as usize].contains(&b) || !self.incidence[b as usize].contains(&a)
+            {
                 return Err(format!("edge ({a},{b}) missing from incidence sets"));
             }
             match sign {
@@ -475,7 +488,9 @@ impl HierarchicalSummary {
             }
             for &other in &self.incidence[i] {
                 if !self.edges.contains_key(&edge_key(id, other)) {
-                    return Err(format!("incidence of {id} references missing edge to {other}"));
+                    return Err(format!(
+                        "incidence of {id} references missing edge to {other}"
+                    ));
                 }
             }
         }
@@ -540,7 +555,10 @@ mod tests {
         assert_eq!(s.num_n_edges(), 1);
         assert_eq!(s.encoding_cost(), 3);
         // Replacing flips the counters.
-        assert_eq!(s.set_edge(1, 0, EdgeSign::Negative), Some(EdgeSign::Positive));
+        assert_eq!(
+            s.set_edge(1, 0, EdgeSign::Negative),
+            Some(EdgeSign::Positive)
+        );
         assert_eq!(s.num_p_edges(), 1);
         assert_eq!(s.num_n_edges(), 2);
         assert_eq!(s.remove_edge(0, 1), Some(EdgeSign::Negative));
@@ -655,7 +673,10 @@ mod tests {
 
     #[test]
     fn merge_sorted_members() {
-        assert_eq!(merge_sorted(&[1, 4, 9], &[2, 3, 10]), vec![1, 2, 3, 4, 9, 10]);
+        assert_eq!(
+            merge_sorted(&[1, 4, 9], &[2, 3, 10]),
+            vec![1, 2, 3, 4, 9, 10]
+        );
         assert_eq!(merge_sorted(&[], &[5]), vec![5]);
     }
 }

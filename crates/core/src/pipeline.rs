@@ -1,0 +1,322 @@
+//! The stage-based, shard-aware execution substrate of the summarization loop.
+//!
+//! Every iteration of SLUGGER (and of the SWeG baseline, which reuses this module)
+//! flows through five stages:
+//!
+//! 1. **candidates** — generate disjoint candidate sets from the frozen iteration
+//!    view ([`crate::candidates`]);
+//! 2. **shard** — [`partition_sets`] deals whole candidate sets round-robin onto
+//!    `shards` worker shards (a set is never split, so merges never cross shards);
+//! 3. **merge** — each shard forks per-shard scratch state ([`ShardWorker::fork`],
+//!    for SLUGGER just an encoder memo) and plans each of its sets' merges against
+//!    the frozen view, drawing randomness from a per-set stream ([`set_rng`], seeded
+//!    by `(seed, iteration, set_index)`);
+//! 4. **apply** — the plans are replayed on the authoritative state in ascending
+//!    set-index order ([`crate::engine::apply`]), keeping cost bookkeeping exact;
+//! 5. **prune** — after the last iteration, pruning runs as before
+//!    ([`crate::prune`]).
+//!
+//! # Determinism
+//!
+//! SLUGGER's output is a pure function of `(input graph, seed)`: every candidate set
+//! is planned against the frozen view with its own RNG stream, so neither the shard
+//! count nor the [`Parallelism`] knob (how many OS threads execute the shards)
+//! changes the summary — `Parallelism::Sequential` and `Parallelism::Fixed(8)`
+//! produce **identical** results, the property the pipeline tests pin down.
+//! (An algorithm whose [`ShardWorker::fork`] state accumulates across a shard's sets
+//! — the SWeG baseline clones its grouping per shard — additionally depends on the
+//! shard count, but still never on the thread count.)
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use slugger_graph::hash::hash_u64_with_seed;
+
+/// Default number of worker shards per iteration.
+///
+/// A scheduling-granularity knob, *not* a thread count: the same shard structure is
+/// used no matter how many threads execute it.  More shards = finer load balancing
+/// but less per-shard memo locality.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// How many OS threads execute the shards of an iteration.
+///
+/// Never affects results — only wall-clock time.  See the module docs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Parallelism {
+    /// Everything on the calling thread.
+    #[default]
+    Sequential,
+    /// Up to `n` worker threads (clamped to at least 1).
+    Fixed(usize),
+    /// One thread per available CPU.
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of worker threads to use for `num_shards` shards.
+    pub fn worker_threads(self, num_shards: usize) -> usize {
+        let requested = match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Fixed(n) => n.max(1),
+            Parallelism::Auto => rayon::current_num_threads(),
+        };
+        requested.min(num_shards.max(1))
+    }
+}
+
+/// A deterministic assignment of candidate sets to shards.
+#[derive(Clone, Debug)]
+pub struct ShardAssignment {
+    /// Per shard, the candidate-set indices it owns, in ascending order.
+    shards: Vec<Vec<usize>>,
+}
+
+impl ShardAssignment {
+    /// The per-shard set-index lists.
+    pub fn shards(&self) -> &[Vec<usize>] {
+        &self.shards
+    }
+
+    /// Number of shards that own at least one set.
+    pub fn non_empty(&self) -> usize {
+        self.shards.iter().filter(|s| !s.is_empty()).count()
+    }
+}
+
+/// Deals `num_sets` candidate sets round-robin across `num_shards` shards.
+///
+/// Whole sets are assigned — never split — so all merges stay within one shard, and
+/// the assignment depends only on the two counts (robin order equals set order, which
+/// keeps each shard's internal processing order ascending).
+pub fn partition_sets(num_sets: usize, num_shards: usize) -> ShardAssignment {
+    let num_shards = num_shards.max(1);
+    let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+    for set_index in 0..num_sets {
+        shards[set_index % num_shards].push(set_index);
+    }
+    ShardAssignment { shards }
+}
+
+/// The independent random stream of one candidate set: seeded from
+/// `(seed, iteration, set_index)` so results do not depend on which shard or thread
+/// processes the set, nor on how many sets precede it.
+pub fn set_rng(seed: u64, iteration: usize, set_index: usize) -> StdRng {
+    let stream = hash_u64_with_seed(
+        (iteration as u64) << 32 ^ set_index as u64,
+        seed ^ 0x5ba4_11e5_eed5_7ead,
+    );
+    StdRng::seed_from_u64(stream)
+}
+
+/// An algorithm that plans merges for candidate sets on forked per-shard state.
+///
+/// Implemented by SLUGGER (fork = [`crate::engine::MergeEngine::fork`] + a private
+/// encoder memo) and by the SWeG baseline (fork = a `Grouping` clone).
+pub trait ShardWorker: Sync {
+    /// Per-shard mutable planning state.
+    type Planner: Send;
+    /// The plan produced for one candidate set.
+    type Plan: Send;
+
+    /// Forks the frozen iteration view into fresh per-shard state.
+    fn fork(&self) -> Self::Planner;
+
+    /// Plans one candidate set, mutating the shard state in place.
+    fn plan_set(
+        &self,
+        planner: &mut Self::Planner,
+        set_index: usize,
+        set: &[u32],
+        rng: &mut StdRng,
+    ) -> Self::Plan;
+}
+
+/// Runs the **shard** and **merge** stages: partitions `sets` into `num_shards`
+/// shards, plans every shard (in parallel according to `parallelism`), and returns
+/// the plans in ascending set-index order, ready for the apply stage.
+///
+/// `rng_for_set` supplies each set's independent random stream (see [`set_rng`]).
+pub fn plan_shards<W: ShardWorker>(
+    worker: &W,
+    sets: &[Vec<u32>],
+    num_shards: usize,
+    parallelism: Parallelism,
+    rng_for_set: &(dyn Fn(usize) -> StdRng + Sync),
+) -> Vec<W::Plan> {
+    let assignment = partition_sets(sets.len(), num_shards);
+    let threads = parallelism.worker_threads(assignment.non_empty());
+
+    let mut plans: Vec<Option<W::Plan>> = Vec::with_capacity(sets.len());
+    plans.resize_with(sets.len(), || None);
+
+    let run_shard = |set_indices: &[usize]| -> Vec<(usize, W::Plan)> {
+        let mut planner = worker.fork();
+        set_indices
+            .iter()
+            .map(|&set_index| {
+                let mut rng = rng_for_set(set_index);
+                let plan = worker.plan_set(&mut planner, set_index, &sets[set_index], &mut rng);
+                (set_index, plan)
+            })
+            .collect()
+    };
+
+    if threads <= 1 {
+        for shard in assignment.shards() {
+            if shard.is_empty() {
+                continue;
+            }
+            for (set_index, plan) in run_shard(shard) {
+                plans[set_index] = Some(plan);
+            }
+        }
+    } else {
+        // Deal shards round-robin onto `threads` workers.  Each worker still forks a
+        // fresh planner per shard, so the grouping affects scheduling only.
+        let buckets: Vec<Vec<&[usize]>> = {
+            let mut buckets: Vec<Vec<&[usize]>> = vec![Vec::new(); threads];
+            for (i, shard) in assignment
+                .shards()
+                .iter()
+                .filter(|s| !s.is_empty())
+                .enumerate()
+            {
+                buckets[i % threads].push(shard);
+            }
+            buckets
+        };
+        let produced: Vec<Vec<(usize, W::Plan)>> = rayon::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .iter()
+                .map(|bucket| {
+                    scope.spawn(|| {
+                        bucket
+                            .iter()
+                            .flat_map(|shard| run_shard(shard))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        for (set_index, plan) in produced.into_iter().flatten() {
+            plans[set_index] = Some(plan);
+        }
+    }
+
+    plans
+        .into_iter()
+        .map(|p| p.expect("every set is planned by exactly one shard"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_never_splits_a_set_and_covers_all() {
+        for (num_sets, num_shards) in [(0, 4), (1, 4), (7, 3), (16, 8), (5, 16), (100, 7)] {
+            let assignment = partition_sets(num_sets, num_shards);
+            assert_eq!(assignment.shards().len(), num_shards.max(1));
+            let mut seen = vec![0usize; num_sets];
+            for shard in assignment.shards() {
+                assert!(
+                    shard.windows(2).all(|w| w[0] < w[1]),
+                    "shard processing order must be ascending"
+                );
+                for &set_index in shard {
+                    seen[set_index] += 1;
+                }
+            }
+            assert!(
+                seen.iter().all(|&c| c == 1),
+                "every candidate set must live in exactly one shard ({num_sets} sets, {num_shards} shards): {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let assignment = partition_sets(5, 0);
+        assert_eq!(assignment.shards().len(), 1);
+        assert_eq!(assignment.shards()[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn set_rng_streams_are_independent_and_reproducible() {
+        use rand::RngExt;
+        let mut a = set_rng(7, 3, 0);
+        let mut a2 = set_rng(7, 3, 0);
+        let mut b = set_rng(7, 3, 1);
+        let mut c = set_rng(7, 4, 0);
+        let mut d = set_rng(8, 3, 0);
+        let draw = |rng: &mut rand::rngs::StdRng| -> Vec<u64> {
+            (0..8).map(|_| rng.random::<u64>()).collect()
+        };
+        let base = draw(&mut a);
+        assert_eq!(base, draw(&mut a2), "same (seed, iter, set) ⇒ same stream");
+        assert_ne!(base, draw(&mut b), "set index must change the stream");
+        assert_ne!(base, draw(&mut c), "iteration must change the stream");
+        assert_ne!(base, draw(&mut d), "seed must change the stream");
+    }
+
+    #[test]
+    fn worker_threads_clamp() {
+        assert_eq!(Parallelism::Sequential.worker_threads(8), 1);
+        assert_eq!(Parallelism::Fixed(4).worker_threads(8), 4);
+        assert_eq!(Parallelism::Fixed(0).worker_threads(8), 1);
+        assert_eq!(Parallelism::Fixed(64).worker_threads(8), 8);
+        assert!(Parallelism::Auto.worker_threads(64) >= 1);
+    }
+
+    /// A toy worker: per-shard state is a running sum; the plan for a set is
+    /// `(shard_sum_so_far, sum_of_set, one random draw)`.  Used to prove thread-count
+    /// independence of the executor itself.
+    struct SummingWorker;
+
+    impl ShardWorker for SummingWorker {
+        type Planner = u64;
+        type Plan = (u64, u64, u64);
+
+        fn fork(&self) -> u64 {
+            0
+        }
+
+        fn plan_set(
+            &self,
+            planner: &mut u64,
+            _set_index: usize,
+            set: &[u32],
+            rng: &mut StdRng,
+        ) -> (u64, u64, u64) {
+            use rand::RngExt;
+            let sum: u64 = set.iter().map(|&x| x as u64).sum();
+            *planner += sum;
+            (*planner, sum, rng.random::<u64>())
+        }
+    }
+
+    #[test]
+    fn executor_output_is_independent_of_thread_count() {
+        let sets: Vec<Vec<u32>> = (0..37).map(|i| vec![i, i + 1, 2 * i]).collect();
+        let rng_for_set = |set_index: usize| set_rng(42, 1, set_index);
+        let baseline = plan_shards(
+            &SummingWorker,
+            &sets,
+            6,
+            Parallelism::Sequential,
+            &rng_for_set,
+        );
+        for parallelism in [
+            Parallelism::Fixed(2),
+            Parallelism::Fixed(3),
+            Parallelism::Fixed(8),
+            Parallelism::Auto,
+        ] {
+            let plans = plan_shards(&SummingWorker, &sets, 6, parallelism, &rng_for_set);
+            assert_eq!(plans, baseline, "{parallelism:?} diverged from sequential");
+        }
+    }
+}

@@ -1,15 +1,25 @@
 //! The SLUGGER driver (Algorithm 1): `T` iterations of candidate generation followed
 //! by greedy merging, then pruning.
+//!
+//! Each iteration runs through the sharded pipeline of [`crate::pipeline`]
+//! (candidates → shard → merge → apply): candidate sets are dealt across
+//! [`SluggerConfig::shards`] worker shards, each set's merges are planned on a
+//! copy-on-write overlay of the iteration's frozen engine, and the plans are
+//! replayed on the authoritative engine in deterministic order.
+//! [`SluggerConfig::parallelism`] picks how many threads execute the shards and
+//! never changes the result.
 
 use crate::candidates::{candidate_sets, CandidateConfig};
 use crate::encoder::EncoderMemo;
+use crate::engine::apply::{apply_plans, SetPlan};
+use crate::engine::plan::PlanningEngine;
 use crate::engine::MergeEngine;
-use crate::merge::{merging_threshold, process_candidate_set, MergeOptions, MergeStats};
+use crate::merge::{merging_threshold, plan_candidate_set, MergeOptions};
 use crate::metrics::SummaryMetrics;
-use crate::model::HierarchicalSummary;
+use crate::model::{HierarchicalSummary, SupernodeId};
+use crate::pipeline::{plan_shards, set_rng, Parallelism, ShardWorker, DEFAULT_SHARDS};
 use crate::prune::{prune_all, PruneReport};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use slugger_graph::Graph;
 
@@ -35,6 +45,24 @@ pub struct SluggerConfig {
     pub memoization: bool,
     /// Random seed controlling candidate grouping and pivot selection.
     pub seed: u64,
+    /// Number of worker shards candidate sets are dealt across per iteration.  A pure
+    /// scheduling/memo-locality knob: every candidate set is planned against the same
+    /// frozen iteration view with its own RNG stream, so neither this nor
+    /// [`SluggerConfig::parallelism`] ever changes the summary.
+    #[serde(default = "default_shards")]
+    pub shards: usize,
+    /// How many OS threads execute the shards.  Pure throughput knob: for a fixed
+    /// seed every setting produces the identical summary.
+    #[serde(default)]
+    pub parallelism: Parallelism,
+}
+
+/// Serde fallback for configs serialized before the pipeline knobs existed.  Only
+/// referenced from the `#[serde(default = ...)]` attribute, which the vendored no-op
+/// derive ignores — hence the `dead_code` allowance until real serde is wired in.
+#[allow(dead_code)]
+fn default_shards() -> usize {
+    DEFAULT_SHARDS
 }
 
 impl Default for SluggerConfig {
@@ -47,6 +75,8 @@ impl Default for SluggerConfig {
             pruning_rounds: 2,
             memoization: true,
             seed: 0,
+            shards: DEFAULT_SHARDS,
+            parallelism: Parallelism::Sequential,
         }
     }
 }
@@ -107,8 +137,8 @@ impl Slugger {
     }
 
     /// Summarizes a graph: initializes the model to the input (every subedge a p-edge
-    /// between singleton supernodes), runs `T` iterations of candidate generation and
-    /// merging, prunes, and returns the outcome.
+    /// between singleton supernodes), runs `T` iterations of the sharded pipeline
+    /// (candidates → shard → merge → apply), prunes, and returns the outcome.
     pub fn summarize(&self, graph: &Graph) -> SluggerOutcome {
         let start = std::time::Instant::now();
         let config = &self.config;
@@ -122,7 +152,6 @@ impl Slugger {
             max_group_size: config.max_candidate_size,
             max_shingle_splits: config.max_shingle_splits,
         };
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let mut iterations = Vec::with_capacity(config.iterations);
 
         for t in 1..=config.iterations {
@@ -132,21 +161,33 @@ impl Slugger {
                 .seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(t as u64);
-            let sets = candidate_sets(engine.summary(), graph, &roots, iteration_seed, &candidate_config);
+            let sets = candidate_sets(
+                engine.summary(),
+                graph,
+                &roots,
+                iteration_seed,
+                &candidate_config,
+            );
             let options = MergeOptions {
                 threshold,
                 height_bound: config.height_bound,
             };
-            let mut stats = MergeStats::default();
-            for set in &sets {
-                stats.absorb(process_candidate_set(
-                    &mut engine,
-                    &mut memo,
-                    set,
-                    &options,
-                    &mut rng,
-                ));
-            }
+            // Merge stage: plan every candidate set against the frozen engine (on
+            // copy-on-write overlays, sharded for scheduling)…
+            let worker = SluggerShardWorker {
+                view: &engine,
+                options,
+                memoization: config.memoization,
+            };
+            let plans = plan_shards(
+                &worker,
+                &sets,
+                config.shards,
+                config.parallelism,
+                &|set_index| set_rng(config.seed, t, set_index),
+            );
+            // …then reconcile the plans on the authoritative engine in set order.
+            let stats = apply_plans(&mut engine, &mut memo, &plans);
             iterations.push(IterationRecord {
                 iteration: t,
                 threshold,
@@ -171,6 +212,48 @@ impl Slugger {
             iterations,
             prune_report,
             elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// SLUGGER's shard worker: the frozen iteration view plus the merge options.
+///
+/// Forking is cheap — the per-shard state is just a private encoder memo (the memo
+/// only caches deterministic solver results, so sharing or not sharing it never
+/// changes output).  Each candidate set is then planned on its own copy-on-write
+/// [`PlanningEngine`] overlay over the frozen view, whose construction cost is
+/// proportional to the set, not to the graph.
+struct SluggerShardWorker<'a> {
+    view: &'a MergeEngine,
+    options: MergeOptions,
+    memoization: bool,
+}
+
+impl ShardWorker for SluggerShardWorker<'_> {
+    type Planner = EncoderMemo;
+    type Plan = SetPlan;
+
+    fn fork(&self) -> EncoderMemo {
+        if self.memoization {
+            EncoderMemo::new()
+        } else {
+            EncoderMemo::disabled()
+        }
+    }
+
+    fn plan_set(
+        &self,
+        memo: &mut EncoderMemo,
+        set_index: usize,
+        set: &[SupernodeId],
+        rng: &mut StdRng,
+    ) -> SetPlan {
+        let mut overlay = PlanningEngine::new(self.view, set);
+        let (merges, stats) = plan_candidate_set(&mut overlay, memo, set, &self.options, rng);
+        SetPlan {
+            set_index,
+            merges,
+            stats,
         }
     }
 }

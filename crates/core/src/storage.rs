@@ -19,7 +19,7 @@
 //! ```
 
 use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Bytes, BytesMut};
 use std::io::{self, Read, Write};
 
 /// Magic bytes identifying the format ("SLGR").
@@ -67,7 +67,10 @@ impl From<io::Error> for StorageError {
 }
 
 /// Serializes a summary into a writer. Returns the number of bytes written.
-pub fn write_summary<W: Write>(summary: &HierarchicalSummary, mut writer: W) -> Result<usize, StorageError> {
+pub fn write_summary<W: Write>(
+    summary: &HierarchicalSummary,
+    mut writer: W,
+) -> Result<usize, StorageError> {
     let bytes = encode_summary(summary);
     writer.write_all(&bytes)?;
     Ok(bytes.len())
@@ -146,7 +149,9 @@ pub fn decode_summary(bytes: &Bytes) -> Result<HierarchicalSummary, StorageError
             p => Some((p - 1) as SupernodeId),
         };
         if (id as usize) < num_subnodes {
-            return Err(StorageError::Corrupt("internal supernode id overlaps leaves"));
+            return Err(StorageError::Corrupt(
+                "internal supernode id overlaps leaves",
+            ));
         }
         internal.push((id, parent));
     }
@@ -209,7 +214,9 @@ fn rebuild(
         (0..num_subnodes as SupernodeId).map(|x| (x, x)).collect();
     for (&old_id, children) in &children_of {
         if children.len() < 2 {
-            return Err(StorageError::Corrupt("internal supernode with fewer than two children"));
+            return Err(StorageError::Corrupt(
+                "internal supernode with fewer than two children",
+            ));
         }
         let mapped: Vec<SupernodeId> = children
             .iter()
@@ -276,7 +283,17 @@ mod tests {
     #[test]
     fn varint_roundtrip() {
         let mut buf = BytesMut::new();
-        let values = [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         for &v in &values {
             put_varint(&mut buf, v);
         }

@@ -318,7 +318,9 @@ mod tests {
     fn small_registry_is_a_subset() {
         let small = small_registry();
         assert_eq!(small.len(), 5);
-        assert!(small.iter().all(|d| registry().iter().any(|r| r.key == d.key)));
+        assert!(small
+            .iter()
+            .all(|d| registry().iter().any(|r| r.key == d.key)));
     }
 
     #[test]

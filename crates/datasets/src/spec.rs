@@ -50,7 +50,9 @@ impl DatasetKey {
     /// All keys in the order the paper lists them (Table II, by edge count).
     pub fn all() -> [DatasetKey; 16] {
         use DatasetKey::*;
-        [CA, FA, PR, EM, DB, AM, CN, YO, SK, EU, ES, LJ, HO, IC, U2, U5]
+        [
+            CA, FA, PR, EM, DB, AM, CN, YO, SK, EU, ES, LJ, HO, IC, U2, U5,
+        ]
     }
 
     /// Two-letter label used in the paper's tables and figures.
@@ -177,7 +179,11 @@ impl DatasetSpec {
                 cfg.num_edges = s(cfg.num_edges);
                 rmat(&cfg)
             }
-            GeneratorSpec::BarabasiAlbert { nodes, attach, seed } => {
+            GeneratorSpec::BarabasiAlbert {
+                nodes,
+                attach,
+                seed,
+            } => {
                 let n = s(*nodes).max(attach + 2);
                 barabasi_albert(n, *attach, *seed)
             }

@@ -62,7 +62,10 @@ impl Theorem1Shape {
 /// (≤ a few thousand nodes) — which is plenty to demonstrate the asymptotic gap in
 /// the `theorem1_conciseness` experiment.
 pub fn theorem1_graph(shape: Theorem1Shape) -> Graph {
-    assert!(shape.groups >= 4, "need at least 4 groups for the construction");
+    assert!(
+        shape.groups >= 4,
+        "need at least 4 groups for the construction"
+    );
     assert!(shape.per_group >= 1);
     let n = shape.num_nodes();
     let mut builder = GraphBuilder::new(n);

@@ -144,13 +144,18 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = HubConfig::default();
-        assert_eq!(hub_and_spoke(&cfg).edge_set(), hub_and_spoke(&cfg).edge_set());
+        assert_eq!(
+            hub_and_spoke(&cfg).edge_set(),
+            hub_and_spoke(&cfg).edge_set()
+        );
     }
 
     #[test]
     fn poisson_sampler_has_reasonable_mean() {
         let mut rng = StdRng::seed_from_u64(99);
-        let samples: Vec<usize> = (0..5_000).map(|_| sample_poisson_like(&mut rng, 3.0)).collect();
+        let samples: Vec<usize> = (0..5_000)
+            .map(|_| sample_poisson_like(&mut rng, 3.0))
+            .collect();
         let mean = samples.iter().sum::<usize>() as f64 / samples.len() as f64;
         assert!((mean - 3.0).abs() < 0.3, "mean was {mean}");
     }

@@ -36,7 +36,7 @@ pub use nested_sbm::{block_at_depth, nested_sbm, NestedSbmConfig};
 pub use rmat::{rmat, RmatConfig};
 
 use crate::graph::NodeId;
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Draws an unordered pair of distinct nodes uniformly at random.
 pub(crate) fn random_pair<R: Rng>(rng: &mut R, n: usize) -> (NodeId, NodeId) {

@@ -98,8 +98,7 @@ pub fn nested_sbm(config: &NestedSbmConfig) -> Graph {
         };
     }
 
-    for depth in 0..=config.levels {
-        let p = p_extra[depth];
+    for (depth, &p) in p_extra.iter().enumerate().take(config.levels + 1) {
         if p <= 0.0 {
             continue;
         }
@@ -240,7 +239,10 @@ mod tests {
     #[test]
     fn deterministic() {
         let config = NestedSbmConfig::default();
-        assert_eq!(nested_sbm(&config).edge_set(), nested_sbm(&config).edge_set());
+        assert_eq!(
+            nested_sbm(&config).edge_set(),
+            nested_sbm(&config).edge_set()
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl Default for RmatConfig {
 
 /// Generates an RMAT graph (see [`RmatConfig`]).
 pub fn rmat(config: &RmatConfig) -> Graph {
-    assert!(config.scale >= 1 && config.scale <= 30, "scale out of range");
+    assert!(
+        config.scale >= 1 && config.scale <= 30,
+        "scale out of range"
+    );
     let d = 1.0 - config.a - config.b - config.c;
     assert!(
         config.a >= 0.0 && config.b >= 0.0 && config.c >= 0.0 && d >= 0.0,
@@ -105,7 +108,11 @@ mod tests {
         g.validate().unwrap();
         // Duplicates get merged, so edge count is at most the attempts.
         assert!(g.num_edges() <= 2000);
-        assert!(g.num_edges() > 500, "suspiciously few edges: {}", g.num_edges());
+        assert!(
+            g.num_edges() > 500,
+            "suspiciously few edges: {}",
+            g.num_edges()
+        );
     }
 
     #[test]

@@ -106,7 +106,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, EdgeListErr
 /// Writes a graph as an edge list (`u v` per line, `u < v`) to any writer.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# nodes {} edges {}", graph.num_nodes(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# nodes {} edges {}",
+        graph.num_nodes(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }

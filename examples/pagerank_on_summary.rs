@@ -53,7 +53,10 @@ fn main() {
         summary_time.as_secs_f64(),
         max_diff
     );
-    assert!(max_diff < 1e-9, "PageRank on the summary must match exactly");
+    assert!(
+        max_diff < 1e-9,
+        "PageRank on the summary must match exactly"
+    );
 
     // BFS reachability from node 0.
     let reach_raw = bfs_order(&graph, 0).len();
@@ -79,5 +82,8 @@ fn main() {
     // Show the top-5 PageRank nodes, computed from the compressed representation only.
     let mut ranked: Vec<(usize, f64)> = ranks_summary.iter().copied().enumerate().collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
-    println!("top-5 nodes by PageRank (from the summary): {:?}", &ranked[..5]);
+    println!(
+        "top-5 nodes by PageRank (from the summary): {:?}",
+        &ranked[..5]
+    );
 }

@@ -44,6 +44,7 @@ fn main() {
             iterations,
             max_group_size: 500,
             seed: 1,
+            ..SwegConfig::default()
         },
     );
     sweg.verify_lossless(&graph).expect("lossless");

@@ -24,7 +24,12 @@ fn main() {
     // Feed the edges one by one, reporting the summary size at a few checkpoints.
     let mut summarizer = MossoSummarizer::new(graph.num_nodes(), MossoConfig::default());
     let edges: Vec<_> = graph.edges().collect();
-    let checkpoints = [edges.len() / 4, edges.len() / 2, 3 * edges.len() / 4, edges.len()];
+    let checkpoints = [
+        edges.len() / 4,
+        edges.len() / 2,
+        3 * edges.len() / 4,
+        edges.len(),
+    ];
     for (i, &(u, v)) in edges.iter().enumerate() {
         summarizer.insert_edge(u, v);
         if checkpoints.contains(&(i + 1)) {

@@ -108,7 +108,11 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
     let config = SluggerConfig {
         iterations,
         seed,
-        height_bound: if height_bound == 0 { None } else { Some(height_bound) },
+        height_bound: if height_bound == 0 {
+            None
+        } else {
+            Some(height_bound)
+        },
         ..SluggerConfig::default()
     };
     let outcome = Slugger::new(config).summarize(&graph);
@@ -119,7 +123,10 @@ fn cmd_summarize(args: &[String]) -> Result<(), String> {
     println!("h-edges          {}", m.h_edges);
     println!("total cost       {}", m.cost);
     println!("relative size    {:.4}", m.relative_size);
-    println!("supernodes       {} ({} roots)", m.num_supernodes, m.num_roots);
+    println!(
+        "supernodes       {} ({} roots)",
+        m.num_supernodes, m.num_roots
+    );
     println!("max tree height  {}", m.max_height);
     println!("avg leaf depth   {:.2}", m.avg_leaf_depth);
     println!("elapsed          {:.3}s", outcome.elapsed.as_secs_f64());
@@ -173,11 +180,7 @@ fn cmd_neighbors(args: &[String]) -> Result<(), String> {
             ));
         }
         let neighbors = neighbors_of(&summary, node);
-        println!(
-            "{node}: {} neighbors: {:?}",
-            neighbors.len(),
-            neighbors
-        );
+        println!("{node}: {} neighbors: {:?}", neighbors.len(), neighbors);
     }
     Ok(())
 }
@@ -232,10 +235,7 @@ fn cmd_datasets() -> Result<(), String> {
     for spec in registry() {
         println!(
             "  {}  {:<12} {:>9} nodes, {:>11} edges in the paper",
-            spec.key,
-            spec.paper_name,
-            spec.paper_nodes,
-            spec.paper_edges
+            spec.key, spec.paper_name, spec.paper_nodes, spec.paper_edges
         );
     }
     Ok(())

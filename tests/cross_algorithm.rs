@@ -35,6 +35,7 @@ fn all_algorithms_are_lossless_on_the_small_registry() {
                 iterations: ITERATIONS,
                 max_group_size: 128,
                 seed: 3,
+                ..SwegConfig::default()
             },
         );
         sweg.verify_lossless(&graph)
@@ -83,6 +84,7 @@ fn slugger_beats_or_matches_sweg_on_hierarchical_graphs() {
                 iterations: 10,
                 max_group_size: 128,
                 seed: 7,
+                ..SwegConfig::default()
             },
         )
         .relative_size();
@@ -123,6 +125,7 @@ fn every_algorithm_output_is_at_most_slightly_above_the_trivial_encoding() {
                 iterations: ITERATIONS,
                 max_group_size: 128,
                 seed: 2,
+                ..SwegConfig::default()
             },
         )
         .relative_size(),

@@ -66,8 +66,16 @@ fn hyperlink_standins_compress_better_than_random_social_standins() {
         ..SluggerConfig::default()
     };
     let reg = registry();
-    let cn = reg.iter().find(|d| d.key == DatasetKey::CN).unwrap().generate(0.15);
-    let yo = reg.iter().find(|d| d.key == DatasetKey::YO).unwrap().generate(0.15);
+    let cn = reg
+        .iter()
+        .find(|d| d.key == DatasetKey::CN)
+        .unwrap()
+        .generate(0.15);
+    let yo = reg
+        .iter()
+        .find(|d| d.key == DatasetKey::YO)
+        .unwrap()
+        .generate(0.15);
     let cn_size = Slugger::new(config).summarize(&cn).metrics.relative_size;
     let yo_size = Slugger::new(config).summarize(&yo).metrics.relative_size;
     assert!(

@@ -101,10 +101,7 @@ fn hierarchical_model_expresses_flat_model_outputs() {
     // Sect. II-B: the flat model is a special case of the hierarchical one.  Encode a
     // graph flat, then transcribe the encoding into a HierarchicalSummary and check it
     // represents the same graph with the same number of p/n edges.
-    let graph = Graph::from_edges(
-        6,
-        vec![(0, 2), (0, 3), (1, 2), (1, 3), (4, 5), (0, 1)],
-    );
+    let graph = Graph::from_edges(6, vec![(0, 2), (0, 3), (1, 2), (1, 3), (4, 5), (0, 1)]);
     let grouping = Grouping::from_assignment(vec![0, 0, 2, 2, 4, 5]);
     let flat = FlatSummary::build(&graph, grouping);
 

@@ -2,7 +2,9 @@
 //! same answer when run on the compressed summary (through partial decompression) as on
 //! the raw graph — the property behind the paper's Sect. VIII-C experiments.
 
-use slugger::algos::{bfs_distances, bfs_order, count_triangles, dfs_order, dijkstra, pagerank, PageRankConfig};
+use slugger::algos::{
+    bfs_distances, bfs_order, count_triangles, dfs_order, dijkstra, pagerank, PageRankConfig,
+};
 use slugger::core::decode::SummaryNeighborView;
 use slugger::datasets::{dataset, DatasetKey};
 use slugger::graph::gen::{caveman, CavemanConfig};

@@ -1,0 +1,174 @@
+//! Offline stand-in for [`bytes`](https://crates.io/crates/bytes).
+//!
+//! Provides the subset `slugger-core::storage` uses: an append-only [`BytesMut`]
+//! builder, a cheaply cloneable read cursor [`Bytes`], and the [`Buf`] / [`BufMut`]
+//! marker names.  The reading methods live inherently on [`Bytes`] (the real crate
+//! defines them on the `Buf` trait), so `use bytes::Buf` keeps compiling either way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+/// Marker stand-in for the `bytes::Buf` trait (methods are inherent on [`Bytes`]).
+pub trait Buf {}
+impl Buf for Bytes {}
+
+/// Marker stand-in for the `bytes::BufMut` trait (methods are inherent on
+/// [`BytesMut`]).
+pub trait BufMut {}
+impl BufMut for BytesMut {}
+
+/// An immutable, cheaply cloneable byte buffer with a consuming read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+}
+
+impl Bytes {
+    /// Bytes remaining ahead of the cursor.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether any bytes remain.
+    #[inline]
+    pub fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Total remaining length (alias of [`Bytes::remaining`], mirroring `len()` on the
+    /// real type before any reads).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// Whether the buffer is exhausted.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte, advancing the cursor. Panics when exhausted.
+    #[inline]
+    pub fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    /// Fills `dst` from the cursor, advancing it. Panics on underflow.
+    pub fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
+}
+
+impl Bytes {
+    /// Buffer viewing a static byte string.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+
+    /// Buffer owning a copy of `bytes`.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes::from(bytes.to_vec())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes {
+            data: data.into(),
+            start: 0,
+        }
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    #[inline]
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+/// An append-only byte builder that freezes into [`Bytes`].
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty builder with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Appends one byte.
+    #[inline]
+    pub fn put_u8(&mut self, byte: u8) {
+        self.data.push(byte);
+    }
+
+    /// Appends a slice.
+    #[inline]
+    pub fn put_slice(&mut self, slice: &[u8]) {
+        self.data.extend_from_slice(slice);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_cursor() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(b"SLGR");
+        b.put_u8(7);
+        assert_eq!(b.len(), 5);
+        let mut bytes = b.freeze();
+        let clone = bytes.clone();
+        let mut magic = [0u8; 4];
+        bytes.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"SLGR");
+        assert_eq!(bytes.get_u8(), 7);
+        assert!(!bytes.has_remaining());
+        assert_eq!(clone.remaining(), 5, "clones keep their own cursor");
+        assert_eq!(&clone[..2], b"SL");
+    }
+}

@@ -1,0 +1,305 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Supports the subset this workspace's property tests use: range and tuple
+//! strategies, `collection::vec`, `prop_map` / `prop_flat_map`, the `proptest!` macro
+//! with an optional `proptest_config` attribute, and `prop_assert!` /
+//! `prop_assert_eq!`.  Cases are generated from a seed derived from the test name, so
+//! runs are deterministic; there is **no shrinking** — a failing case reports its
+//! inputs via `Debug` and stops.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Re-export used by generated code and strategy implementations.
+pub use rand::{Rng, RngCore, SeedableRng};
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Mapped<Self, F>
+    where
+        Self: Sized,
+    {
+        Mapped { inner: self, f }
+    }
+
+    /// Generates a value, builds a dependent strategy from it, and samples that.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMapped<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMapped { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Mapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Mapped<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMapped<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMapped<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        let seed = self.inner.generate(rng);
+        (self.f)(seed).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Collection strategies.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn sample_len(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn sample_len(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn sample_len(&self, rng: &mut StdRng) -> usize {
+            if self.start >= self.end {
+                self.start
+            } else {
+                rng.random_range(self.clone())
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Builds a vector strategy from an element strategy and a length (range).
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Number of cases to run per property (the only knob this stand-in honours).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Config {
+        /// Cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts inside a `proptest!` body; failure reports the case instead of panicking
+/// through the generator loop.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({})\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*)
+            ));
+        }
+    }};
+}
+
+/// Declares property tests: each runs `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($config) $($rest)*);
+    };
+    (@expand ($config:expr) $(#[test] fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $config;
+                // Deterministic seed per test, stable across runs and platforms.
+                let seed = stringify!($name)
+                    .bytes()
+                    .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                    });
+                let mut rng = $crate::__rng_from_seed(seed);
+                for case in 0..config.cases {
+                    let result: Result<(), String> = (|| {
+                        let ($($pat,)+) = ($($crate::Strategy::generate(&($strategy), &mut rng),)+);
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!("property {} failed on case {case}: {message}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Internal: builds the per-test generator (used by the `proptest!` expansion).
+#[doc(hidden)]
+pub fn __rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs_generate_in_bounds(
+            n in 4usize..28,
+            pairs in collection::vec((0u32..30, 0u32..30), 0..40),
+        ) {
+            prop_assert!((4..28).contains(&n));
+            prop_assert!(pairs.len() < 40);
+            for &(a, b) in &pairs {
+                prop_assert!(a < 30 && b < 30, "pair ({a}, {b}) out of bounds");
+            }
+        }
+
+        #[test]
+        fn flat_map_threads_dependencies((n, xs) in (1usize..10).prop_flat_map(|n| {
+            ((n..n + 1), collection::vec(0..n, 3))
+        })) {
+            prop_assert!(xs.iter().all(|&x| x < n));
+            prop_assert_eq!(xs.len(), 3);
+        }
+    }
+
+    #[test]
+    fn determinism_across_invocations() {
+        use crate::Strategy;
+        let strat = crate::collection::vec(0u32..1000, 10);
+        let a = strat.generate(&mut crate::__rng_from_seed(1));
+        let b = strat.generate(&mut crate::__rng_from_seed(1));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,113 @@
+//! Offline stand-in for [`rayon`](https://crates.io/crates/rayon).
+//!
+//! The build environment has no network access, so this crate implements the small
+//! fork-join subset the SLUGGER pipeline needs on top of `std::thread::scope`:
+//!
+//! * [`scope`] — structured task spawning; all spawned tasks are joined before the
+//!   scope returns.  Unlike real rayon, [`Scope::spawn`] returns a join handle so the
+//!   caller can collect results in order without side channels.
+//! * [`join`] — two-way fork-join.
+//! * [`current_num_threads`] — the machine's available parallelism.
+//!
+//! There is no work-stealing pool: each spawned task gets an OS thread.  The SLUGGER
+//! pipeline bounds the number of in-flight tasks itself (one per worker, workers ≤
+//! shards ≤ a small constant), so thread creation cost is amortized over whole-shard
+//! workloads and the scheduling behaviour is equivalent for its purposes.
+
+#![warn(missing_docs)]
+
+use std::thread;
+
+/// Handle to a task spawned inside a [`scope`]; joining yields the task's result.
+pub struct ScopedJoinHandle<'scope, T>(thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the task and returns its result, propagating panics.
+    pub fn join(self) -> T {
+        match self.0.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+/// A scope in which tasks can be spawned that borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task on a fresh thread; the scope joins it before returning.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle(self.inner.spawn(f))
+    }
+}
+
+/// Creates a scope for spawning borrowing tasks; returns once every task finished.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    thread::scope(|s| f(&Scope { inner: s }))
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = match hb.join() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Number of threads the machine can run concurrently (≥ 1).
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_in_order() {
+        let data: Vec<u64> = (0..64).collect();
+        let sums: Vec<u64> = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(16)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join()).collect()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), (0..64).sum::<u64>());
+        assert_eq!(sums.len(), 4);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn num_threads_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

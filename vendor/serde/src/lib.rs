@@ -1,0 +1,21 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The build environment has no network access, so this crate provides just enough
+//! surface for the workspace to compile: the [`Serialize`] / [`Deserialize`] marker
+//! traits (blanket-implemented, since nothing in the workspace serializes yet) and the
+//! derive macros re-exported from the vendored `serde_derive`, which expand to
+//! nothing.  Swapping in the real `serde` later requires no source changes outside the
+//! manifests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,38 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json).
+//!
+//! Nothing in the workspace serializes JSON yet; this crate exists so manifests and
+//! imports are already wired for the day real `serde`/`serde_json` become available.
+//! [`to_string`] renders through `Debug` — good enough for logs and reports, not a
+//! JSON codec.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Error type of the stand-in (never produced today).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value through its `Debug` representation.
+///
+/// Real `serde_json::to_string` bounds on `Serialize`; the vendored `serde` stub
+/// blanket-implements that trait, so the extra `Debug` bound here is the only
+/// difference callers could observe.
+pub fn to_string<T: std::fmt::Debug + serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn debug_rendering_roundtrips() {
+        assert_eq!(super::to_string(&vec![1, 2, 3]).unwrap(), "[1, 2, 3]");
+    }
+}
