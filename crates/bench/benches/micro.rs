@@ -12,7 +12,9 @@ use slugger_bench::ExperimentScale;
 use slugger_core::candidates::{candidate_sets, CandidateConfig};
 use slugger_core::decode::neighbors_of;
 use slugger_core::encoder::{pair_index, Case1Problem, Case1Shape, EncoderMemo};
+use slugger_core::engine::MergeEngine;
 use slugger_core::model::HierarchicalSummary;
+use slugger_core::MergeCtx;
 use slugger_core::{Slugger, SluggerConfig};
 use slugger_datasets::{dataset, DatasetKey};
 use slugger_graph::NodeId;
@@ -66,6 +68,46 @@ fn bench_candidate_generation(c: &mut Criterion) {
                 &CandidateConfig::default(),
             );
             black_box(sets.len())
+        })
+    });
+    // The naive per-call-rehash oracle, kept measurable so the lazy-hash win (and
+    // any regression of it) shows up next to the optimized number above.
+    c.bench_function("candidate_generation_minhash_reference", |b| {
+        b.iter(|| {
+            let sets = slugger_core::candidates::reference::candidate_sets(
+                black_box(&summary),
+                black_box(&graph),
+                &roots,
+                42,
+                &CandidateConfig::default(),
+            );
+            black_box(sets.len())
+        })
+    });
+}
+
+fn bench_merge_evaluation(c: &mut Criterion) {
+    // Saving(A, B, G) with a reused MergeCtx: the allocation-free inner loop of the
+    // merge stage (panel problems built on inline buffers + scratch).
+    let graph = bench_graph();
+    let engine = MergeEngine::new(&graph);
+    let roots: Vec<u32> = engine.roots();
+    let pairs: Vec<(u32, u32)> = roots
+        .windows(2)
+        .step_by(17)
+        .map(|w| (w[0], w[1]))
+        .take(64)
+        .collect();
+    let mut ctx = MergeCtx::new();
+    c.bench_function("merge_evaluation_reused_ctx", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(a, b) in &pairs {
+                acc += engine
+                    .evaluate_merge(black_box(a), black_box(b), &mut ctx)
+                    .cost_after;
+            }
+            black_box(acc)
         })
     });
 }
@@ -142,6 +184,7 @@ criterion_group!(
     benches,
     bench_neighbor_query,
     bench_candidate_generation,
+    bench_merge_evaluation,
     bench_encoder,
     bench_flat_encoding,
     bench_slugger_end_to_end

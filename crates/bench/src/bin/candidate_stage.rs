@@ -1,0 +1,14 @@
+//! Harness binary for the candidate-stage experiment (per-stage wall time plus the
+//! lazy-hash candidate-generation speedup).
+//!
+//! ```text
+//! cargo run --release --bin candidate_stage [--scale 1.0] [--iterations 10] [--seed 0] [--threads N]
+//! ```
+
+use slugger_bench::experiments::candidate_stage;
+use slugger_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    print!("{}", candidate_stage::run(&scale));
+}

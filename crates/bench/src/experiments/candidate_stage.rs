@@ -1,0 +1,160 @@
+//! Per-stage wall-time breakdown of the sharded pipeline on a large RMAT graph,
+//! plus a head-to-head of the optimized candidate stage against the straightforward
+//! reference implementation.
+//!
+//! The candidate stage used to rebuild a full `|V|`-entry node-hash table on *every*
+//! `shingles()` call — once per group per split round — which made it the dominant
+//! serial stage as soon as the merge stage was parallelized.  The optimized path
+//! hashes lazily per touched node and buckets by sorting (see
+//! `slugger_core::candidates`); [`slugger_core::candidates::reference`] keeps the
+//! naive implementation alive as both the determinism oracle and the baseline this
+//! experiment measures against.
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::{fmt_duration, TableWriter};
+use slugger_core::candidates::{self, CandidateConfig, CandidateScratch};
+use slugger_core::model::HierarchicalSummary;
+use slugger_core::{Slugger, SluggerConfig};
+use slugger_graph::gen::{rmat, RmatConfig};
+use std::time::{Duration, Instant};
+
+/// Attempted RMAT edges at `--scale 1.0` (realized simple-graph edges land around
+/// 144k, matching the issue's target workload).
+pub const BASE_EDGES: usize = 150_000;
+
+/// Candidate-stage comparison passes per cap (more passes = steadier numbers).
+const COMPARISON_PASSES: usize = 5;
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let graph = rmat(&RmatConfig {
+        scale: 16,
+        num_edges: (BASE_EDGES as f64 * scale.scale).round().max(1.0) as usize,
+        seed: scale.seed,
+        ..RmatConfig::default()
+    });
+    let iterations = scale.iterations.min(10);
+
+    // Full pipeline run with per-stage accounting.
+    let outcome = Slugger::new(SluggerConfig {
+        iterations,
+        seed: scale.seed,
+        parallelism: scale.parallelism(),
+        ..SluggerConfig::default()
+    })
+    .summarize(&graph);
+    let stages = outcome.stages;
+    let accounted = stages.candidates + stages.plan + stages.apply + stages.prune;
+    let share = |d: Duration| -> String {
+        format!(
+            "{:.1}%",
+            100.0 * d.as_secs_f64() / outcome.elapsed.as_secs_f64().max(1e-9)
+        )
+    };
+    let mut table = TableWriter::new(["Stage", "Wall clock", "Share of run"]);
+    table.row([
+        "candidates".to_string(),
+        fmt_duration(stages.candidates),
+        share(stages.candidates),
+    ]);
+    table.row([
+        "merge (plan)".to_string(),
+        fmt_duration(stages.plan),
+        share(stages.plan),
+    ]);
+    table.row([
+        "apply".to_string(),
+        fmt_duration(stages.apply),
+        share(stages.apply),
+    ]);
+    table.row([
+        "prune".to_string(),
+        fmt_duration(stages.prune),
+        share(stages.prune),
+    ]);
+    table.row([
+        "total (whole run)".to_string(),
+        fmt_duration(outcome.elapsed),
+        share(outcome.elapsed),
+    ]);
+
+    // Candidate stage, optimized vs reference, on the identity summary (the
+    // iteration-1 workload: every subnode is a root — the heaviest candidate pass of
+    // a run), across the candidate-size-cap ablation dimension.  The smaller the
+    // cap, the more re-split rounds — exactly where the old per-call O(|V|) rehash
+    // burned its time; at the paper-default cap of 500 the first split dominates
+    // and both paths amortize the same table, so the two are at parity there.
+    // Outputs are asserted identical every pass: the speedup is pure mechanics.
+    let summary = HierarchicalSummary::identity(graph.num_nodes());
+    let roots: Vec<u32> = summary.roots().collect();
+    let mut cmp = TableWriter::new([
+        "Max group size",
+        "Reference (O(|V|) rehash/call)",
+        "Optimized (lazy hash)",
+        "Speedup",
+    ]);
+    for cap in [500usize, 100, 50, 25] {
+        let config = CandidateConfig {
+            max_group_size: cap,
+            ..CandidateConfig::default()
+        };
+        let mut scratch = CandidateScratch::default();
+        let mut optimized = Duration::ZERO;
+        let mut reference = Duration::ZERO;
+        for pass in 0..COMPARISON_PASSES {
+            let seed = scale.seed.wrapping_add(pass as u64);
+            let start = Instant::now();
+            let fast = candidates::candidate_sets_with(
+                &summary,
+                &graph,
+                &roots,
+                seed,
+                &config,
+                1, // single-threaded: isolate the lazy-hash win from thread scaling
+                &mut scratch,
+            );
+            optimized += start.elapsed();
+            let start = Instant::now();
+            let slow =
+                candidates::reference::candidate_sets(&summary, &graph, &roots, seed, &config);
+            reference += start.elapsed();
+            assert_eq!(fast, slow, "optimized grouping diverged from the reference");
+        }
+        let speedup = reference.as_secs_f64() / optimized.as_secs_f64().max(1e-9);
+        cmp.row([
+            cap.to_string(),
+            fmt_duration(reference / COMPARISON_PASSES as u32),
+            fmt_duration(optimized / COMPARISON_PASSES as u32),
+            format!("{speedup:.2}x"),
+        ]);
+    }
+
+    let mut out = heading("Candidate stage — per-stage wall time and lazy-hash speedup on RMAT");
+    out.push_str(&format!(
+        "RMAT graph: |V| = {}, |E| = {}; T = {iterations}, seed {}, {:?} threads.\n\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        scale.seed,
+        scale.parallelism(),
+    ));
+    out.push_str(&table.to_text());
+    out.push_str(&format!(
+        "\nStage times cover {} of the {} run; the remainder is root collection and \
+         record keeping.\n\n",
+        fmt_duration(accounted),
+        fmt_duration(outcome.elapsed),
+    ));
+    out.push_str(&cmp.to_text());
+    out.push_str(&format!(
+        "\nAverages over {COMPARISON_PASSES} passes on the identity summary (all {} \
+         subnodes are roots — the heaviest candidate pass of a run); both paths \
+         produce byte-identical groupings (asserted every pass).  Small caps force \
+         deep re-splitting, where the old per-call rehash was pure waste; at the \
+         paper-default cap the single dominant first split amortizes either way and \
+         the paths tie.  The optimized fold additionally deals large groups across \
+         threads (`--threads N`), which the reference never does.\n",
+        graph.num_nodes(),
+    ));
+    out
+}

@@ -4,6 +4,7 @@
 //! concatenates into an EXPERIMENTS.md-ready document.
 
 pub mod ablation_candidate_size;
+pub mod candidate_stage;
 pub mod fig1a;
 pub mod fig1b;
 pub mod fig5;

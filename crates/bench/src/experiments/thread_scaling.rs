@@ -4,7 +4,8 @@
 //!
 //! This is the experiment behind the ROADMAP's production-throughput goal: the
 //! candidate sets of an iteration are disjoint, so the merge stage parallelizes
-//! across shards; only candidate generation and the apply stage stay sequential.
+//! across shards and the candidate stage parallelizes its shingle fold; only the
+//! apply stage stays sequential.
 
 use crate::experiments::heading;
 use crate::runner::ExperimentScale;
@@ -81,8 +82,9 @@ pub fn run(scale: &ExperimentScale) -> String {
     out.push_str(
         "\nEvery row produces the identical summary (asserted): the thread count is a pure \
          throughput knob.  Speedup is bounded by min(threads, shards, host cores); the \
-         merge (planning) stage parallelizes across shards while candidate generation and \
-         the apply stage stay sequential.\n",
+         merge (planning) stage parallelizes across shards (dealt by estimated |set|^2 \
+         cost) and the candidate stage parallelizes its shingle fold, while the apply \
+         stage stays sequential.\n",
     );
     if cores < 2 {
         out.push_str(

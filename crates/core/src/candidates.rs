@@ -11,14 +11,40 @@
 //! Groups larger than the configured cap are split further: first by re-hashing with
 //! fresh permutations (at most [`CandidateConfig::max_shingle_splits`] times, 10 in the
 //! paper), then randomly (the paper caps candidate sets at 500 roots).
+//!
+//! # Hot-path design
+//!
+//! This stage runs once per iteration over every root and used to dominate late
+//! iterations, so it is engineered around three ideas:
+//!
+//! * **Lazy per-node hashing.**  The permutation `h(w) = splitmix64(w ^ splitmix64(seed))`
+//!   is a pure function, so instead of materialising a `Vec<u64>` of hashes for *all*
+//!   `|V|` subnodes on every [`shingles`] call (O(|V|) work and memory traffic even for
+//!   a ten-root group), small groups hash each touched node inline during the fold,
+//!   with the seed mix hoisted once per round.  Only near-full groups — where the
+//!   lookups amortize the build — go through a per-seed hash table kept in the
+//!   reusable [`CandidateScratch`] (see [`TABLE_FOLD_FACTOR`]); both modes compute
+//!   the identical permutation.
+//! * **Sort-based bucketing.**  Splitting a group by shingle value sorts a reusable
+//!   `(shingle, root)` buffer (allocation-free unstable sort; root ids are unique, so
+//!   the order is total) and walks the equal-shingle runs, instead of filling a fresh
+//!   hash map of `Vec`s per round.  Buckets therefore come out in ascending shingle
+//!   order with roots ascending inside — deterministic by construction, independent
+//!   of any hash map's internal layout — and small buckets are emitted as candidate
+//!   sets immediately instead of round-tripping through the work queue.
+//! * **Parallel shingle fold.**  For large groups (the first split of every iteration
+//!   touches all roots) the fold is dealt in contiguous chunks across the `rayon`
+//!   substrate already used by [`crate::pipeline`].  The fold is a pure map, so the
+//!   chunking — and hence the thread count — never changes the grouping; byte-identical
+//!   output for a fixed seed is pinned by `tests/candidate_determinism.rs` against the
+//!   straightforward [`reference`] implementation.
 
 use crate::model::{HierarchicalSummary, SupernodeId};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use slugger_graph::hash::hash_node_with_seed;
-use slugger_graph::hash::FxHashMap;
-use slugger_graph::{Graph, NodeId};
+use slugger_graph::hash::splitmix64;
+use slugger_graph::Graph;
 
 /// Tuning knobs of the candidate-generation step.
 #[derive(Clone, Copy, Debug)]
@@ -39,38 +65,160 @@ impl Default for CandidateConfig {
     }
 }
 
+/// Minimum group size for which the shingle fold is dealt across worker threads.
+/// Below this the per-thread spawn cost of the `rayon` substrate outweighs the fold.
+/// Public so multi-core hosts can sweep it from the bench crate (see ROADMAP); the
+/// cutoff never affects the grouping, only wall-clock time.
+pub const PARALLEL_SHINGLE_THRESHOLD: usize = 8_192;
+
+/// A group whose size times this factor reaches `|V|` folds through a per-round hash
+/// *table* instead of hashing lazily: for near-full root sets (the first split of an
+/// iteration) the O(|V|) table build amortizes over the many lookups, while for the
+/// small re-split groups — the common case, where the old per-call rebuild was pure
+/// waste — lazy hashing touches only the group's own neighborhood.  Both modes
+/// compute the identical permutation, so the cutoff never affects the grouping.
+const TABLE_FOLD_FACTOR: usize = 4;
+
+/// Reusable buffers of [`candidate_sets_with`], so the split rounds of an iteration
+/// (and consecutive iterations sharing the scratch) perform no per-round allocations
+/// beyond the emitted candidate sets themselves.
+#[derive(Default)]
+pub struct CandidateScratch {
+    /// `(shingle, root)` pairs of the group currently being split.
+    keyed: Vec<(u64, SupernodeId)>,
+    /// Per-node hash table for table-mode folds, valid for `node_hash_seed`.
+    node_hash: Vec<u64>,
+    /// The round seed `node_hash` is currently filled for.
+    node_hash_seed: Option<u64>,
+}
+
+/// The min-hash shingle of one root under the hoisted seed mix:
+/// `min_{u ∈ A} min_{w ∈ N(u) ∪ {u}} splitmix64(w ^ seed_mix)`.
+#[inline]
+fn root_shingle(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    root: SupernodeId,
+    seed_mix: u64,
+) -> u64 {
+    let mut best = u64::MAX;
+    for &u in summary.members(root) {
+        best = best.min(splitmix64(u as u64 ^ seed_mix));
+        for &w in graph.neighbors(u) {
+            best = best.min(splitmix64(w as u64 ^ seed_mix));
+        }
+    }
+    best
+}
+
 /// Computes the min-hash shingle of every given root under the permutation derived
 /// from `seed`.  The shingle of root `A` is
-/// `min_{u ∈ A} min_{w ∈ N(u) ∪ {u}} h(w)`.
+/// `min_{u ∈ A} min_{w ∈ N(u) ∪ {u}} h(w)` with `h(w) = hash_node_with_seed(w, seed)`.
 pub fn shingles(
     summary: &HierarchicalSummary,
     graph: &Graph,
     roots: &[SupernodeId],
     seed: u64,
 ) -> Vec<u64> {
-    // Hash each subnode once, then fold over members and their neighborhoods.
-    let n = graph.num_nodes();
-    let mut node_hash: Vec<u64> = vec![0; n];
-    for u in 0..n as NodeId {
-        node_hash[u as usize] = hash_node_with_seed(u, seed);
-    }
+    let seed_mix = splitmix64(seed);
     roots
         .iter()
-        .map(|&root| {
-            let mut best = u64::MAX;
-            for &u in summary.members(root) {
-                best = best.min(node_hash[u as usize]);
-                for &w in graph.neighbors(u) {
-                    best = best.min(node_hash[w as usize]);
-                }
-            }
-            best
-        })
+        .map(|&root| root_shingle(summary, graph, root, seed_mix))
         .collect()
+}
+
+/// The min-hash shingle of one root by table lookup (table mode).
+#[inline]
+fn root_shingle_table(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    root: SupernodeId,
+    node_hash: &[u64],
+) -> u64 {
+    let mut best = u64::MAX;
+    for &u in summary.members(root) {
+        best = best.min(node_hash[u as usize]);
+        for &w in graph.neighbors(u) {
+            best = best.min(node_hash[w as usize]);
+        }
+    }
+    best
+}
+
+/// Fills `scratch.keyed` with the `(shingle, root)` pair of every root in `group`,
+/// folding in parallel when the group is large enough and more than one thread is
+/// allowed.  Large groups go through a (reused, per-seed) node-hash table, small ones
+/// hash lazily; the fold is a pure map either way, so neither the chunking nor the
+/// table cutoff ever affects the values.
+fn fill_keyed(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    group: &[SupernodeId],
+    seed: u64,
+    threads: usize,
+    scratch: &mut CandidateScratch,
+) {
+    let seed_mix = splitmix64(seed);
+    let n = graph.num_nodes();
+    let table = group.len().saturating_mul(TABLE_FOLD_FACTOR) >= n;
+    // The cached table is valid only for this (seed, |V|) combination — a scratch
+    // may be reused across graphs, and round seeds repeat across calls.
+    if table && (scratch.node_hash_seed != Some(seed) || scratch.node_hash.len() != n) {
+        scratch.node_hash.clear();
+        scratch
+            .node_hash
+            .extend((0..n as u64).map(|u| splitmix64(u ^ seed_mix)));
+        scratch.node_hash_seed = Some(seed);
+    }
+    let node_hash = &scratch.node_hash[..];
+    let shingle_of = |root: SupernodeId| -> u64 {
+        if table {
+            root_shingle_table(summary, graph, root, node_hash)
+        } else {
+            root_shingle(summary, graph, root, seed_mix)
+        }
+    };
+    let keyed = &mut scratch.keyed;
+    keyed.clear();
+    if threads <= 1 || group.len() < PARALLEL_SHINGLE_THRESHOLD {
+        keyed.extend(group.iter().map(|&root| (shingle_of(root), root)));
+        return;
+    }
+    keyed.resize(group.len(), (0, 0));
+    let chunk = group.len().div_ceil(threads);
+    rayon::scope(|scope| {
+        for (roots, out) in group.chunks(chunk).zip(keyed.chunks_mut(chunk)) {
+            let shingle_of = &shingle_of;
+            scope.spawn(move || {
+                for (slot, &root) in out.iter_mut().zip(roots.iter()) {
+                    *slot = (shingle_of(root), root);
+                }
+            });
+        }
+    });
+}
+
+/// Randomly splits a group into chunks of at most `max_group_size`, dropping
+/// singleton leftovers (the terminal splitter once shingle rounds are exhausted).
+fn random_split(
+    group: Vec<SupernodeId>,
+    max_group_size: usize,
+    rng: &mut StdRng,
+    result: &mut Vec<Vec<SupernodeId>>,
+) {
+    let mut shuffled = group;
+    shuffled.shuffle(rng);
+    for chunk in shuffled.chunks(max_group_size) {
+        if chunk.len() >= 2 {
+            result.push(chunk.to_vec());
+        }
+    }
 }
 
 /// Generates candidate sets for one iteration: groups of roots (each of size ≥ 2 and
 /// ≤ `config.max_group_size`) within which the merging step searches for pairs.
+///
+/// Equivalent to [`candidate_sets_with`] on a single thread with throwaway scratch.
 pub fn candidate_sets(
     summary: &HierarchicalSummary,
     graph: &Graph,
@@ -78,51 +226,171 @@ pub fn candidate_sets(
     seed: u64,
     config: &CandidateConfig,
 ) -> Vec<Vec<SupernodeId>> {
+    let mut scratch = CandidateScratch::default();
+    candidate_sets_with(summary, graph, roots, seed, config, 1, &mut scratch)
+}
+
+/// [`candidate_sets`] with explicit worker-thread count and reusable scratch.
+///
+/// `threads` is a pure throughput knob (the shingle fold is a pure map dealt in
+/// contiguous chunks), so every thread count produces the identical grouping.
+pub fn candidate_sets_with(
+    summary: &HierarchicalSummary,
+    graph: &Graph,
+    roots: &[SupernodeId],
+    seed: u64,
+    config: &CandidateConfig,
+    threads: usize,
+    scratch: &mut CandidateScratch,
+) -> Vec<Vec<SupernodeId>> {
     let mut result = Vec::new();
-    // Work queue of (group, split_round).
-    let mut queue: Vec<(Vec<SupernodeId>, usize)> = vec![(roots.to_vec(), 0)];
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe_f00d_d00d);
+    // Work queue of (group, split_round); every queued group needs splitting (it is
+    // the initial round-0 group or exceeds the size cap).
+    let mut queue: Vec<(Vec<SupernodeId>, usize)> = Vec::new();
+    if roots.len() >= 2 {
+        queue.push((roots.to_vec(), 0));
+    }
     while let Some((group, round)) = queue.pop() {
-        if group.len() < 2 {
-            continue;
-        }
-        if group.len() <= config.max_group_size && round > 0 {
-            result.push(group);
-            continue;
-        }
         if round >= config.max_shingle_splits {
-            // Random splitting into chunks of at most max_group_size.
-            let mut shuffled = group;
-            shuffled.shuffle(&mut rng);
-            for chunk in shuffled.chunks(config.max_group_size) {
-                if chunk.len() >= 2 {
-                    result.push(chunk.to_vec());
-                }
-            }
+            random_split(group, config.max_group_size, &mut rng, &mut result);
             continue;
         }
         // Shingle-based split with a per-round permutation.
         let round_seed = seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(round as u64 + 1);
-        let sh = shingles(summary, graph, &group, round_seed);
-        let mut buckets: FxHashMap<u64, Vec<SupernodeId>> = FxHashMap::default();
-        for (&root, &s) in group.iter().zip(sh.iter()) {
-            buckets.entry(s).or_default().push(root);
-        }
-        if buckets.len() == 1 && round > 0 {
-            // Splitting made no progress (e.g. a dense clique); fall through to the
-            // random splitter immediately to avoid useless rounds.
-            queue.push((group, config.max_shingle_splits));
+        fill_keyed(summary, graph, &group, round_seed, threads, scratch);
+        // Buckets are the equal-shingle runs after sorting.  The whole-pair unstable
+        // sort is allocation-free and fully deterministic (root ids are unique):
+        // buckets come out in ascending shingle order, roots ascending within each.
+        scratch.keyed.sort_unstable();
+        if scratch.keyed.last().map(|&(s, _)| s) == scratch.keyed.first().map(|&(s, _)| s)
+            && round > 0
+        {
+            // Splitting made no progress (e.g. a dense clique); split randomly right
+            // away instead of re-enqueueing through the remaining shingle rounds.
+            random_split(group, config.max_group_size, &mut rng, &mut result);
             continue;
         }
-        for (_, bucket) in buckets {
-            if bucket.len() >= 2 {
-                queue.push((bucket, round + 1));
+        let keyed = &scratch.keyed[..];
+        let mut start = 0;
+        while start < keyed.len() {
+            let shingle = keyed[start].0;
+            let mut end = start + 1;
+            while end < keyed.len() && keyed[end].0 == shingle {
+                end += 1;
             }
+            let len = end - start;
+            if len >= 2 {
+                let bucket: Vec<SupernodeId> = keyed[start..end].iter().map(|&(_, r)| r).collect();
+                if len <= config.max_group_size {
+                    // Already small enough: emit directly instead of re-enqueueing
+                    // (the old round trip re-checked — and at round 0 re-split —
+                    // buckets that were already done).
+                    result.push(bucket);
+                } else {
+                    queue.push((bucket, round + 1));
+                }
+            }
+            start = end;
         }
     }
     result
+}
+
+/// Straightforward reference implementation of the candidate stage, kept as the
+/// oracle for the optimized hot path.
+///
+/// Identical algorithm and identical output to [`candidate_sets_with`] for every
+/// seed, but written the obvious way: every shingle pass materialises the full
+/// per-node hash table over all `|V|` subnodes (O(|V|) per call) and runs on one
+/// thread with fresh allocations.  `tests/candidate_determinism.rs` pins the
+/// byte-for-byte equivalence; the `candidate_stage` bench quantifies the speedup.
+pub mod reference {
+    use super::*;
+    use slugger_graph::hash::hash_node_with_seed;
+    use slugger_graph::NodeId;
+
+    /// Reference [`super::shingles`]: hash *every* subnode up front, then fold.
+    pub fn shingles(
+        summary: &HierarchicalSummary,
+        graph: &Graph,
+        roots: &[SupernodeId],
+        seed: u64,
+    ) -> Vec<u64> {
+        let n = graph.num_nodes();
+        let mut node_hash: Vec<u64> = vec![0; n];
+        for u in 0..n as NodeId {
+            node_hash[u as usize] = hash_node_with_seed(u, seed);
+        }
+        roots
+            .iter()
+            .map(|&root| {
+                let mut best = u64::MAX;
+                for &u in summary.members(root) {
+                    best = best.min(node_hash[u as usize]);
+                    for &w in graph.neighbors(u) {
+                        best = best.min(node_hash[w as usize]);
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Reference [`super::candidate_sets`]: same control flow, naive data handling.
+    pub fn candidate_sets(
+        summary: &HierarchicalSummary,
+        graph: &Graph,
+        roots: &[SupernodeId],
+        seed: u64,
+        config: &CandidateConfig,
+    ) -> Vec<Vec<SupernodeId>> {
+        let mut result = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_cafe_f00d_d00d);
+        let mut queue: Vec<(Vec<SupernodeId>, usize)> = Vec::new();
+        if roots.len() >= 2 {
+            queue.push((roots.to_vec(), 0));
+        }
+        while let Some((group, round)) = queue.pop() {
+            if round >= config.max_shingle_splits {
+                random_split(group, config.max_group_size, &mut rng, &mut result);
+                continue;
+            }
+            let round_seed = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(round as u64 + 1);
+            let sh = shingles(summary, graph, &group, round_seed);
+            let mut keyed: Vec<(u64, SupernodeId)> =
+                sh.into_iter().zip(group.iter().copied()).collect();
+            keyed.sort_unstable();
+            if keyed.first().map(|&(s, _)| s) == keyed.last().map(|&(s, _)| s) && round > 0 {
+                random_split(group, config.max_group_size, &mut rng, &mut result);
+                continue;
+            }
+            let mut start = 0;
+            while start < keyed.len() {
+                let shingle = keyed[start].0;
+                let mut end = start + 1;
+                while end < keyed.len() && keyed[end].0 == shingle {
+                    end += 1;
+                }
+                let len = end - start;
+                if len >= 2 {
+                    let bucket: Vec<SupernodeId> =
+                        keyed[start..end].iter().map(|&(_, r)| r).collect();
+                    if len <= config.max_group_size {
+                        result.push(bucket);
+                    } else {
+                        queue.push((bucket, round + 1));
+                    }
+                }
+                start = end;
+            }
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +413,22 @@ mod tests {
         let c = shingles(&s, &g, &roots, 8);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lazy_shingles_match_the_reference_table() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 120,
+            ..CavemanConfig::default()
+        });
+        let (s, roots) = identity_and_roots(&g);
+        for seed in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(
+                shingles(&s, &g, &roots, seed),
+                reference::shingles(&s, &g, &roots, seed),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]
@@ -226,6 +510,94 @@ mod tests {
         // and singleton sets must never be emitted.
         for set in &sets {
             assert!(set.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_grouping() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 300,
+            num_cliques: 30,
+            ..CavemanConfig::default()
+        });
+        let (s, roots) = identity_and_roots(&g);
+        let config = CandidateConfig {
+            max_group_size: 24,
+            max_shingle_splits: 4,
+        };
+        let baseline = candidate_sets(&s, &g, &roots, 13, &config);
+        for threads in [2usize, 4, 8] {
+            let mut scratch = CandidateScratch::default();
+            let sets = candidate_sets_with(&s, &g, &roots, 13, &config, threads, &mut scratch);
+            assert_eq!(sets, baseline, "grouping changed at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_never_changes_the_grouping() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 250,
+            ..CavemanConfig::default()
+        });
+        let (s, roots) = identity_and_roots(&g);
+        let config = CandidateConfig {
+            max_group_size: 20,
+            max_shingle_splits: 3,
+        };
+        let mut scratch = CandidateScratch::default();
+        for seed in 0..6u64 {
+            let reused = candidate_sets_with(&s, &g, &roots, seed, &config, 1, &mut scratch);
+            let fresh = candidate_sets(&s, &g, &roots, seed, &config);
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_survives_switching_graphs() {
+        // The node-hash table cache is keyed by (seed, |V|): reusing one scratch
+        // across graphs of different sizes — with colliding round seeds — must
+        // neither panic nor change the grouping (regression: the cache used to be
+        // validated by seed alone and indexed out of bounds on the larger graph).
+        let small = caveman(&CavemanConfig {
+            num_nodes: 100,
+            ..CavemanConfig::default()
+        });
+        let large = caveman(&CavemanConfig {
+            num_nodes: 4000,
+            num_cliques: 400,
+            ..CavemanConfig::default()
+        });
+        let config = CandidateConfig::default();
+        let mut scratch = CandidateScratch::default();
+        for (graph, other) in [(&small, &large), (&large, &small), (&small, &large)] {
+            for g in [graph, other] {
+                let (s, roots) = identity_and_roots(g);
+                let reused = candidate_sets_with(&s, g, &roots, 5, &config, 1, &mut scratch);
+                assert_eq!(reused, candidate_sets(&s, g, &roots, 5, &config));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_implementation() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 350,
+            num_cliques: 35,
+            ..CavemanConfig::default()
+        });
+        let (s, roots) = identity_and_roots(&g);
+        for (cap, splits) in [(500usize, 10usize), (16, 4), (8, 0), (12, 1)] {
+            let config = CandidateConfig {
+                max_group_size: cap,
+                max_shingle_splits: splits,
+            };
+            for seed in [0u64, 3, 99] {
+                assert_eq!(
+                    candidate_sets(&s, &g, &roots, seed, &config),
+                    reference::candidate_sets(&s, &g, &roots, seed, &config),
+                    "cap {cap} splits {splits} seed {seed}"
+                );
+            }
         }
     }
 }

@@ -14,8 +14,7 @@
 //! merge the trees themselves away — every planned operand is still a root when its
 //! turn comes, which [`apply_set_plan`] asserts.
 
-use super::MergeEngine;
-use crate::encoder::EncoderMemo;
+use super::{MergeCtx, MergeEngine};
 use crate::merge::MergeStats;
 use crate::model::SupernodeId;
 
@@ -56,7 +55,7 @@ pub struct SetPlan {
 /// supernodes, in plan order.
 pub fn apply_set_plan(
     engine: &mut MergeEngine,
-    memo: &mut EncoderMemo,
+    ctx: &mut MergeCtx,
     plan: &SetPlan,
 ) -> Vec<SupernodeId> {
     let mut created: Vec<SupernodeId> = Vec::with_capacity(plan.merges.len());
@@ -67,18 +66,14 @@ pub fn apply_set_plan(
             engine.summary().is_root(a) && engine.summary().is_root(b),
             "planned operands must still be roots (candidate sets are disjoint)"
         );
-        created.push(engine.apply_merge(a, b, memo));
+        created.push(engine.apply_merge(a, b, ctx));
     }
     created
 }
 
 /// Replays every set plan in ascending `set_index` order (the deterministic
 /// reconciliation order of the pipeline) and returns the aggregated statistics.
-pub fn apply_plans(
-    engine: &mut MergeEngine,
-    memo: &mut EncoderMemo,
-    plans: &[SetPlan],
-) -> MergeStats {
+pub fn apply_plans(engine: &mut MergeEngine, ctx: &mut MergeCtx, plans: &[SetPlan]) -> MergeStats {
     debug_assert!(
         plans.windows(2).all(|w| w[0].set_index <= w[1].set_index),
         "plans must arrive in set order"
@@ -86,7 +81,7 @@ pub fn apply_plans(
     let mut stats = MergeStats::default();
     for plan in plans {
         stats.absorb(plan.stats);
-        apply_set_plan(engine, memo, plan);
+        apply_set_plan(engine, ctx, plan);
     }
     stats
 }
@@ -118,9 +113,9 @@ mod tests {
         let g = double_star();
         // Direct: merge 2+3, then (2∪3)+4.
         let mut direct = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
-        let m = direct.apply_merge(2, 3, &mut memo);
-        direct.apply_merge(m, 4, &mut memo);
+        let mut ctx = MergeCtx::new();
+        let m = direct.apply_merge(2, 3, &mut ctx);
+        direct.apply_merge(m, 4, &mut ctx);
 
         // Replayed from a plan with positional references.
         let mut replayed = MergeEngine::new(&g);
@@ -138,7 +133,7 @@ mod tests {
             ],
             stats: MergeStats::default(),
         };
-        let created = apply_set_plan(&mut replayed, &mut memo, &plan);
+        let created = apply_set_plan(&mut replayed, &mut ctx, &plan);
         assert_eq!(created.len(), 2);
         assert_eq!(
             direct.summary().encoding_cost(),
@@ -151,7 +146,7 @@ mod tests {
     #[test]
     fn plans_over_disjoint_sets_apply_in_any_shard_interleaving() {
         let g = double_star();
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let plan_a = SetPlan {
             set_index: 0,
             merges: vec![PlannedMerge {
@@ -169,7 +164,7 @@ mod tests {
             stats: MergeStats::default(),
         };
         let mut engine = MergeEngine::new(&g);
-        let stats = apply_plans(&mut engine, &mut memo, &[plan_a, plan_b]);
+        let stats = apply_plans(&mut engine, &mut ctx, &[plan_a, plan_b]);
         assert_eq!(stats.merged, 0, "stats come from planning, not replay");
         assert_eq!(engine.num_roots(), 5); // 7 roots - 2 merges
         engine.summary().validate().unwrap();

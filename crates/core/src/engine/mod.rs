@@ -17,6 +17,10 @@
 //! reconciliation layer, which re-runs the exact `Saving(A, B, G)` re-encoding
 //! machinery of [`MergeEngine::apply_merge`], so the final cost bookkeeping is exact
 //! regardless of how planning was sharded.
+//!
+//! Every evaluation/application runs against a per-worker [`MergeCtx`]: the encoder
+//! memo plus reusable scratch buffers, so the hot path performs no per-evaluation
+//! heap allocation (see [`view`]'s module docs for the allocation discipline).
 
 pub mod apply;
 pub(crate) mod plan;
@@ -26,7 +30,68 @@ use crate::encoder::{EncoderMemo, PanelSolution};
 use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
 use slugger_graph::hash::FxHashMap;
 use slugger_graph::Graph;
-use view::MergeView;
+use view::{MergeView, PanelEdges};
+
+/// Per-worker mutable context of the merge machinery: the panel re-encoding memo
+/// plus reusable scratch buffers.
+///
+/// One context per shard worker (forked by [`crate::pipeline::ShardWorker::fork`])
+/// or per driver; reusing it across evaluations is what keeps the inner loop
+/// allocation-free.  The scratch contents are transient per call and never carry
+/// state between evaluations — pinned by the scratch-reuse property test in
+/// `tests/candidate_determinism.rs`.
+#[derive(Default)]
+pub struct MergeCtx {
+    /// The memoized Case-1/Case-2 panel solver.
+    pub memo: EncoderMemo,
+    /// Reusable buffers for the problem builders (transient per call).
+    pub(crate) scratch: EvalScratch,
+}
+
+impl MergeCtx {
+    /// A context with an enabled memo.
+    pub fn new() -> Self {
+        MergeCtx {
+            memo: EncoderMemo::new(),
+            scratch: EvalScratch::default(),
+        }
+    }
+
+    /// A context whose memo re-solves every panel (for the memoization ablation).
+    pub fn disabled() -> Self {
+        MergeCtx {
+            memo: EncoderMemo::disabled(),
+            scratch: EvalScratch::default(),
+        }
+    }
+
+    /// Wraps an existing memo (e.g. one shared across runs) with fresh scratch.
+    pub fn from_memo(memo: EncoderMemo) -> Self {
+        MergeCtx {
+            memo,
+            scratch: EvalScratch::default(),
+        }
+    }
+}
+
+/// One Case-2 re-encoding gathered while planning a merge application: the common
+/// adjacent root, its solved panel, the old cross edges and the root's children.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Case2Record {
+    pub(crate) c: SupernodeId,
+    pub(crate) sol: PanelSolution,
+    pub(crate) old: PanelEdges,
+    pub(crate) c_kids: [Option<SupernodeId>; 3],
+}
+
+/// Reusable buffers of one [`MergeCtx`] (see [`view`]'s allocation discipline).
+#[derive(Default)]
+pub(crate) struct EvalScratch {
+    /// Roots adjacent to both sides of the evaluated pair.
+    pub(crate) commons: Vec<SupernodeId>,
+    /// Case-2 records accumulated while applying one merge.
+    pub(crate) case2: Vec<Case2Record>,
+}
 
 /// Per-root metadata maintained incrementally by the engine (and, copy-on-write, by
 /// the planning overlay in [`plan`]).
@@ -70,20 +135,11 @@ pub trait MergeState {
     /// Height of the tree rooted at `root`.
     fn root_height(&self, root: SupernodeId) -> usize;
     /// Evaluates `Saving(A, B, G)` (Eq. 8) without mutating the state.
-    fn evaluate_merge(
-        &self,
-        a: SupernodeId,
-        b: SupernodeId,
-        memo: &mut EncoderMemo,
-    ) -> MergeEvaluation;
+    fn evaluate_merge(&self, a: SupernodeId, b: SupernodeId, ctx: &mut MergeCtx)
+        -> MergeEvaluation;
     /// Merges roots `a` and `b`, applying the panel re-encodings; returns the merged
     /// root's id.
-    fn apply_merge(
-        &mut self,
-        a: SupernodeId,
-        b: SupernodeId,
-        memo: &mut EncoderMemo,
-    ) -> SupernodeId;
+    fn apply_merge(&mut self, a: SupernodeId, b: SupernodeId, ctx: &mut MergeCtx) -> SupernodeId;
 }
 
 impl MergeState for MergeEngine {
@@ -99,18 +155,13 @@ impl MergeState for MergeEngine {
         &self,
         a: SupernodeId,
         b: SupernodeId,
-        memo: &mut EncoderMemo,
+        ctx: &mut MergeCtx,
     ) -> MergeEvaluation {
-        MergeEngine::evaluate_merge(self, a, b, memo)
+        MergeEngine::evaluate_merge(self, a, b, ctx)
     }
 
-    fn apply_merge(
-        &mut self,
-        a: SupernodeId,
-        b: SupernodeId,
-        memo: &mut EncoderMemo,
-    ) -> SupernodeId {
-        MergeEngine::apply_merge(self, a, b, memo)
+    fn apply_merge(&mut self, a: SupernodeId, b: SupernodeId, ctx: &mut MergeCtx) -> SupernodeId {
+        MergeEngine::apply_merge(self, a, b, ctx)
     }
 }
 
@@ -245,26 +296,17 @@ impl MergeEngine {
         &self,
         a: SupernodeId,
         b: SupernodeId,
-        memo: &mut EncoderMemo,
+        ctx: &mut MergeCtx,
     ) -> MergeEvaluation {
         debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
-        view::evaluate_merge(self, a, b, memo)
+        view::evaluate_merge(self, a, b, ctx)
     }
 
     /// Roots adjacent (through p/n-edges) to both `a`'s and `b`'s trees.
     pub fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId> {
-        let adj_a = &self.roots[&a].adjacency;
-        let adj_b = &self.roots[&b].adjacency;
-        let (small, large, skip1, skip2) = if adj_a.len() <= adj_b.len() {
-            (adj_a, adj_b, a, b)
-        } else {
-            (adj_b, adj_a, a, b)
-        };
-        small
-            .keys()
-            .copied()
-            .filter(|&r| r != skip1 && r != skip2 && large.contains_key(&r))
-            .collect()
+        let mut out = Vec::new();
+        MergeView::common_adjacent_roots_into(self, a, b, &mut out);
+        out
     }
 
     /// Merges roots `a` and `b`, applying the Case-1 and Case-2 re-encodings, and
@@ -273,28 +315,29 @@ impl MergeEngine {
         &mut self,
         a: SupernodeId,
         b: SupernodeId,
-        memo: &mut EncoderMemo,
+        ctx: &mut MergeCtx,
     ) -> SupernodeId {
         debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
+        let MergeCtx { memo, scratch } = ctx;
+        let EvalScratch { commons, case2 } = scratch;
         // Solve everything against the *pre-merge* structure.
         let (_, a_kids) = view::side_panel(self, a);
         let (_, b_kids) = view::side_panel(self, b);
         let cross_ab = self.edges_between_roots(a, b) as u32;
         let (problem1, old1) = view::case1_problem(self, a, b);
         let sol1 = memo.case1(&problem1);
-        let commons = self.common_adjacent_roots(a, b);
-        #[allow(clippy::type_complexity)]
-        let mut case2: Vec<(
-            SupernodeId,
-            PanelSolution,
-            Vec<(SupernodeId, SupernodeId)>,
-            [Option<SupernodeId>; 3],
-        )> = Vec::with_capacity(commons.len());
-        for c in commons {
+        MergeView::common_adjacent_roots_into(self, a, b, commons);
+        case2.clear();
+        for &c in commons.iter() {
             let (problem2, old2) = view::case2_problem(self, a, b, c);
             let sol2 = memo.case2(&problem2);
             let (_, c_kids) = view::side_panel(self, c);
-            case2.push((c, sol2, old2, c_kids));
+            case2.push(Case2Record {
+                c,
+                sol: sol2,
+                old: old2,
+                c_kids,
+            });
         }
 
         // Structural merge.
@@ -360,7 +403,7 @@ impl MergeEngine {
         }
 
         // Apply Case-1 re-encoding: drop old panel edges, add the solved ones.
-        for (x, y) in old1 {
+        for &(x, y) in old1.as_slice() {
             self.remove_pn_edge(x, y);
         }
         let none_kids = [None, None, None];
@@ -371,13 +414,13 @@ impl MergeEngine {
         }
 
         // Apply Case-2 re-encodings.
-        for (c, sol2, old2, c_kids) in case2 {
-            for (x, y) in old2 {
+        for rec in case2.iter() {
+            for &(x, y) in rec.old.as_slice() {
                 self.remove_pn_edge(x, y);
             }
-            for e in sol2.edges() {
-                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
-                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+            for e in rec.sol.edges() {
+                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(rec.c), &rec.c_kids);
+                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(rec.c), &rec.c_kids);
                 self.add_pn_edge(x, y, e.weight);
             }
         }
@@ -487,8 +530,26 @@ impl MergeView for MergeEngine {
         MergeEngine::edges_between_roots(self, a, b)
     }
 
-    fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId> {
-        MergeEngine::common_adjacent_roots(self, a, b)
+    fn common_adjacent_roots_into(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        out: &mut Vec<SupernodeId>,
+    ) {
+        out.clear();
+        let adj_a = &self.roots[&a].adjacency;
+        let adj_b = &self.roots[&b].adjacency;
+        let (small, large) = if adj_a.len() <= adj_b.len() {
+            (adj_a, adj_b)
+        } else {
+            (adj_b, adj_a)
+        };
+        out.extend(
+            small
+                .keys()
+                .copied()
+                .filter(|&r| r != a && r != b && large.contains_key(&r)),
+        );
     }
 }
 
@@ -535,8 +596,8 @@ mod tests {
         // and, once a pair is already merged, becomes strictly positive.
         let g = star_plus_edge();
         let engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
-        let eval = engine.evaluate_merge(2, 3, &mut memo);
+        let mut ctx = MergeCtx::new();
+        let eval = engine.evaluate_merge(2, 3, &mut ctx);
         assert_eq!(eval.cost_before, 3);
         assert_eq!(eval.cost_after, 4);
         assert!(eval.saving < 0.0);
@@ -558,7 +619,7 @@ mod tests {
             ],
         );
         let engine2 = MergeEngine::new(&g2);
-        let eval2 = engine2.evaluate_merge(2, 3, &mut memo);
+        let eval2 = engine2.evaluate_merge(2, 3, &mut ctx);
         // Before: 4 p-edges attributed to the pair; after: 2 p-edges + 2 h-edges = 4.
         assert_eq!(eval2.cost_before, 4);
         assert_eq!(eval2.cost_after, 4);
@@ -572,7 +633,7 @@ mod tests {
         }
         let clique = Graph::from_edges(6, clique_edges);
         let engine_clique = MergeEngine::new(&clique);
-        let eval3 = engine_clique.evaluate_merge(0, 1, &mut memo);
+        let eval3 = engine_clique.evaluate_merge(0, 1, &mut ctx);
         assert_eq!(eval3.cost_before, 9);
         assert_eq!(eval3.cost_after, 7);
         assert!(
@@ -600,9 +661,9 @@ mod tests {
             ],
         );
         let mut engine = MergeEngine::new(&g2);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let before_cost = engine.summary().encoding_cost();
-        let m = engine.apply_merge(2, 3, &mut memo);
+        let m = engine.apply_merge(2, 3, &mut ctx);
         let s = engine.summary();
         s.validate().unwrap();
         assert!(s.is_root(m));
@@ -620,8 +681,8 @@ mod tests {
 
         // Merge two more spokes and then merge the two pairs: the grand merge should
         // produce a single pair of edges to the hubs.
-        let m2 = engine.apply_merge(4, 5, &mut memo);
-        let top = engine.apply_merge(m, m2, &mut memo);
+        let m2 = engine.apply_merge(4, 5, &mut ctx);
+        let top = engine.apply_merge(m, m2, &mut ctx);
         let s = engine.summary();
         s.validate().unwrap();
         assert_eq!(s.members(top), &[2, 3, 4, 5]);
@@ -634,12 +695,12 @@ mod tests {
     fn merging_disconnected_roots_only_adds_hierarchy() {
         let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
         let mut engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
-        let eval = engine.evaluate_merge(0, 2, &mut memo);
+        let mut ctx = MergeCtx::new();
+        let eval = engine.evaluate_merge(0, 2, &mut ctx);
         // Lemma 1: merging distant roots strictly increases the cost.
         assert!(eval.cost_after > eval.cost_before);
         let before = engine.summary().encoding_cost();
-        engine.apply_merge(0, 2, &mut memo);
+        engine.apply_merge(0, 2, &mut ctx);
         assert_eq!(engine.summary().encoding_cost(), before + 2);
         engine.summary().validate().unwrap();
     }
@@ -663,12 +724,12 @@ mod tests {
             ],
         );
         let mut engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         for (a, b) in [(0u32, 1u32), (2, 3)] {
-            let eval = engine.evaluate_merge(a, b, &mut memo);
+            let eval = engine.evaluate_merge(a, b, &mut ctx);
             let total_before = engine.summary().encoding_cost();
             let other = total_before - eval.cost_before;
-            engine.apply_merge(a, b, &mut memo);
+            engine.apply_merge(a, b, &mut ctx);
             let total_after = engine.summary().encoding_cost();
             assert_eq!(
                 total_after,

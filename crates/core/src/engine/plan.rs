@@ -20,8 +20,9 @@
 //! threads.
 
 use super::view::{self, MergeView};
-use super::{MergeEngine, MergeEvaluation, MergeState, RootMeta};
-use crate::encoder::{EncoderMemo, PanelSolution};
+use super::{
+    Case2Record, EvalScratch, MergeCtx, MergeEngine, MergeEvaluation, MergeState, RootMeta,
+};
 use crate::model::{edge_key, SupernodeId};
 use slugger_graph::hash::FxHashMap;
 
@@ -154,30 +155,31 @@ impl<'a> PlanningEngine<'a> {
     /// Merges roots `a` and `b` inside the overlay, mirroring
     /// [`MergeEngine::apply_merge`] (same pre-merge problem construction, same
     /// re-encoding application) on the copy-on-write state.
-    fn merge(&mut self, a: SupernodeId, b: SupernodeId, memo: &mut EncoderMemo) -> SupernodeId {
+    fn merge(&mut self, a: SupernodeId, b: SupernodeId, ctx: &mut MergeCtx) -> SupernodeId {
         debug_assert!(
             self.metas.contains_key(&a) && self.metas.contains_key(&b) && a != b,
             "planned merges must involve tracked roots"
         );
+        let MergeCtx { memo, scratch } = ctx;
+        let EvalScratch { commons, case2 } = scratch;
         // Solve everything against the *pre-merge* structure.
         let (_, a_kids) = view::side_panel(self, a);
         let (_, b_kids) = view::side_panel(self, b);
         let cross_ab = MergeView::edges_between_roots(self, a, b) as u32;
         let (problem1, old1) = view::case1_problem(self, a, b);
         let sol1 = memo.case1(&problem1);
-        let commons = MergeView::common_adjacent_roots(self, a, b);
-        #[allow(clippy::type_complexity)]
-        let mut case2: Vec<(
-            SupernodeId,
-            PanelSolution,
-            Vec<(SupernodeId, SupernodeId)>,
-            [Option<SupernodeId>; 3],
-        )> = Vec::with_capacity(commons.len());
-        for c in commons {
+        MergeView::common_adjacent_roots_into(self, a, b, commons);
+        case2.clear();
+        for &c in commons.iter() {
             let (problem2, old2) = view::case2_problem(self, a, b, c);
             let sol2 = memo.case2(&problem2);
             let (_, c_kids) = view::side_panel(self, c);
-            case2.push((c, sol2, old2, c_kids));
+            case2.push(Case2Record {
+                c,
+                sol: sol2,
+                old: old2,
+                c_kids,
+            });
         }
 
         // Structural merge in the local arena.
@@ -239,7 +241,7 @@ impl<'a> PlanningEngine<'a> {
         }
 
         // Apply the Case-1 re-encoding: drop old panel edges, add the solved ones.
-        for (x, y) in old1 {
+        for &(x, y) in old1.as_slice() {
             self.remove_pn_edge(x, y);
         }
         let none_kids = [None, None, None];
@@ -249,14 +251,15 @@ impl<'a> PlanningEngine<'a> {
             self.add_pn_edge(x, y, e.weight);
         }
 
-        // Apply the Case-2 re-encodings.
-        for (c, sol2, old2, c_kids) in case2 {
-            for (x, y) in old2 {
+        // Apply the Case-2 re-encodings.  (`case2` lives in the scratch; iterating by
+        // index keeps `self` free for the mutating edge updates.)
+        for rec in case2.iter() {
+            for &(x, y) in rec.old.as_slice() {
                 self.remove_pn_edge(x, y);
             }
-            for e in sol2.edges() {
-                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
-                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(c), &c_kids);
+            for e in rec.sol.edges() {
+                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(rec.c), &rec.c_kids);
+                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(rec.c), &rec.c_kids);
                 self.add_pn_edge(x, y, e.weight);
             }
         }
@@ -317,7 +320,13 @@ impl MergeView for PlanningEngine<'_> {
         self.metas[&a].adjacency.get(&b).copied().unwrap_or(0) as usize
     }
 
-    fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId> {
+    fn common_adjacent_roots_into(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        out: &mut Vec<SupernodeId>,
+    ) {
+        out.clear();
         let adj_a = &self.metas[&a].adjacency;
         let adj_b = &self.metas[&b].adjacency;
         let (small, large) = if adj_a.len() <= adj_b.len() {
@@ -325,11 +334,12 @@ impl MergeView for PlanningEngine<'_> {
         } else {
             (adj_b, adj_a)
         };
-        small
-            .keys()
-            .copied()
-            .filter(|&r| r != a && r != b && large.contains_key(&r))
-            .collect()
+        out.extend(
+            small
+                .keys()
+                .copied()
+                .filter(|&r| r != a && r != b && large.contains_key(&r)),
+        );
     }
 }
 
@@ -346,18 +356,13 @@ impl MergeState for PlanningEngine<'_> {
         &self,
         a: SupernodeId,
         b: SupernodeId,
-        memo: &mut EncoderMemo,
+        ctx: &mut MergeCtx,
     ) -> MergeEvaluation {
-        view::evaluate_merge(self, a, b, memo)
+        view::evaluate_merge(self, a, b, ctx)
     }
 
-    fn apply_merge(
-        &mut self,
-        a: SupernodeId,
-        b: SupernodeId,
-        memo: &mut EncoderMemo,
-    ) -> SupernodeId {
-        self.merge(a, b, memo)
+    fn apply_merge(&mut self, a: SupernodeId, b: SupernodeId, ctx: &mut MergeCtx) -> SupernodeId {
+        self.merge(a, b, ctx)
     }
 }
 
@@ -379,11 +384,11 @@ mod tests {
     fn overlay_evaluation_matches_the_engine() {
         let g = double_star();
         let engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let overlay = PlanningEngine::new(&engine, &[2, 3, 4, 5]);
         for (a, b) in [(2u32, 3u32), (4, 5), (2, 5)] {
-            let direct = engine.evaluate_merge(a, b, &mut memo);
-            let planned = MergeState::evaluate_merge(&overlay, a, b, &mut memo);
+            let direct = engine.evaluate_merge(a, b, &mut ctx);
+            let planned = MergeState::evaluate_merge(&overlay, a, b, &mut ctx);
             assert_eq!(direct.cost_before, planned.cost_before, "({a},{b})");
             assert_eq!(direct.cost_after, planned.cost_after, "({a},{b})");
         }
@@ -396,25 +401,25 @@ mod tests {
         let g = double_star();
         let mut engine = MergeEngine::new(&g);
         let frozen = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let mut overlay = PlanningEngine::new(&frozen, &[2, 3, 4, 5, 6]);
 
-        let em = engine.apply_merge(2, 3, &mut memo);
-        let om = overlay.merge(2, 3, &mut memo);
+        let em = engine.apply_merge(2, 3, &mut ctx);
+        let om = overlay.merge(2, 3, &mut ctx);
         assert!(MergeView::is_root(&overlay, om));
         assert!(!MergeView::is_root(&overlay, 2));
         assert_eq!(overlay.node_size(om), 2);
         assert_eq!(overlay.root_of(2), om);
 
         // Evaluate the follow-up merge (m ∪ 4) on both.
-        let direct = engine.evaluate_merge(em, 4, &mut memo);
-        let planned = MergeState::evaluate_merge(&overlay, om, 4, &mut memo);
+        let direct = engine.evaluate_merge(em, 4, &mut ctx);
+        let planned = MergeState::evaluate_merge(&overlay, om, 4, &mut ctx);
         assert_eq!(direct.cost_before, planned.cost_before);
         assert_eq!(direct.cost_after, planned.cost_after);
 
         // And apply it; the overlay's root cost must match the engine's.
-        let em2 = engine.apply_merge(em, 4, &mut memo);
-        let om2 = overlay.merge(om, 4, &mut memo);
+        let em2 = engine.apply_merge(em, 4, &mut ctx);
+        let om2 = overlay.merge(om, 4, &mut ctx);
         assert_eq!(engine.root_cost(em2), MergeView::root_cost(&overlay, om2));
         assert_eq!(
             engine.root_height(em2),
@@ -430,9 +435,9 @@ mod tests {
     fn untracked_roots_are_left_alone() {
         let g = double_star();
         let frozen = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let mut overlay = PlanningEngine::new(&frozen, &[2, 3]);
-        overlay.merge(2, 3, &mut memo);
+        overlay.merge(2, 3, &mut ctx);
         // The hubs (0, 1) are untracked: still roots, structure untouched, and the
         // frozen engine itself never changed.
         assert!(MergeView::is_root(&overlay, 0));

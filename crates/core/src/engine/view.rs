@@ -8,11 +8,26 @@
 //!
 //! Keeping the problem builders generic (rather than duplicated) is what guarantees
 //! planning and application agree on the encoding semantics.
+//!
+//! # Allocation discipline
+//!
+//! Merge evaluation is the innermost loop of the pipeline — every candidate pair of
+//! every set of every iteration builds a Case-1 problem plus one Case-2 problem per
+//! common adjacent root — so the problem builders are engineered to perform **no heap
+//! allocation per evaluation**:
+//!
+//! * panels are constant-size, so cells, panel supernodes and old panel edges live in
+//!   inline arrays ([`InlineVec`]); a panel has at most 6 supernodes, hence at most
+//!   21 old edges;
+//! * per-supernode cell coverage is a `u16` bitmask over the (≤ 4) cell indices
+//!   instead of a `Vec<usize>` per panel supernode;
+//! * the only unbounded intermediate — the common adjacent roots of the two sides —
+//!   is written into a reusable buffer owned by the per-worker
+//!   [`MergeCtx`](super::MergeCtx) scratch, as are the Case-2 records a merge
+//!   application accumulates.
 
-use super::MergeEvaluation;
-use crate::encoder::{
-    pair_index, panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape, EncoderMemo,
-};
+use super::{MergeCtx, MergeEvaluation};
+use crate::encoder::{pair_index, panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape};
 use crate::model::SupernodeId;
 
 /// Read-only cost/topology queries the merge machinery needs.
@@ -37,9 +52,60 @@ pub(crate) trait MergeView {
     fn root_height(&self, root: SupernodeId) -> usize;
     /// Number of p/n-edges between two distinct roots (`Cost^P_{A,B}`).
     fn edges_between_roots(&self, a: SupernodeId, b: SupernodeId) -> usize;
-    /// Roots adjacent (through p/n-edges) to both `a`'s and `b`'s trees.
-    fn common_adjacent_roots(&self, a: SupernodeId, b: SupernodeId) -> Vec<SupernodeId>;
+    /// Fills `out` with the roots adjacent (through p/n-edges) to both `a`'s and
+    /// `b`'s trees, clearing it first.  Buffer-filling (rather than returning a
+    /// `Vec`) so the hot path can reuse one allocation across evaluations.
+    fn common_adjacent_roots_into(
+        &self,
+        a: SupernodeId,
+        b: SupernodeId,
+        out: &mut Vec<SupernodeId>,
+    );
 }
+
+/// A fixed-capacity inline vector for the constant-size panel data of the hot path
+/// (a `SmallVec` stand-in within the offline dependency whitelist — panels are
+/// bounded, so there is no heap spill path).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InlineVec<T: Copy + Default, const N: usize> {
+    len: usize,
+    items: [T; N],
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty buffer.
+    pub(crate) fn new() -> Self {
+        InlineVec {
+            len: 0,
+            items: [T::default(); N],
+        }
+    }
+
+    /// Appends an element; panics if the fixed capacity is exceeded (the panel
+    /// bounds make that unreachable from the merge engine).
+    #[inline]
+    pub(crate) fn push(&mut self, value: T) {
+        assert!(self.len < N, "inline buffer overflow");
+        self.items[self.len] = value;
+        self.len += 1;
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[T] {
+        &self.items[..self.len]
+    }
+}
+
+/// Old p/n-edges of a panel: at most `6 * 7 / 2 = 21` unordered pairs (with
+/// self-loops) among the ≤ 6 panel supernodes.
+pub(crate) type PanelEdges = InlineVec<(SupernodeId, SupernodeId), 21>;
 
 /// Panel supernodes of one side: the root plus its direct children when internal.
 /// Returns (shape_internal, [root, child1, child2]) with unused slots `None`.
@@ -84,20 +150,52 @@ pub(crate) fn concrete(
     }
 }
 
-/// Cells (by index into `cell_concrete`) covered by a concrete panel supernode:
-/// the cells it equals or is an ancestor of.
-fn panel_cell_coverage<V: MergeView + ?Sized>(
+/// Bitmask (over indices into `cells`) of the cells covered by a concrete panel
+/// supernode: the cells it equals or is an ancestor of.  Cells number at most 4, so
+/// a `u16` is ample.
+#[inline]
+fn cell_coverage_mask<V: MergeView + ?Sized>(
     view: &V,
     sup: SupernodeId,
-    cell_concrete: &[SupernodeId],
-) -> Vec<usize> {
-    let mut out = Vec::new();
-    for (idx, &cell) in cell_concrete.iter().enumerate() {
+    cells: &[SupernodeId],
+) -> u16 {
+    let mut mask = 0u16;
+    for (idx, &cell) in cells.iter().enumerate() {
         if cell == sup || view.parent_of(cell) == Some(sup) {
-            out.push(idx);
+            mask |= 1 << idx;
         }
     }
-    out
+    mask
+}
+
+/// The cells of one merged side in `cells()` order: the two children when internal,
+/// the root itself otherwise.
+#[inline]
+fn push_side_cells(
+    internal: bool,
+    root: SupernodeId,
+    kids: &[Option<SupernodeId>; 3],
+    cells: &mut InlineVec<SupernodeId, 4>,
+) {
+    if internal {
+        cells.push(kids[1].expect("internal side has children"));
+        cells.push(kids[2].expect("internal side has children"));
+    } else {
+        cells.push(root);
+    }
+}
+
+/// The panel supernodes of both merged sides, in `a_kids`-then-`b_kids` order.
+#[inline]
+fn yellow_panel_supers(
+    a_kids: &[Option<SupernodeId>; 3],
+    b_kids: &[Option<SupernodeId>; 3],
+) -> InlineVec<SupernodeId, 6> {
+    let mut supers = InlineVec::new();
+    for s in a_kids.iter().chain(b_kids.iter()).flatten() {
+        supers.push(*s);
+    }
+    supers
 }
 
 /// Builds the Case-1 problem for merging roots `a` and `b`: the cell-pair
@@ -106,30 +204,21 @@ pub(crate) fn case1_problem<V: MergeView + ?Sized>(
     view: &V,
     a: SupernodeId,
     b: SupernodeId,
-) -> (Case1Problem, Vec<(SupernodeId, SupernodeId)>) {
+) -> (Case1Problem, PanelEdges) {
     let (a_internal, a_kids) = side_panel(view, a);
     let (b_internal, b_kids) = side_panel(view, b);
     let shape = Case1Shape {
         a_internal,
         b_internal,
     };
-    let cells = shape.cells();
+    // Concrete supernode of each cell, in the shape's canonical A-then-B order.
+    let mut cell_concrete: InlineVec<SupernodeId, 4> = InlineVec::new();
+    push_side_cells(a_internal, a, &a_kids, &mut cell_concrete);
+    push_side_cells(b_internal, b, &b_kids, &mut cell_concrete);
+    let cells = cell_concrete.as_slice();
     let k = cells.len();
-    // Concrete supernode of each cell and its size.
-    let cell_concrete: Vec<SupernodeId> = cells
-        .iter()
-        .map(|&cell| match cell {
-            panel::A => a,
-            panel::B => b,
-            panel::A1 => a_kids[1].unwrap(),
-            panel::A2 => a_kids[2].unwrap(),
-            panel::B1 => b_kids[1].unwrap(),
-            panel::B2 => b_kids[2].unwrap(),
-            _ => unreachable!(),
-        })
-        .collect();
     let mut constrained = 0u16;
-    for (i, &cell) in cell_concrete.iter().enumerate() {
+    for (i, &cell) in cells.iter().enumerate() {
         for j in i..k {
             let vacuous = i == j && view.node_size(cell) < 2;
             if !vacuous {
@@ -138,31 +227,35 @@ pub(crate) fn case1_problem<V: MergeView + ?Sized>(
         }
     }
     // Existing panel edges: all p/n-edges among the panel supernodes of both sides.
-    let panel_supers: Vec<SupernodeId> = a_kids
-        .iter()
-        .chain(b_kids.iter())
-        .flatten()
-        .copied()
-        .collect();
-    let coverage: Vec<Vec<usize>> = panel_supers
-        .iter()
-        .map(|&s| panel_cell_coverage(view, s, &cell_concrete))
-        .collect();
+    let panel_supers = yellow_panel_supers(&a_kids, &b_kids);
+    let supers = panel_supers.as_slice();
+    let mut coverage = [0u16; 6];
+    for (slot, &s) in coverage.iter_mut().zip(supers.iter()) {
+        *slot = cell_coverage_mask(view, s, cells);
+    }
     let mut required = [0i8; 10];
-    let mut old_edges = Vec::new();
-    for (i, &x) in panel_supers.iter().enumerate() {
-        for (j, &y) in panel_supers.iter().enumerate().skip(i) {
+    let mut old_edges = PanelEdges::new();
+    for (i, &x) in supers.iter().enumerate() {
+        for (j, &y) in supers.iter().enumerate().skip(i) {
             let w = view.edge_weight(x, y);
             if w == 0 {
                 continue;
             }
             old_edges.push((x, y));
-            let mut seen = [false; 10];
-            for &ci in &coverage[i] {
-                for &cj in &coverage[j] {
+            // A panel edge covers the product of its endpoints' cell coverages;
+            // each unordered cell pair counts once (`seen` mask over pair indices).
+            let mut seen = 0u16;
+            let mut mi = coverage[i];
+            while mi != 0 {
+                let ci = mi.trailing_zeros() as usize;
+                mi &= mi - 1;
+                let mut mj = coverage[j];
+                while mj != 0 {
+                    let cj = mj.trailing_zeros() as usize;
+                    mj &= mj - 1;
                     let idx = pair_index(ci.min(cj), ci.max(cj), k);
-                    if !seen[idx] {
-                        seen[idx] = true;
+                    if seen & (1 << idx) == 0 {
+                        seen |= 1 << idx;
                         required[idx] = (required[idx] as i32 + w) as i8;
                     }
                 }
@@ -186,7 +279,7 @@ pub(crate) fn case2_problem<V: MergeView + ?Sized>(
     a: SupernodeId,
     b: SupernodeId,
     c: SupernodeId,
-) -> (Case2Problem, Vec<(SupernodeId, SupernodeId)>) {
+) -> (Case2Problem, PanelEdges) {
     let (a_internal, a_kids) = side_panel(view, a);
     let (b_internal, b_kids) = side_panel(view, b);
     let (c_internal, c_kids) = side_panel(view, c);
@@ -195,56 +288,42 @@ pub(crate) fn case2_problem<V: MergeView + ?Sized>(
         b_internal,
         c_internal,
     };
-    let yellow_cells_abs = shape.yellow_cells();
-    let orange_cells_abs = shape.orange_cells();
-    let kc = orange_cells_abs.len();
-    let yellow_cells: Vec<SupernodeId> = yellow_cells_abs
-        .iter()
-        .map(|&cell| match cell {
-            panel::A => a,
-            panel::B => b,
-            panel::A1 => a_kids[1].unwrap(),
-            panel::A2 => a_kids[2].unwrap(),
-            panel::B1 => b_kids[1].unwrap(),
-            panel::B2 => b_kids[2].unwrap(),
-            _ => unreachable!(),
-        })
-        .collect();
-    let orange_cells: Vec<SupernodeId> = orange_cells_abs
-        .iter()
-        .map(|&cell| match cell {
-            panel::C => c,
-            panel::C1 => c_kids[1].unwrap(),
-            panel::C2 => c_kids[2].unwrap(),
-            _ => unreachable!(),
-        })
-        .collect();
-    let yellow_supers: Vec<SupernodeId> = a_kids
-        .iter()
-        .chain(b_kids.iter())
-        .flatten()
-        .copied()
-        .collect();
-    let orange_supers: Vec<SupernodeId> = c_kids.iter().flatten().copied().collect();
-    let yellow_cov: Vec<Vec<usize>> = yellow_supers
-        .iter()
-        .map(|&s| panel_cell_coverage(view, s, &yellow_cells))
-        .collect();
-    let orange_cov: Vec<Vec<usize>> = orange_supers
-        .iter()
-        .map(|&s| panel_cell_coverage(view, s, &orange_cells))
-        .collect();
+    let mut yellow_cells: InlineVec<SupernodeId, 4> = InlineVec::new();
+    push_side_cells(a_internal, a, &a_kids, &mut yellow_cells);
+    push_side_cells(b_internal, b, &b_kids, &mut yellow_cells);
+    let mut orange_cells: InlineVec<SupernodeId, 4> = InlineVec::new();
+    push_side_cells(c_internal, c, &c_kids, &mut orange_cells);
+    let kc = orange_cells.len();
+    let yellow_supers = yellow_panel_supers(&a_kids, &b_kids);
+    let mut orange_supers: InlineVec<SupernodeId, 3> = InlineVec::new();
+    for s in c_kids.iter().flatten() {
+        orange_supers.push(*s);
+    }
+    let mut yellow_cov = [0u16; 6];
+    for (slot, &s) in yellow_cov.iter_mut().zip(yellow_supers.as_slice().iter()) {
+        *slot = cell_coverage_mask(view, s, yellow_cells.as_slice());
+    }
+    let mut orange_cov = [0u16; 3];
+    for (slot, &s) in orange_cov.iter_mut().zip(orange_supers.as_slice().iter()) {
+        *slot = cell_coverage_mask(view, s, orange_cells.as_slice());
+    }
     let mut required = [0i8; 8];
-    let mut old_edges = Vec::new();
-    for (i, &x) in yellow_supers.iter().enumerate() {
-        for (j, &y) in orange_supers.iter().enumerate() {
+    let mut old_edges = PanelEdges::new();
+    for (i, &x) in yellow_supers.as_slice().iter().enumerate() {
+        for (j, &y) in orange_supers.as_slice().iter().enumerate() {
             let w = view.edge_weight(x, y);
             if w == 0 {
                 continue;
             }
             old_edges.push((x, y));
-            for &ci in &yellow_cov[i] {
-                for &cj in &orange_cov[j] {
+            let mut mi = yellow_cov[i];
+            while mi != 0 {
+                let ci = mi.trailing_zeros() as usize;
+                mi &= mi - 1;
+                let mut mj = orange_cov[j];
+                while mj != 0 {
+                    let cj = mj.trailing_zeros() as usize;
+                    mj &= mj - 1;
                     let idx = ci * kc + cj;
                     required[idx] = (required[idx] as i32 + w) as i8;
                 }
@@ -259,9 +338,10 @@ pub(crate) fn evaluate_merge<V: MergeView + ?Sized>(
     view: &V,
     a: SupernodeId,
     b: SupernodeId,
-    memo: &mut EncoderMemo,
+    ctx: &mut MergeCtx,
 ) -> MergeEvaluation {
     debug_assert!(view.is_root(a) && view.is_root(b) && a != b);
+    let MergeCtx { memo, scratch } = ctx;
     let cost_a = view.root_cost(a);
     let cost_b = view.root_cost(b);
     let cross = view.edges_between_roots(a, b);
@@ -276,7 +356,8 @@ pub(crate) fn evaluate_merge<V: MergeView + ?Sized>(
     // one side the existing encoding remains optimal within the panel, so the
     // re-encoding is skipped both here and during application (keeping the two paths
     // consistent is what makes the evaluation exact).
-    for c in view.common_adjacent_roots(a, b) {
+    view.common_adjacent_roots_into(a, b, &mut scratch.commons);
+    for &c in scratch.commons.iter() {
         let (problem2, old2) = case2_problem(view, a, b, c);
         let sol2 = memo.case2(&problem2);
         delta += sol2.cost as i64 - old2.len() as i64;

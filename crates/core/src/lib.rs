@@ -60,10 +60,11 @@ pub mod slugger;
 pub mod storage;
 
 pub use decode::SummaryNeighborView;
+pub use engine::MergeCtx;
 pub use metrics::SummaryMetrics;
 pub use model::{EdgeSign, HierarchicalSummary, Supernode, SupernodeId};
 pub use pipeline::Parallelism;
-pub use slugger::{Slugger, SluggerConfig, SluggerOutcome};
+pub use slugger::{Slugger, SluggerConfig, SluggerOutcome, StageProfile};
 
 /// Convenience prelude.
 pub mod prelude {
@@ -71,5 +72,5 @@ pub mod prelude {
     pub use crate::metrics::SummaryMetrics;
     pub use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
     pub use crate::pipeline::Parallelism;
-    pub use crate::slugger::{Slugger, SluggerConfig, SluggerOutcome};
+    pub use crate::slugger::{Slugger, SluggerConfig, SluggerOutcome, StageProfile};
 }

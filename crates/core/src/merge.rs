@@ -2,9 +2,8 @@
 //! root `A`, find the partner `B` maximizing `Saving(A, B, G)` (Eq. 8), and merge the
 //! pair when the saving clears the iteration threshold `θ(t)` (Eq. 9).
 
-use crate::encoder::EncoderMemo;
 use crate::engine::apply::{MergeRef, PlannedMerge};
-use crate::engine::{MergeEngine, MergeState};
+use crate::engine::{MergeCtx, MergeEngine, MergeState};
 use crate::model::SupernodeId;
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -59,7 +58,7 @@ pub struct MergeOptions {
 /// by [`process_candidate_set`].
 pub fn plan_candidate_set<E: MergeState>(
     engine: &mut E,
-    memo: &mut EncoderMemo,
+    ctx: &mut MergeCtx,
     candidate_set: &[SupernodeId],
     options: &MergeOptions,
     rng: &mut StdRng,
@@ -96,7 +95,7 @@ pub fn plan_candidate_set<E: MergeState>(
                     continue;
                 }
             }
-            let eval = engine.evaluate_merge(a, z, memo);
+            let eval = engine.evaluate_merge(a, z, ctx);
             stats.evaluated += 1;
             let better = match best {
                 None => true,
@@ -117,7 +116,7 @@ pub fn plan_candidate_set<E: MergeState>(
                 a: as_ref(a),
                 b: as_ref(b),
             });
-            let merged = engine.apply_merge(a, b, memo);
+            let merged = engine.apply_merge(a, b, ctx);
             planned_ids.insert(merged, merges.len() - 1);
             stats.merged += 1;
             // Q ← (Q \ {B}) ∪ {A ∪ B}
@@ -131,12 +130,12 @@ pub fn plan_candidate_set<E: MergeState>(
 /// plan-and-apply-in-place special case of [`plan_candidate_set`].
 pub fn process_candidate_set(
     engine: &mut MergeEngine,
-    memo: &mut EncoderMemo,
+    ctx: &mut MergeCtx,
     candidate_set: &[SupernodeId],
     options: &MergeOptions,
     rng: &mut StdRng,
 ) -> MergeStats {
-    plan_candidate_set(engine, memo, candidate_set, options, rng).1
+    plan_candidate_set(engine, ctx, candidate_set, options, rng).1
 }
 
 #[cfg(test)]
@@ -169,13 +168,13 @@ mod tests {
     fn processing_a_candidate_set_merges_twins() {
         let g = twin_heavy_graph();
         let mut engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let mut rng = StdRng::seed_from_u64(3);
         let spokes: Vec<SupernodeId> = (2..8).collect();
         let before = engine.summary().encoding_cost();
         let stats = process_candidate_set(
             &mut engine,
-            &mut memo,
+            &mut ctx,
             &spokes,
             &MergeOptions {
                 threshold: 0.0,
@@ -207,12 +206,12 @@ mod tests {
     fn high_threshold_blocks_marginal_merges() {
         let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]);
         let mut engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let mut rng = StdRng::seed_from_u64(5);
         let all: Vec<SupernodeId> = (0..4).collect();
         let stats = process_candidate_set(
             &mut engine,
-            &mut memo,
+            &mut ctx,
             &all,
             &MergeOptions {
                 threshold: 0.9,
@@ -228,14 +227,14 @@ mod tests {
     fn height_bound_limits_tree_growth() {
         let g = twin_heavy_graph();
         let mut engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let mut rng = StdRng::seed_from_u64(9);
         let spokes: Vec<SupernodeId> = (2..8).collect();
         // Height bound 1: only leaf-leaf merges allowed, so every merged tree has
         // exactly two leaves.
         let _ = process_candidate_set(
             &mut engine,
-            &mut memo,
+            &mut ctx,
             &spokes,
             &MergeOptions {
                 threshold: 0.0,
@@ -254,14 +253,14 @@ mod tests {
     fn stale_candidates_are_skipped() {
         let g = twin_heavy_graph();
         let mut engine = MergeEngine::new(&g);
-        let mut memo = EncoderMemo::new();
+        let mut ctx = MergeCtx::new();
         let mut rng = StdRng::seed_from_u64(1);
         // Merge 2 and 3 beforehand; the candidate set still names them.
-        let m = engine.apply_merge(2, 3, &mut memo);
+        let m = engine.apply_merge(2, 3, &mut ctx);
         let candidates: Vec<SupernodeId> = vec![2, 3, 4, 5, m];
         let stats = process_candidate_set(
             &mut engine,
-            &mut memo,
+            &mut ctx,
             &candidates,
             &MergeOptions {
                 threshold: 0.0,

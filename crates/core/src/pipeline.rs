@@ -5,8 +5,9 @@
 //!
 //! 1. **candidates** — generate disjoint candidate sets from the frozen iteration
 //!    view ([`crate::candidates`]);
-//! 2. **shard** — [`partition_sets`] deals whole candidate sets round-robin onto
-//!    `shards` worker shards (a set is never split, so merges never cross shards);
+//! 2. **shard** — [`partition_sets`] deals whole candidate sets onto `shards` worker
+//!    shards by longest-processing-time scheduling over the estimated per-set cost
+//!    (a set is never split, so merges never cross shards);
 //! 3. **merge** — each shard forks per-shard scratch state ([`ShardWorker::fork`],
 //!    for SLUGGER just an encoder memo) and plans each of its sets' merges against
 //!    the frozen view, drawing randomness from a per-set stream ([`set_rng`], seeded
@@ -54,14 +55,18 @@ pub enum Parallelism {
 }
 
 impl Parallelism {
-    /// The number of worker threads to use for `num_shards` shards.
-    pub fn worker_threads(self, num_shards: usize) -> usize {
-        let requested = match self {
+    /// The worker-thread count this knob stands for, before any shard cap.
+    pub fn threads(self) -> usize {
+        match self {
             Parallelism::Sequential => 1,
             Parallelism::Fixed(n) => n.max(1),
             Parallelism::Auto => rayon::current_num_threads(),
-        };
-        requested.min(num_shards.max(1))
+        }
+    }
+
+    /// The number of worker threads to use for `num_shards` shards.
+    pub fn worker_threads(self, num_shards: usize) -> usize {
+        self.threads().min(num_shards.max(1))
     }
 }
 
@@ -84,16 +89,45 @@ impl ShardAssignment {
     }
 }
 
-/// Deals `num_sets` candidate sets round-robin across `num_shards` shards.
+/// Estimated planning cost of a candidate set of `len` roots.
 ///
-/// Whole sets are assigned — never split — so all merges stay within one shard, and
-/// the assignment depends only on the two counts (robin order equals set order, which
-/// keeps each shard's internal processing order ascending).
-pub fn partition_sets(num_sets: usize, num_shards: usize) -> ShardAssignment {
+/// The merging step evaluates every remaining partner for each pivot, i.e.
+/// O(|set|²) `Saving(A, B, G)` evaluations, so the square is the right load-balance
+/// weight (candidate sets vary from pairs to the 500-root cap — three orders of
+/// magnitude in cost).
+#[inline]
+pub fn estimated_set_cost(len: usize) -> u64 {
+    (len as u64) * (len as u64)
+}
+
+/// Deals candidate sets (given their estimated costs) across `num_shards` shards by
+/// **longest-processing-time** scheduling: sets are placed in descending cost order
+/// onto the currently least-loaded shard.
+///
+/// Whole sets are assigned — never split — so all merges stay within one shard.  The
+/// assignment is a pure function of `(set_costs, num_shards)` (ties broken by set
+/// index and then by shard index), and each shard's internal processing order stays
+/// ascending by set index — a scheduling change can therefore never alter SLUGGER's
+/// output, which plans every set independently against the frozen view.
+pub fn partition_sets(set_costs: &[u64], num_shards: usize) -> ShardAssignment {
     let num_shards = num_shards.max(1);
     let mut shards: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
-    for set_index in 0..num_sets {
-        shards[set_index % num_shards].push(set_index);
+    let mut order: Vec<usize> = (0..set_costs.len()).collect();
+    order.sort_by(|&a, &b| set_costs[b].cmp(&set_costs[a]).then(a.cmp(&b)));
+    let mut loads: Vec<u64> = vec![0; num_shards];
+    for set_index in order {
+        let lightest = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(shard, &load)| (load, shard))
+            .map(|(shard, _)| shard)
+            .expect("at least one shard");
+        shards[lightest].push(set_index);
+        // Even a trivial set occupies its shard's queue slot; never weigh it zero.
+        loads[lightest] += set_costs[set_index].max(1);
+    }
+    for shard in &mut shards {
+        shard.sort_unstable();
     }
     ShardAssignment { shards }
 }
@@ -144,7 +178,8 @@ pub fn plan_shards<W: ShardWorker>(
     parallelism: Parallelism,
     rng_for_set: &(dyn Fn(usize) -> StdRng + Sync),
 ) -> Vec<W::Plan> {
-    let assignment = partition_sets(sets.len(), num_shards);
+    let set_costs: Vec<u64> = sets.iter().map(|s| estimated_set_cost(s.len())).collect();
+    let assignment = partition_sets(&set_costs, num_shards);
     let threads = parallelism.worker_threads(assignment.non_empty());
 
     let mut plans: Vec<Option<W::Plan>> = Vec::with_capacity(sets.len());
@@ -217,8 +252,12 @@ mod tests {
 
     #[test]
     fn partition_never_splits_a_set_and_covers_all() {
-        for (num_sets, num_shards) in [(0, 4), (1, 4), (7, 3), (16, 8), (5, 16), (100, 7)] {
-            let assignment = partition_sets(num_sets, num_shards);
+        for (num_sets, num_shards) in [(0usize, 4), (1, 4), (7, 3), (16, 8), (5, 16), (100, 7)] {
+            // Mix of cheap and expensive sets to exercise the LPT placement.
+            let costs: Vec<u64> = (0..num_sets)
+                .map(|i| estimated_set_cost(2 + (i * 37) % 50))
+                .collect();
+            let assignment = partition_sets(&costs, num_shards);
             assert_eq!(assignment.shards().len(), num_shards.max(1));
             let mut seen = vec![0usize; num_sets];
             for shard in assignment.shards() {
@@ -239,9 +278,52 @@ mod tests {
 
     #[test]
     fn zero_shards_clamps_to_one() {
-        let assignment = partition_sets(5, 0);
+        let assignment = partition_sets(&[1, 1, 1, 1, 1], 0);
         assert_eq!(assignment.shards().len(), 1);
         assert_eq!(assignment.shards()[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn lpt_balances_skewed_costs_better_than_round_robin() {
+        // One huge set followed by many small ones: round-robin would stack the huge
+        // set plus a share of the small ones on shard 0; LPT gives the huge set a
+        // shard of its own.
+        let mut costs = vec![estimated_set_cost(500)];
+        costs.extend(std::iter::repeat_n(estimated_set_cost(4), 24));
+        let assignment = partition_sets(&costs, 4);
+        let load = |shard: &[usize]| -> u64 { shard.iter().map(|&i| costs[i]).sum() };
+        let loads: Vec<u64> = assignment.shards().iter().map(|s| load(s)).collect();
+        let huge_shard = assignment
+            .shards()
+            .iter()
+            .position(|s| s.contains(&0))
+            .unwrap();
+        assert_eq!(
+            assignment.shards()[huge_shard],
+            vec![0],
+            "the dominant set must monopolize its shard, got {:?}",
+            assignment.shards()
+        );
+        // The small sets spread over the remaining shards.
+        let max_other = loads
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != huge_shard)
+            .map(|(_, &l)| l)
+            .max()
+            .unwrap();
+        assert!(
+            max_other <= 9 * estimated_set_cost(4),
+            "small sets must spread out, loads {loads:?}"
+        );
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let costs: Vec<u64> = (0..40).map(|i| estimated_set_cost(2 + i % 13)).collect();
+        let a = partition_sets(&costs, 8);
+        let b = partition_sets(&costs, 8);
+        assert_eq!(a.shards(), b.shards());
     }
 
     #[test]

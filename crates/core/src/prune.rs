@@ -287,7 +287,7 @@ pub const DEFAULT_MAX_PAIR_PRODUCT: usize = 4_000_000;
 mod tests {
     use super::*;
     use crate::decode::verify_lossless;
-    use crate::encoder::EncoderMemo;
+    use crate::engine::MergeCtx;
     use crate::engine::MergeEngine;
 
     #[test]
@@ -426,10 +426,10 @@ mod tests {
             ],
         );
         let mut engine = MergeEngine::new(&graph);
-        let mut memo = EncoderMemo::new();
-        let m1 = engine.apply_merge(2, 3, &mut memo);
-        let m2 = engine.apply_merge(4, 5, &mut memo);
-        let _m3 = engine.apply_merge(m1, m2, &mut memo);
+        let mut ctx = MergeCtx::new();
+        let m1 = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(4, 5, &mut ctx);
+        let _m3 = engine.apply_merge(m1, m2, &mut ctx);
         let mut summary = engine.into_summary();
         verify_lossless(&summary, &graph).unwrap();
         let report = prune_all(&mut summary, &graph, 3);

@@ -9,11 +9,10 @@
 //! [`SluggerConfig::parallelism`] picks how many threads execute the shards and
 //! never changes the result.
 
-use crate::candidates::{candidate_sets, CandidateConfig};
-use crate::encoder::EncoderMemo;
+use crate::candidates::{candidate_sets_with, CandidateConfig, CandidateScratch};
 use crate::engine::apply::{apply_plans, SetPlan};
 use crate::engine::plan::PlanningEngine;
-use crate::engine::MergeEngine;
+use crate::engine::{MergeCtx, MergeEngine};
 use crate::merge::{merging_threshold, plan_candidate_set, MergeOptions};
 use crate::metrics::SummaryMetrics;
 use crate::model::{HierarchicalSummary, SupernodeId};
@@ -100,6 +99,23 @@ pub struct IterationRecord {
     pub roots: usize,
 }
 
+/// Wall-clock time spent in each pipeline stage, accumulated over all iterations.
+///
+/// `candidates` + `plan` + `apply` + `prune` cover the pipeline; anything else
+/// (root collection, record keeping) is a sliver of `elapsed`.  The
+/// `candidate_stage` bench binary reports these per run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageProfile {
+    /// Candidate generation (min-hash shingle grouping; stage 1).
+    pub candidates: std::time::Duration,
+    /// Merge planning on the sharded substrate (stages 2–3).
+    pub plan: std::time::Duration,
+    /// Plan reconciliation on the authoritative engine (stage 4).
+    pub apply: std::time::Duration,
+    /// Pruning after the last iteration (stage 5).
+    pub prune: std::time::Duration,
+}
+
 /// Result of a SLUGGER run: the summary plus bookkeeping used by the experiments.
 #[derive(Clone, Debug)]
 pub struct SluggerOutcome {
@@ -113,6 +129,8 @@ pub struct SluggerOutcome {
     pub prune_report: PruneReport,
     /// Wall-clock duration of the whole run.
     pub elapsed: std::time::Duration,
+    /// Per-stage wall-clock breakdown of `elapsed`.
+    pub stages: StageProfile,
 }
 
 /// The SLUGGER algorithm (Algorithm 1 of the paper).
@@ -143,15 +161,18 @@ impl Slugger {
         let start = std::time::Instant::now();
         let config = &self.config;
         let mut engine = MergeEngine::new(graph);
-        let mut memo = if config.memoization {
-            EncoderMemo::new()
+        let mut ctx = if config.memoization {
+            MergeCtx::new()
         } else {
-            EncoderMemo::disabled()
+            MergeCtx::disabled()
         };
         let candidate_config = CandidateConfig {
             max_group_size: config.max_candidate_size,
             max_shingle_splits: config.max_shingle_splits,
         };
+        let candidate_threads = config.parallelism.threads();
+        let mut candidate_scratch = CandidateScratch::default();
+        let mut stages = StageProfile::default();
         let mut iterations = Vec::with_capacity(config.iterations);
 
         for t in 1..=config.iterations {
@@ -161,13 +182,17 @@ impl Slugger {
                 .seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(t as u64);
-            let sets = candidate_sets(
+            let stage_start = std::time::Instant::now();
+            let sets = candidate_sets_with(
                 engine.summary(),
                 graph,
                 &roots,
                 iteration_seed,
                 &candidate_config,
+                candidate_threads,
+                &mut candidate_scratch,
             );
+            stages.candidates += stage_start.elapsed();
             let options = MergeOptions {
                 threshold,
                 height_bound: config.height_bound,
@@ -179,6 +204,7 @@ impl Slugger {
                 options,
                 memoization: config.memoization,
             };
+            let stage_start = std::time::Instant::now();
             let plans = plan_shards(
                 &worker,
                 &sets,
@@ -186,8 +212,11 @@ impl Slugger {
                 config.parallelism,
                 &|set_index| set_rng(config.seed, t, set_index),
             );
+            stages.plan += stage_start.elapsed();
             // …then reconcile the plans on the authoritative engine in set order.
-            let stats = apply_plans(&mut engine, &mut memo, &plans);
+            let stage_start = std::time::Instant::now();
+            let stats = apply_plans(&mut engine, &mut ctx, &plans);
+            stages.apply += stage_start.elapsed();
             iterations.push(IterationRecord {
                 iteration: t,
                 threshold,
@@ -200,11 +229,13 @@ impl Slugger {
         }
 
         let mut summary = engine.into_summary();
+        let stage_start = std::time::Instant::now();
         let prune_report = if config.pruning_rounds > 0 {
             prune_all(&mut summary, graph, config.pruning_rounds)
         } else {
             PruneReport::default()
         };
+        stages.prune = stage_start.elapsed();
         let metrics = SummaryMetrics::compute(&summary, graph.num_edges());
         SluggerOutcome {
             summary,
@@ -212,17 +243,18 @@ impl Slugger {
             iterations,
             prune_report,
             elapsed: start.elapsed(),
+            stages,
         }
     }
 }
 
 /// SLUGGER's shard worker: the frozen iteration view plus the merge options.
 ///
-/// Forking is cheap — the per-shard state is just a private encoder memo (the memo
-/// only caches deterministic solver results, so sharing or not sharing it never
-/// changes output).  Each candidate set is then planned on its own copy-on-write
-/// [`PlanningEngine`] overlay over the frozen view, whose construction cost is
-/// proportional to the set, not to the graph.
+/// Forking is cheap — the per-shard state is a [`MergeCtx`]: a private encoder memo
+/// (the memo only caches deterministic solver results, so sharing or not sharing it
+/// never changes output) plus reusable evaluation scratch.  Each candidate set is
+/// then planned on its own copy-on-write [`PlanningEngine`] overlay over the frozen
+/// view, whose construction cost is proportional to the set, not to the graph.
 struct SluggerShardWorker<'a> {
     view: &'a MergeEngine,
     options: MergeOptions,
@@ -230,26 +262,26 @@ struct SluggerShardWorker<'a> {
 }
 
 impl ShardWorker for SluggerShardWorker<'_> {
-    type Planner = EncoderMemo;
+    type Planner = MergeCtx;
     type Plan = SetPlan;
 
-    fn fork(&self) -> EncoderMemo {
+    fn fork(&self) -> MergeCtx {
         if self.memoization {
-            EncoderMemo::new()
+            MergeCtx::new()
         } else {
-            EncoderMemo::disabled()
+            MergeCtx::disabled()
         }
     }
 
     fn plan_set(
         &self,
-        memo: &mut EncoderMemo,
+        ctx: &mut MergeCtx,
         set_index: usize,
         set: &[SupernodeId],
         rng: &mut StdRng,
     ) -> SetPlan {
         let mut overlay = PlanningEngine::new(self.view, set);
-        let (merges, stats) = plan_candidate_set(&mut overlay, memo, set, &self.options, rng);
+        let (merges, stats) = plan_candidate_set(&mut overlay, ctx, set, &self.options, rng);
         SetPlan {
             set_index,
             merges,
