@@ -89,6 +89,9 @@ pub struct ExperimentScale {
     /// Worker threads for the sharded merge pipeline (`--threads N`; 1 = sequential,
     /// 0 = one per CPU).  Never changes results, only wall-clock time.
     pub threads: usize,
+    /// Worker shards per pipeline iteration (`--shards N`; scheduling granularity).
+    /// Never changes results either.
+    pub shards: usize,
 }
 
 impl Default for ExperimentScale {
@@ -100,6 +103,7 @@ impl Default for ExperimentScale {
             datasets: None,
             quick: false,
             threads: 1,
+            shards: slugger_core::pipeline::DEFAULT_SHARDS,
         }
     }
 }
@@ -145,6 +149,11 @@ impl ExperimentScale {
                 "--threads" => {
                     if let Some(v) = iter.next() {
                         out.threads = v.parse().unwrap_or(out.threads);
+                    }
+                }
+                "--shards" => {
+                    if let Some(v) = iter.next() {
+                        out.shards = v.parse().unwrap_or(out.shards);
                     }
                 }
                 "--quick" => {
@@ -196,6 +205,7 @@ impl ExperimentScale {
             iterations: self.iterations,
             seed: self.seed,
             parallelism: self.parallelism(),
+            shards: self.shards,
             ..SluggerConfig::default()
         }
     }

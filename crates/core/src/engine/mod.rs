@@ -23,7 +23,7 @@
 //! heap allocation (see [`view`]'s module docs for the allocation discipline).
 
 pub mod apply;
-pub(crate) mod plan;
+pub mod plan;
 pub(crate) mod view;
 
 use crate::encoder::{EncoderMemo, PanelSolution};
@@ -72,6 +72,27 @@ impl MergeCtx {
             scratch: EvalScratch::default(),
         }
     }
+
+    /// A fresh context with the same memoization setting as `self` (used to fork
+    /// per-worker contexts for the parallel apply stage).
+    pub fn fork_like(&self) -> Self {
+        if self.memo.enabled {
+            MergeCtx::new()
+        } else {
+            MergeCtx::disabled()
+        }
+    }
+
+    /// Returns a spent `SetPlan::merges` vector to the pool, so the next
+    /// [`crate::merge::plan_candidate_set`] call on this context reuses its
+    /// allocation instead of allocating a fresh one.  The pool is capped; excess
+    /// vectors are simply dropped.
+    pub fn recycle_merges(&mut self, merges: Vec<apply::PlannedMerge>) {
+        const MERGE_POOL_CAP: usize = 256;
+        if self.scratch.merge_pool.len() < MERGE_POOL_CAP {
+            self.scratch.merge_pool.push(merges);
+        }
+    }
 }
 
 /// One Case-2 re-encoding gathered while planning a merge application: the common
@@ -84,6 +105,31 @@ pub(crate) struct Case2Record {
     pub(crate) c_kids: [Option<SupernodeId>; 3],
 }
 
+/// A fully resolved merge: everything [`MergeEngine::commit_merge`] (or the overlay's
+/// replay) needs to apply the merge of roots `a` and `b` into supernode `m` without
+/// re-reading any pre-merge state.
+///
+/// Produced by [`view::resolve_merge_into`] against the pre-merge state; the Case-2
+/// records live in a caller-owned buffer, referenced by `(case2_start, case2_len)`.
+/// Resolution is the expensive half of a merge (panel building + solving), which is
+/// what the parallel apply stage fans out across workers; committing a resolution is
+/// cheap and stays serial.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ResolvedMerge {
+    pub(crate) a: SupernodeId,
+    pub(crate) b: SupernodeId,
+    /// The id the merged supernode gets (precomputed for forced-slot commits).
+    pub(crate) m: SupernodeId,
+    /// Pre-merge p/n-edge count between the two trees.
+    pub(crate) cross_ab: u32,
+    pub(crate) a_kids: [Option<SupernodeId>; 3],
+    pub(crate) b_kids: [Option<SupernodeId>; 3],
+    pub(crate) sol1: PanelSolution,
+    pub(crate) old1: PanelEdges,
+    pub(crate) case2_start: usize,
+    pub(crate) case2_len: usize,
+}
+
 /// Reusable buffers of one [`MergeCtx`] (see [`view`]'s allocation discipline).
 #[derive(Default)]
 pub(crate) struct EvalScratch {
@@ -91,6 +137,16 @@ pub(crate) struct EvalScratch {
     pub(crate) commons: Vec<SupernodeId>,
     /// Case-2 records accumulated while applying one merge.
     pub(crate) case2: Vec<Case2Record>,
+    /// Supernode ids created while replaying one set plan
+    /// ([`apply::apply_set_plan`]), pooled so replay allocates nothing per plan.
+    pub(crate) created: Vec<SupernodeId>,
+    /// Pooled pivot queue of [`crate::merge::plan_candidate_set`].
+    pub(crate) plan_queue: Vec<SupernodeId>,
+    /// Pooled planned-product index of [`crate::merge::plan_candidate_set`].
+    pub(crate) planned_ids: FxHashMap<SupernodeId, usize>,
+    /// Recycled `SetPlan::merges` vectors: planning pops one instead of allocating,
+    /// and consumers may push spent vectors back.
+    pub(crate) merge_pool: Vec<Vec<apply::PlannedMerge>>,
 }
 
 /// Per-root metadata maintained incrementally by the engine (and, copy-on-write, by
@@ -236,9 +292,19 @@ impl MergeEngine {
         self.summary
     }
 
-    /// Current root supernodes.
+    /// Current root supernodes, in ascending id order.
+    ///
+    /// Sorted so the iteration's root list is a pure function of the engine's
+    /// *content*: the underlying hash map's iteration order depends on its
+    /// insertion/removal history, which differs between the serial and the
+    /// conflict-partitioned parallel apply path (they commit the same merges in
+    /// different orders) — and the candidate stage preserves the input order of
+    /// groups it never splits, so an unsorted list would leak the commit schedule
+    /// into the output.
     pub fn roots(&self) -> Vec<SupernodeId> {
-        self.roots.keys().copied().collect()
+        let mut roots: Vec<SupernodeId> = self.roots.keys().copied().collect();
+        roots.sort_unstable();
+        roots
     }
 
     /// Number of current roots.
@@ -311,6 +377,11 @@ impl MergeEngine {
 
     /// Merges roots `a` and `b`, applying the Case-1 and Case-2 re-encodings, and
     /// returns the id of the new root supernode.
+    ///
+    /// Split into [`view::resolve_merge_into`] (the expensive read-only half) and
+    /// [`MergeEngine::commit_merge`] (the cheap mutation half) so the parallel apply
+    /// stage can resolve merges on worker threads and commit them serially through
+    /// the identical code path.
     pub fn apply_merge(
         &mut self,
         a: SupernodeId,
@@ -319,33 +390,38 @@ impl MergeEngine {
     ) -> SupernodeId {
         debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
         let MergeCtx { memo, scratch } = ctx;
-        let EvalScratch { commons, case2 } = scratch;
-        // Solve everything against the *pre-merge* structure.
-        let (_, a_kids) = view::side_panel(self, a);
-        let (_, b_kids) = view::side_panel(self, b);
-        let cross_ab = self.edges_between_roots(a, b) as u32;
-        let (problem1, old1) = view::case1_problem(self, a, b);
-        let sol1 = memo.case1(&problem1);
-        MergeView::common_adjacent_roots_into(self, a, b, commons);
+        let EvalScratch { commons, case2, .. } = scratch;
         case2.clear();
-        for &c in commons.iter() {
-            let (problem2, old2) = view::case2_problem(self, a, b, c);
-            let sol2 = memo.case2(&problem2);
-            let (_, c_kids) = view::side_panel(self, c);
-            case2.push(Case2Record {
-                c,
-                sol: sol2,
-                old: old2,
-                c_kids,
-            });
-        }
+        let m = self.summary.arena_len() as SupernodeId;
+        let resolved = view::resolve_merge_into(self, a, b, m, memo, commons, case2);
+        self.commit_merge(&resolved, case2);
+        m
+    }
 
-        // Structural merge.
-        let m = self.summary.merge_roots(a, b);
+    /// Applies a [`ResolvedMerge`] to the authoritative state: structural merge into
+    /// the (possibly forced) arena slot `rm.m`, union-find and root-metadata
+    /// bookkeeping, and the pre-solved Case-1/Case-2 edge re-encodings.
+    ///
+    /// `case2` is the buffer `rm.case2_start/len` indexes into.
+    pub(crate) fn commit_merge(&mut self, rm: &ResolvedMerge, case2: &[Case2Record]) {
+        let (a, b, m) = (rm.a, rm.b, rm.m);
+        debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
+        let cross_ab = rm.cross_ab;
+        let case2 = &case2[rm.case2_start..rm.case2_start + rm.case2_len];
 
-        // Union-find bookkeeping.
+        // Structural merge into the chosen slot.
+        self.summary.merge_roots_at(a, b, m);
+
+        // Union-find bookkeeping.  Forced slots can lie beyond the current vector
+        // end; intermediate entries are initialized to themselves and overwritten
+        // when their own commit arrives.
         if self.dsu_parent.len() <= m as usize {
-            self.dsu_parent.resize(m as usize + 1, 0);
+            let mut next = self.dsu_parent.len() as SupernodeId;
+            self.dsu_parent.resize_with(m as usize + 1, || {
+                let id = next;
+                next += 1;
+                id
+            });
         }
         self.dsu_parent[m as usize] = m;
         let rep_a = self.find(a);
@@ -402,31 +478,12 @@ impl MergeEngine {
             }
         }
 
-        // Apply Case-1 re-encoding: drop old panel edges, add the solved ones.
-        for &(x, y) in old1.as_slice() {
-            self.remove_pn_edge(x, y);
-        }
-        let none_kids = [None, None, None];
-        for e in sol1.edges() {
-            let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, None, &none_kids);
-            let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, None, &none_kids);
-            self.add_pn_edge(x, y, e.weight);
-        }
-
-        // Apply Case-2 re-encodings.
-        for rec in case2.iter() {
-            for &(x, y) in rec.old.as_slice() {
-                self.remove_pn_edge(x, y);
-            }
-            for e in rec.sol.edges() {
-                let x = view::concrete(e.a, m, a, b, &a_kids, &b_kids, Some(rec.c), &rec.c_kids);
-                let y = view::concrete(e.b, m, a, b, &a_kids, &b_kids, Some(rec.c), &rec.c_kids);
-                self.add_pn_edge(x, y, e.weight);
-            }
-        }
-        m
+        // Apply the Case-1/Case-2 re-encodings (shared with the overlay's replay).
+        view::replay_reencodings(self, rm, case2);
     }
+}
 
+impl view::PnEdgeSink for MergeEngine {
     /// Adds a p/n-edge between two supernodes, updating root adjacency counts.
     fn add_pn_edge(&mut self, x: SupernodeId, y: SupernodeId, weight: i8) {
         let sign = EdgeSign::from_weight(weight as i32).expect("weight must be ±1");
@@ -456,7 +513,9 @@ impl MergeEngine {
             }
         }
     }
+}
 
+impl MergeEngine {
     fn decrement(
         roots: &mut FxHashMap<SupernodeId, RootMeta>,
         root: SupernodeId,
@@ -536,19 +595,12 @@ impl MergeView for MergeEngine {
         b: SupernodeId,
         out: &mut Vec<SupernodeId>,
     ) {
-        out.clear();
-        let adj_a = &self.roots[&a].adjacency;
-        let adj_b = &self.roots[&b].adjacency;
-        let (small, large) = if adj_a.len() <= adj_b.len() {
-            (adj_a, adj_b)
-        } else {
-            (adj_b, adj_a)
-        };
-        out.extend(
-            small
-                .keys()
-                .copied()
-                .filter(|&r| r != a && r != b && large.contains_key(&r)),
+        view::common_adjacent_roots_from_maps(
+            &self.roots[&a].adjacency,
+            &self.roots[&b].adjacency,
+            a,
+            b,
+            out,
         );
     }
 }

@@ -26,8 +26,10 @@
 //!   [`MergeCtx`](super::MergeCtx) scratch, as are the Case-2 records a merge
 //!   application accumulates.
 
-use super::{MergeCtx, MergeEvaluation};
-use crate::encoder::{pair_index, panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape};
+use super::{Case2Record, MergeCtx, MergeEvaluation, ResolvedMerge};
+use crate::encoder::{
+    pair_index, panel, Case1Problem, Case1Shape, Case2Problem, Case2Shape, EncoderMemo,
+};
 use crate::model::SupernodeId;
 
 /// Read-only cost/topology queries the merge machinery needs.
@@ -331,6 +333,130 @@ pub(crate) fn case2_problem<V: MergeView + ?Sized>(
         }
     }
     (Case2Problem { shape, required }, old_edges)
+}
+
+/// Resolves one merge of roots `a` and `b` (which will become supernode `m`) against
+/// the *pre-merge* state of any [`MergeView`]: solves the Case-1 panel, gathers the
+/// Case-2 re-encodings of every common adjacent root (appended to `case2`; the
+/// returned record carries the `(start, len)` range), and snapshots everything a
+/// later application needs (panel children, old edges, cross-edge count).
+///
+/// This is the read-only, expensive half of a merge application.  Both the
+/// authoritative [`MergeEngine`](super::MergeEngine) and the planning/replay overlay
+/// ([`super::plan::PlanningEngine`]) apply merges by resolving here first and then
+/// replaying the resolution onto their own state, which is what keeps the planning,
+/// serial-apply and parallel-apply paths byte-identical.
+pub(crate) fn resolve_merge_into<V: MergeView + ?Sized>(
+    view: &V,
+    a: SupernodeId,
+    b: SupernodeId,
+    m: SupernodeId,
+    memo: &mut EncoderMemo,
+    commons: &mut Vec<SupernodeId>,
+    case2: &mut Vec<Case2Record>,
+) -> ResolvedMerge {
+    let (_, a_kids) = side_panel(view, a);
+    let (_, b_kids) = side_panel(view, b);
+    let cross_ab = view.edges_between_roots(a, b) as u32;
+    let (problem1, old1) = case1_problem(view, a, b);
+    let sol1 = memo.case1(&problem1);
+    view.common_adjacent_roots_into(a, b, commons);
+    let case2_start = case2.len();
+    for &c in commons.iter() {
+        let (problem2, old2) = case2_problem(view, a, b, c);
+        let sol2 = memo.case2(&problem2);
+        let (_, c_kids) = side_panel(view, c);
+        case2.push(Case2Record {
+            c,
+            sol: sol2,
+            old: old2,
+            c_kids,
+        });
+    }
+    ResolvedMerge {
+        a,
+        b,
+        m,
+        cross_ab,
+        a_kids,
+        b_kids,
+        sol1,
+        old1,
+        case2_start,
+        case2_len: case2.len() - case2_start,
+    }
+}
+
+/// The p/n-edge mutation surface a resolved merge is replayed onto — implemented by
+/// the authoritative [`MergeEngine`](super::MergeEngine) and by the planning overlay
+/// ([`super::plan::PlanningEngine`]), each updating its own root metadata alongside.
+pub(crate) trait PnEdgeSink {
+    /// Removes the p/n-edge between two supernodes (no-op when absent).
+    fn remove_pn_edge(&mut self, x: SupernodeId, y: SupernodeId);
+    /// Adds (or rewrites) the p/n-edge between two supernodes with weight `±1`.
+    fn add_pn_edge(&mut self, x: SupernodeId, y: SupernodeId, weight: i8);
+}
+
+/// Replays a resolved merge's Case-1/Case-2 edge re-encodings onto `sink`: drop the
+/// old panel edges, add the solved ones (mapped from abstract panel ids to concrete
+/// supernodes).
+///
+/// Shared by [`MergeEngine::commit_merge`](super::MergeEngine) and the overlay's
+/// replay so the two can never drift apart — the parallel apply stage's
+/// byte-identity contract rests on both paths applying the exact same edges.
+pub(crate) fn replay_reencodings<S: PnEdgeSink + ?Sized>(
+    sink: &mut S,
+    rm: &ResolvedMerge,
+    case2: &[Case2Record],
+) {
+    let (a, b, m) = (rm.a, rm.b, rm.m);
+    let (a_kids, b_kids) = (&rm.a_kids, &rm.b_kids);
+    // Case-1: drop old panel edges, add the solved ones.
+    for &(x, y) in rm.old1.as_slice() {
+        sink.remove_pn_edge(x, y);
+    }
+    let none_kids = [None, None, None];
+    for e in rm.sol1.edges() {
+        let x = concrete(e.a, m, a, b, a_kids, b_kids, None, &none_kids);
+        let y = concrete(e.b, m, a, b, a_kids, b_kids, None, &none_kids);
+        sink.add_pn_edge(x, y, e.weight);
+    }
+    // Case-2 re-encodings, one per common adjacent root.
+    for rec in case2 {
+        for &(x, y) in rec.old.as_slice() {
+            sink.remove_pn_edge(x, y);
+        }
+        for e in rec.sol.edges() {
+            let x = concrete(e.a, m, a, b, a_kids, b_kids, Some(rec.c), &rec.c_kids);
+            let y = concrete(e.b, m, a, b, a_kids, b_kids, Some(rec.c), &rec.c_kids);
+            sink.add_pn_edge(x, y, e.weight);
+        }
+    }
+}
+
+/// Fills `out` with the keys present in both adjacency maps, excluding the merged
+/// roots themselves — the Case-2 partner set.  Probes the larger map with the
+/// smaller one's keys; shared by the engine's and the overlay's
+/// [`MergeView::common_adjacent_roots_into`] so the partner rule lives in one place.
+pub(crate) fn common_adjacent_roots_from_maps(
+    adj_a: &slugger_graph::hash::FxHashMap<SupernodeId, u32>,
+    adj_b: &slugger_graph::hash::FxHashMap<SupernodeId, u32>,
+    a: SupernodeId,
+    b: SupernodeId,
+    out: &mut Vec<SupernodeId>,
+) {
+    out.clear();
+    let (small, large) = if adj_a.len() <= adj_b.len() {
+        (adj_a, adj_b)
+    } else {
+        (adj_b, adj_a)
+    };
+    out.extend(
+        small
+            .keys()
+            .copied()
+            .filter(|&r| r != a && r != b && large.contains_key(&r)),
+    );
 }
 
 /// Evaluates `Saving(A, B, G)` (Eq. 8) against any [`MergeView`] without mutating it.

@@ -29,7 +29,12 @@
 //!   application; doubles as the frozen iteration view that shards fork
 //!   ([`engine::MergeEngine::fork`]).
 //! * [`engine::apply`] — the **apply** reconciliation stage: replays per-shard merge
-//!   plans on the authoritative engine with exact cost bookkeeping.
+//!   plans on the authoritative engine with exact cost bookkeeping — serially, or
+//!   across worker threads via conflict-partitioned batches with byte-identical
+//!   output.
+//! * [`engine::plan`] — the copy-on-write planning overlay shard workers fork per
+//!   candidate set, backed by pooled scratch so steady-state planning never
+//!   allocates.
 //! * [`merge`] — the merging step over one candidate set (Algorithm 2), in planning
 //!   ([`merge::plan_candidate_set`]) and direct ([`merge::process_candidate_set`])
 //!   form.

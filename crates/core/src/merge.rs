@@ -64,18 +64,23 @@ pub fn plan_candidate_set<E: MergeState>(
     rng: &mut StdRng,
 ) -> (Vec<PlannedMerge>, MergeStats) {
     let mut stats = MergeStats::default();
-    let mut merges: Vec<PlannedMerge> = Vec::new();
+    // The pivot queue and the planned-product index are pooled in the context's
+    // scratch (taken out for the duration of the call so the evaluate/apply calls
+    // below can still borrow `ctx`); the merges vector is recycled from the pool
+    // when a consumer has returned one.
+    let mut merges: Vec<PlannedMerge> = ctx.scratch.merge_pool.pop().unwrap_or_default();
+    merges.clear();
     // Supernodes created by this set's own merges, mapped to their plan position so
     // later merges can reference them positionally (engine-local ids are not stable
     // across a replay).
-    let mut planned_ids: FxHashMap<SupernodeId, usize> = FxHashMap::default();
+    let mut planned_ids: FxHashMap<SupernodeId, usize> =
+        std::mem::take(&mut ctx.scratch.planned_ids);
+    planned_ids.clear();
     // Q ← D; in the sharded pipeline candidate sets are disjoint, but stay defensive
     // against callers feeding stale ids (e.g. hand-built sets in tests).
-    let mut queue: Vec<SupernodeId> = candidate_set
-        .iter()
-        .copied()
-        .filter(|&r| engine.is_root(r))
-        .collect();
+    let mut queue: Vec<SupernodeId> = std::mem::take(&mut ctx.scratch.plan_queue);
+    queue.clear();
+    queue.extend(candidate_set.iter().copied().filter(|&r| engine.is_root(r)));
     while queue.len() > 1 {
         // Pick and remove a random pivot A.
         let idx = rng.random_range(0..queue.len());
@@ -123,6 +128,8 @@ pub fn plan_candidate_set<E: MergeState>(
             queue[pos] = merged;
         }
     }
+    ctx.scratch.plan_queue = queue;
+    ctx.scratch.planned_ids = planned_ids;
     (merges, stats)
 }
 
@@ -135,7 +142,10 @@ pub fn process_candidate_set(
     options: &MergeOptions,
     rng: &mut StdRng,
 ) -> MergeStats {
-    plan_candidate_set(engine, ctx, candidate_set, options, rng).1
+    let (merges, stats) = plan_candidate_set(engine, ctx, candidate_set, options, rng);
+    // In-place processing has no replay consumer; recycle the plan immediately.
+    ctx.recycle_merges(merges);
+    stats
 }
 
 #[cfg(test)]

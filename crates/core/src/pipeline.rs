@@ -12,8 +12,11 @@
 //!    for SLUGGER just an encoder memo) and plans each of its sets' merges against
 //!    the frozen view, drawing randomness from a per-set stream ([`set_rng`], seeded
 //!    by `(seed, iteration, set_index)`);
-//! 4. **apply** — the plans are replayed on the authoritative state in ascending
-//!    set-index order ([`crate::engine::apply`]), keeping cost bookkeeping exact;
+//! 4. **apply** — the plans are reconciled onto the authoritative state
+//!    ([`crate::engine::apply`]), keeping cost bookkeeping exact: serially in
+//!    ascending set-index order on one thread, or through conflict-partitioned
+//!    batches (resolved in parallel, committed into precomputed arena slots) on
+//!    worker threads — byte-identical to the serial replay either way;
 //! 5. **prune** — after the last iteration, pruning runs as before
 //!    ([`crate::prune`]).
 //!
@@ -156,6 +159,18 @@ pub trait ShardWorker: Sync {
     /// Forks the frozen iteration view into fresh per-shard state.
     fn fork(&self) -> Self::Planner;
 
+    /// Prepares an already-used planner for the next shard.
+    ///
+    /// The default replaces it with freshly forked state, which is always correct
+    /// (and what the SWeG baseline needs: its plans build on the per-shard grouping
+    /// clone).  Workers whose planner state can never affect output — SLUGGER's
+    /// planner is a deterministic solver memo plus scratch pools that clear per set
+    /// — override this with a no-op, so warmed state persists across shards and,
+    /// via [`PlannerPool`], across iterations.
+    fn reset(&self, planner: &mut Self::Planner) {
+        *planner = self.fork();
+    }
+
     /// Plans one candidate set, mutating the shard state in place.
     fn plan_set(
         &self,
@@ -166,17 +181,79 @@ pub trait ShardWorker: Sync {
     ) -> Self::Plan;
 }
 
+/// A caller-owned pool of per-worker planners for [`plan_shards_pooled`].
+///
+/// Keeping the pool alive across calls lets workers with a no-op
+/// [`ShardWorker::reset`] carry warmed planner state (encoder memos, overlay
+/// scratch pools) from iteration to iteration instead of rebuilding it cold; for
+/// workers using the forking default the pool is behaviorally invisible.
+#[derive(Default)]
+pub struct PlannerPool<P> {
+    planners: Vec<P>,
+    /// Whether the same-index planner has planned a shard before (and therefore
+    /// needs a [`ShardWorker::reset`] before the next one).
+    used: Vec<bool>,
+}
+
+impl<P> PlannerPool<P> {
+    /// An empty pool; planners are forked on first use.
+    pub fn new() -> Self {
+        PlannerPool {
+            planners: Vec::new(),
+            used: Vec::new(),
+        }
+    }
+
+    /// Number of planners forked so far.
+    pub fn len(&self) -> usize {
+        self.planners.len()
+    }
+
+    /// Whether no planner has been forked yet.
+    pub fn is_empty(&self) -> bool {
+        self.planners.is_empty()
+    }
+
+    /// Mutable access to the pooled planners (e.g. to recycle buffers into them).
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, P> {
+        self.planners.iter_mut()
+    }
+}
+
 /// Runs the **shard** and **merge** stages: partitions `sets` into `num_shards`
 /// shards, plans every shard (in parallel according to `parallelism`), and returns
 /// the plans in ascending set-index order, ready for the apply stage.
 ///
 /// `rng_for_set` supplies each set's independent random stream (see [`set_rng`]).
+/// Planner state lives only for this call; use [`plan_shards_pooled`] to persist it.
 pub fn plan_shards<W: ShardWorker>(
     worker: &W,
     sets: &[Vec<u32>],
     num_shards: usize,
     parallelism: Parallelism,
     rng_for_set: &(dyn Fn(usize) -> StdRng + Sync),
+) -> Vec<W::Plan> {
+    plan_shards_pooled(
+        worker,
+        sets,
+        num_shards,
+        parallelism,
+        rng_for_set,
+        &mut PlannerPool::new(),
+    )
+}
+
+/// [`plan_shards`] with caller-owned planner state: planners are forked into `pool`
+/// on first use and prepared for each further shard via [`ShardWorker::reset`], so
+/// drivers that call this once per iteration keep warmed planner state alive for
+/// the whole run (when the worker's `reset` retains it).
+pub fn plan_shards_pooled<W: ShardWorker>(
+    worker: &W,
+    sets: &[Vec<u32>],
+    num_shards: usize,
+    parallelism: Parallelism,
+    rng_for_set: &(dyn Fn(usize) -> StdRng + Sync),
+    pool: &mut PlannerPool<W::Planner>,
 ) -> Vec<W::Plan> {
     let set_costs: Vec<u64> = sets.iter().map(|s| estimated_set_cost(s.len())).collect();
     let assignment = partition_sets(&set_costs, num_shards);
@@ -185,30 +262,44 @@ pub fn plan_shards<W: ShardWorker>(
     let mut plans: Vec<Option<W::Plan>> = Vec::with_capacity(sets.len());
     plans.resize_with(sets.len(), || None);
 
-    let run_shard = |set_indices: &[usize]| -> Vec<(usize, W::Plan)> {
-        let mut planner = worker.fork();
+    while pool.planners.len() < threads {
+        pool.planners.push(worker.fork());
+        pool.used.push(false);
+    }
+
+    let run_shard = |planner: &mut W::Planner,
+                     used: &mut bool,
+                     set_indices: &[usize]|
+     -> Vec<(usize, W::Plan)> {
+        if *used {
+            worker.reset(planner);
+        }
+        *used = true;
         set_indices
             .iter()
             .map(|&set_index| {
                 let mut rng = rng_for_set(set_index);
-                let plan = worker.plan_set(&mut planner, set_index, &sets[set_index], &mut rng);
+                let plan = worker.plan_set(planner, set_index, &sets[set_index], &mut rng);
                 (set_index, plan)
             })
             .collect()
     };
 
     if threads <= 1 {
+        let planner = &mut pool.planners[0];
+        let used = &mut pool.used[0];
         for shard in assignment.shards() {
             if shard.is_empty() {
                 continue;
             }
-            for (set_index, plan) in run_shard(shard) {
+            for (set_index, plan) in run_shard(planner, used, shard) {
                 plans[set_index] = Some(plan);
             }
         }
     } else {
-        // Deal shards round-robin onto `threads` workers.  Each worker still forks a
-        // fresh planner per shard, so the grouping affects scheduling only.
+        // Deal shards round-robin onto `threads` workers.  Each worker still gets
+        // per-shard planner state (via `reset`), so the grouping affects
+        // scheduling only.
         let buckets: Vec<Vec<&[usize]>> = {
             let mut buckets: Vec<Vec<&[usize]>> = vec![Vec::new(); threads];
             for (i, shard) in assignment
@@ -222,13 +313,17 @@ pub fn plan_shards<W: ShardWorker>(
             buckets
         };
         let produced: Vec<Vec<(usize, W::Plan)>> = rayon::scope(|scope| {
-            let handles: Vec<_> = buckets
-                .iter()
-                .map(|bucket| {
-                    scope.spawn(|| {
+            let handles: Vec<_> = pool
+                .planners
+                .iter_mut()
+                .zip(pool.used.iter_mut())
+                .zip(buckets.iter())
+                .filter(|(_, bucket)| !bucket.is_empty())
+                .map(|((planner, used), bucket)| {
+                    scope.spawn(move || {
                         bucket
                             .iter()
-                            .flat_map(|shard| run_shard(shard))
+                            .flat_map(|shard| run_shard(planner, used, shard))
                             .collect::<Vec<_>>()
                     })
                 })

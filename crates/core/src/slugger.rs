@@ -10,13 +10,15 @@
 //! never changes the result.
 
 use crate::candidates::{candidate_sets_with, CandidateConfig, CandidateScratch};
-use crate::engine::apply::{apply_plans, SetPlan};
-use crate::engine::plan::PlanningEngine;
+use crate::engine::apply::{apply_plans_with, ApplyProfile, ApplyWorkers, SetPlan};
+use crate::engine::plan::{PlanScratch, PlanningEngine};
 use crate::engine::{MergeCtx, MergeEngine};
 use crate::merge::{merging_threshold, plan_candidate_set, MergeOptions};
 use crate::metrics::SummaryMetrics;
 use crate::model::{HierarchicalSummary, SupernodeId};
-use crate::pipeline::{plan_shards, set_rng, Parallelism, ShardWorker, DEFAULT_SHARDS};
+use crate::pipeline::{
+    plan_shards_pooled, set_rng, Parallelism, PlannerPool, ShardWorker, DEFAULT_SHARDS,
+};
 use crate::prune::{prune_all, PruneReport};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -50,8 +52,9 @@ pub struct SluggerConfig {
     /// [`SluggerConfig::parallelism`] ever changes the summary.
     #[serde(default = "default_shards")]
     pub shards: usize,
-    /// How many OS threads execute the shards.  Pure throughput knob: for a fixed
-    /// seed every setting produces the identical summary.
+    /// How many OS threads execute the shards (and, above one, the
+    /// conflict-partitioned parallel apply stage).  Pure throughput knob: for a
+    /// fixed seed every setting produces the identical summary.
     #[serde(default)]
     pub parallelism: Parallelism,
 }
@@ -114,6 +117,12 @@ pub struct StageProfile {
     pub apply: std::time::Duration,
     /// Pruning after the last iteration (stage 5).
     pub prune: std::time::Duration,
+    /// Conflict batches executed by the parallel apply stage, summed over all
+    /// iterations (0 when the serial replay ran; see `engine::apply`).
+    pub apply_batches: usize,
+    /// Plans that went through the conflict-partitioned parallel apply path,
+    /// summed over all iterations.
+    pub apply_batched_plans: usize,
 }
 
 /// Result of a SLUGGER run: the summary plus bookkeeping used by the experiments.
@@ -174,6 +183,13 @@ impl Slugger {
         let mut candidate_scratch = CandidateScratch::default();
         let mut stages = StageProfile::default();
         let mut iterations = Vec::with_capacity(config.iterations);
+        // Planner and parallel-apply worker state persists across iterations so
+        // encoder memos and overlay pools warm up once, not once per iteration
+        // (SLUGGER's planner state never affects output — see
+        // `SluggerShardWorker::reset`).
+        let mut planner_pool: PlannerPool<SluggerPlanner> = PlannerPool::new();
+        let mut apply_workers = ApplyWorkers::new();
+        let mut apply_profile = ApplyProfile::default();
 
         for t in 1..=config.iterations {
             let threshold = merging_threshold(t, config.iterations);
@@ -205,18 +221,37 @@ impl Slugger {
                 memoization: config.memoization,
             };
             let stage_start = std::time::Instant::now();
-            let plans = plan_shards(
+            let plans = plan_shards_pooled(
                 &worker,
                 &sets,
                 config.shards,
                 config.parallelism,
                 &|set_index| set_rng(config.seed, t, set_index),
+                &mut planner_pool,
             );
             stages.plan += stage_start.elapsed();
-            // …then reconcile the plans on the authoritative engine in set order.
+            // …then reconcile the plans on the authoritative engine: serially in set
+            // order for one thread, or through conflict-partitioned batches (with a
+            // byte-identical result) when worker threads are available.
             let stage_start = std::time::Instant::now();
-            let stats = apply_plans(&mut engine, &mut ctx, &plans);
+            let (stats, profile) = apply_plans_with(
+                &mut engine,
+                &mut ctx,
+                &mut apply_workers,
+                &plans,
+                config.parallelism.threads(),
+            );
             stages.apply += stage_start.elapsed();
+            apply_profile.absorb(profile);
+            // Return the spent plans' merge vectors to the (persistent) planners,
+            // so the next iteration's sets pop them instead of allocating.
+            if !planner_pool.is_empty() {
+                let mut planners: Vec<_> = planner_pool.iter_mut().collect();
+                let n = planners.len();
+                for (i, plan) in plans.into_iter().enumerate() {
+                    planners[i % n].ctx.recycle_merges(plan.merges);
+                }
+            }
             iterations.push(IterationRecord {
                 iteration: t,
                 threshold,
@@ -228,6 +263,8 @@ impl Slugger {
             });
         }
 
+        stages.apply_batches = apply_profile.batches;
+        stages.apply_batched_plans = apply_profile.batched_plans;
         let mut summary = engine.into_summary();
         let stage_start = std::time::Instant::now();
         let prune_report = if config.pruning_rounds > 0 {
@@ -250,37 +287,56 @@ impl Slugger {
 
 /// SLUGGER's shard worker: the frozen iteration view plus the merge options.
 ///
-/// Forking is cheap — the per-shard state is a [`MergeCtx`]: a private encoder memo
-/// (the memo only caches deterministic solver results, so sharing or not sharing it
-/// never changes output) plus reusable evaluation scratch.  Each candidate set is
-/// then planned on its own copy-on-write [`PlanningEngine`] overlay over the frozen
-/// view, whose construction cost is proportional to the set, not to the graph.
+/// Forking is cheap — the per-shard state is a [`SluggerPlanner`]: a [`MergeCtx`]
+/// (a private encoder memo — the memo only caches deterministic solver results, so
+/// sharing or not sharing it never changes output — plus reusable evaluation
+/// scratch) and a pooled [`PlanScratch`].  Each candidate set is then planned on a
+/// copy-on-write [`PlanningEngine`] overlay over the frozen view built from that
+/// scratch, whose construction cost is proportional to the set, not to the graph —
+/// and which, once the pools are warm, allocates nothing per set.
 struct SluggerShardWorker<'a> {
     view: &'a MergeEngine,
     options: MergeOptions,
     memoization: bool,
 }
 
+/// Per-shard planning state: evaluation context plus the pooled overlay scratch.
+struct SluggerPlanner {
+    ctx: MergeCtx,
+    overlay: PlanScratch,
+}
+
 impl ShardWorker for SluggerShardWorker<'_> {
-    type Planner = MergeCtx;
+    type Planner = SluggerPlanner;
     type Plan = SetPlan;
 
-    fn fork(&self) -> MergeCtx {
-        if self.memoization {
-            MergeCtx::new()
-        } else {
-            MergeCtx::disabled()
+    fn fork(&self) -> SluggerPlanner {
+        SluggerPlanner {
+            ctx: if self.memoization {
+                MergeCtx::new()
+            } else {
+                MergeCtx::disabled()
+            },
+            overlay: PlanScratch::new(),
         }
+    }
+
+    fn reset(&self, _planner: &mut SluggerPlanner) {
+        // Deliberate no-op: the memo caches deterministic solver results and the
+        // overlay scratch clears per set, so warmed planner state can never change
+        // the output — keeping it is what makes steady-state planning
+        // allocation-free across shards *and* iterations.
     }
 
     fn plan_set(
         &self,
-        ctx: &mut MergeCtx,
+        planner: &mut SluggerPlanner,
         set_index: usize,
         set: &[SupernodeId],
         rng: &mut StdRng,
     ) -> SetPlan {
-        let mut overlay = PlanningEngine::new(self.view, set);
+        let SluggerPlanner { ctx, overlay } = planner;
+        let mut overlay = PlanningEngine::new(self.view, set, overlay);
         let (merges, stats) = plan_candidate_set(&mut overlay, ctx, set, &self.options, rng);
         SetPlan {
             set_index,

@@ -1,0 +1,163 @@
+//! Property tests of the apply stage's conflict partitioning
+//! (`slugger_core::engine::apply::conflict_batches`):
+//!
+//! * every plan lands in **exactly one** batch;
+//! * batches are **genuinely independent** — no two plans in a batch share a
+//!   touched-or-adjacent root (footprints recomputed here from first principles,
+//!   not via the implementation's own helper);
+//! * conflicting plans are **ordered** — the earlier (lower set-index) plan's batch
+//!   is strictly smaller, so commits preserve the serial order of every
+//!   conflicting pair;
+//! * replaying through the conflict-partitioned parallel path produces the same
+//!   state as the serial replay, for the random plans the properties generated.
+
+// The vendored `proptest!` macro expands recursively per statement.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+use slugger_core::candidates::{self, CandidateConfig};
+use slugger_core::engine::apply::{
+    apply_plans, apply_plans_with, conflict_batches, ApplyWorkers, SetPlan,
+};
+use slugger_core::engine::plan::{PlanScratch, PlanningEngine};
+use slugger_core::engine::{MergeCtx, MergeEngine};
+use slugger_core::merge::{plan_candidate_set, MergeOptions};
+use slugger_core::pipeline::set_rng;
+use slugger_graph::Graph;
+use std::collections::BTreeSet;
+
+/// Plans every candidate set of the graph's identity state, exactly as one pipeline
+/// iteration would.
+fn plan_iteration(engine: &MergeEngine, graph: &Graph, seed: u64) -> Vec<SetPlan> {
+    let roots = engine.roots();
+    let sets = candidates::candidate_sets(
+        engine.summary(),
+        graph,
+        &roots,
+        seed,
+        &CandidateConfig {
+            max_group_size: 24,
+            max_shingle_splits: 3,
+        },
+    );
+    let mut ctx = MergeCtx::new();
+    let mut scratch = PlanScratch::new();
+    sets.iter()
+        .enumerate()
+        .map(|(set_index, set)| {
+            let mut overlay = PlanningEngine::new(engine, set, &mut scratch);
+            let mut rng = set_rng(seed, 1, set_index);
+            let (merges, stats) = plan_candidate_set(
+                &mut overlay,
+                &mut ctx,
+                set,
+                &MergeOptions {
+                    threshold: 0.0,
+                    height_bound: None,
+                },
+                &mut rng,
+            );
+            SetPlan {
+                set_index,
+                merges,
+                stats,
+            }
+        })
+        .collect()
+}
+
+/// The footprint of a plan, recomputed from first principles: every frozen root a
+/// merge names, plus every root adjacent to it on the frozen engine.
+fn footprint(engine: &MergeEngine, plan: &SetPlan) -> BTreeSet<u32> {
+    use slugger_core::engine::apply::MergeRef;
+    let mut out = BTreeSet::new();
+    for merge in &plan.merges {
+        for operand in [merge.a, merge.b] {
+            if let MergeRef::Root(root) = operand {
+                out.insert(root);
+                out.extend(engine.adjacent_roots(root));
+            }
+        }
+    }
+    out
+}
+
+fn check_batches(graph: &Graph, seed: u64) {
+    let engine = MergeEngine::new(graph);
+    let plans = plan_iteration(&engine, graph, seed);
+    let batches = conflict_batches(&engine, &plans);
+
+    // Exactly one batch per plan.
+    assert_eq!(batches.len(), plans.len());
+
+    let footprints: Vec<BTreeSet<u32>> = plans.iter().map(|p| footprint(&engine, p)).collect();
+    for i in 0..plans.len() {
+        for j in (i + 1)..plans.len() {
+            let conflicting = !footprints[i].is_disjoint(&footprints[j]);
+            if batches[i] == batches[j] {
+                // Same batch ⟹ genuinely independent: no shared touched-or-adjacent
+                // root (empty plans are vacuously independent).
+                assert!(
+                    !conflicting || footprints[i].is_empty(),
+                    "plans {i} and {j} share batch {} but also share roots {:?}",
+                    batches[i],
+                    footprints[i]
+                        .intersection(&footprints[j])
+                        .collect::<Vec<_>>()
+                );
+            }
+            if conflicting && !footprints[i].is_empty() {
+                // Conflicting ⟹ strictly ordered, preserving the serial replay order.
+                assert!(
+                    batches[i] < batches[j],
+                    "conflicting plans {i} (batch {}) and {j} (batch {}) are not ordered",
+                    batches[i],
+                    batches[j]
+                );
+            }
+        }
+    }
+
+    // The partitioned parallel replay must reproduce the serial replay.
+    let mut serial = MergeEngine::new(graph);
+    let mut ctx = MergeCtx::new();
+    apply_plans(&mut serial, &mut ctx, &plans);
+    for threads in [2usize, 4] {
+        let mut parallel = MergeEngine::new(graph);
+        let mut pctx = MergeCtx::new();
+        let mut workers = ApplyWorkers::new();
+        apply_plans_with(&mut parallel, &mut pctx, &mut workers, &plans, threads);
+        assert_eq!(
+            serial.summary().encoding_cost(),
+            parallel.summary().encoding_cost(),
+            "cost diverged at {threads} threads"
+        );
+        assert_eq!(serial.roots(), parallel.roots());
+        for id in 0..serial.summary().arena_len() as u32 {
+            assert_eq!(serial.summary().parent(id), parallel.summary().parent(id));
+            assert_eq!(
+                serial.summary().children(id),
+                parallel.summary().children(id)
+            );
+        }
+        parallel.summary().validate().unwrap();
+    }
+}
+
+/// Strategy: a random graph (node count, then an edge list over it) plus a seed.
+fn graph_and_seed() -> impl Strategy<Value = (Graph, u64)> {
+    (12usize..48).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 8..160)
+            .prop_map(move |e| Graph::from_edges(n, e));
+        (edges, 0u64..32)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_plan_in_exactly_one_independent_ordered_batch((graph, seed) in graph_and_seed()) {
+        check_batches(&graph, seed);
+    }
+}
