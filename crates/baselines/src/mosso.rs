@@ -9,12 +9,19 @@
 //! singleton supernode) and accepts the move if it reduces the flat encoding cost of
 //! the groups it touches.  The defaults follow the SLUGGER paper's setting (`e = 0.3`,
 //! `c = 120`, where `c` bounds the candidate samples spent per insertion).
+//!
+//! The stream is **fully dynamic**: [`MossoSummarizer::delete_edge`] handles
+//! removals (the endpoints re-run move trials over their own remaining
+//! neighborhoods), and [`MossoSummarizer::apply_delta`] ingests the
+//! [`GraphDelta`] batches shared with the hierarchical incremental re-summarizer
+//! (`slugger_core::incremental`), enabling head-to-head streaming runs.
 
 use crate::flat::{pairwise_costs, FlatSummary, GroupId, Grouping};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use slugger_graph::graph::NeighborAccess;
-use slugger_graph::{Graph, GraphBuilder, NodeId};
+use slugger_graph::stream::{DynamicGraph, GraphDelta};
+use slugger_graph::{Graph, NodeId};
 
 /// Parameters of the MoSSo baseline.
 #[derive(Clone, Copy, Debug)]
@@ -47,57 +54,16 @@ impl Default for MossoConfig {
     }
 }
 
-/// Incrementally maintained adjacency of the streamed graph, exposed to the flat cost
-/// oracle through [`NeighborAccess`].
-struct StreamAdjacency {
-    lists: Vec<Vec<NodeId>>,
-}
-
-impl StreamAdjacency {
-    fn new(num_nodes: usize) -> Self {
-        StreamAdjacency {
-            lists: vec![Vec::new(); num_nodes],
-        }
-    }
-
-    /// Adds an undirected edge; returns `false` for duplicates or self-loops.
-    fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        if u == v || self.lists[u as usize].contains(&v) {
-            return false;
-        }
-        self.lists[u as usize].push(v);
-        self.lists[v as usize].push(u);
-        true
-    }
-}
-
-impl NeighborAccess for StreamAdjacency {
-    fn num_nodes(&self) -> usize {
-        self.lists.len()
-    }
-
-    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        for &v in &self.lists[u as usize] {
-            f(v);
-        }
-    }
-
-    fn neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
-        self.lists[u as usize].clone()
-    }
-
-    fn degree_of(&self, u: NodeId) -> usize {
-        self.lists[u as usize].len()
-    }
-}
-
 /// The incremental summarizer.  Feed it edge insertions with
-/// [`MossoSummarizer::insert_edge`] and finish with [`MossoSummarizer::finalize`].
+/// [`MossoSummarizer::insert_edge`] (and deletions with
+/// [`MossoSummarizer::delete_edge`], or whole batches with
+/// [`MossoSummarizer::apply_delta`]) and finish with
+/// [`MossoSummarizer::finalize`].  The streamed graph lives in the shared
+/// [`DynamicGraph`] substrate.
 pub struct MossoSummarizer {
     config: MossoConfig,
     grouping: Grouping,
-    adjacency: StreamAdjacency,
-    builder: GraphBuilder,
+    adjacency: DynamicGraph,
     rng: StdRng,
 }
 
@@ -107,10 +73,14 @@ impl MossoSummarizer {
         MossoSummarizer {
             config,
             grouping: Grouping::singletons(num_nodes),
-            adjacency: StreamAdjacency::new(num_nodes),
-            builder: GraphBuilder::new(num_nodes),
+            adjacency: DynamicGraph::new(num_nodes),
             rng: StdRng::seed_from_u64(config.seed),
         }
+    }
+
+    /// The streamed graph as seen so far.
+    pub fn current_graph(&self) -> &DynamicGraph {
+        &self.adjacency
     }
 
     /// Number of nodes of the stream's graph.
@@ -123,18 +93,53 @@ impl MossoSummarizer {
         &self.grouping
     }
 
-    /// Processes one edge insertion (duplicates and self-loops are ignored).
-    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) {
-        if !self.adjacency.add_edge(u, v) {
-            return;
+    /// Processes one edge insertion.  Returns whether the edge was actually added
+    /// (duplicates and self-loops are no-ops).
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.adjacency.insert_edge(u, v) {
+            return false;
         }
-        self.builder.add_edge(u, v);
         let trials = (self.config.samples_per_edge / 2).clamp(1, 8);
         // MoSSo's "corrections-first" candidate generation: the nodes structurally
         // similar to `u` are found among the neighbors of `v` (they share `v`), so each
         // endpoint samples its move candidates from the *other* endpoint's neighborhood.
         self.try_moves(u, v, trials);
         self.try_moves(v, u, trials);
+        true
+    }
+
+    /// Processes one edge deletion.  Returns whether the edge was actually removed
+    /// (absent edges are no-ops).  Each endpoint re-runs move trials over its own
+    /// remaining neighborhood — after losing the edge its current supernode may no
+    /// longer pay off, and its remaining neighbors are where its structurally
+    /// similar peers live.
+    pub fn delete_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if !self.adjacency.remove_edge(u, v) {
+            return false;
+        }
+        let trials = (self.config.samples_per_edge / 2).clamp(1, 8);
+        self.try_moves(u, u, trials);
+        self.try_moves(v, v, trials);
+        true
+    }
+
+    /// Ingests one [`GraphDelta`] batch with the shared semantics (deletions
+    /// first, then insertions, each idempotently).  Returns
+    /// `(applied_deletions, applied_insertions)`.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> (usize, usize) {
+        let mut deleted = 0usize;
+        for &(u, v) in &delta.deletions {
+            if self.delete_edge(u, v) {
+                deleted += 1;
+            }
+        }
+        let mut inserted = 0usize;
+        for &(u, v) in &delta.insertions {
+            if self.insert_edge(u, v) {
+                inserted += 1;
+            }
+        }
+        (deleted, inserted)
     }
 
     /// Runs up to `trials` move trials for `node`, sampling candidate destinations from
@@ -187,7 +192,7 @@ impl MossoSummarizer {
             return None;
         }
         let idx = self.rng.random_range(0..degree);
-        Some(self.adjacency.lists[node as usize][idx])
+        Some(self.adjacency.neighbors(node)[idx])
     }
 
     /// Flat-model encoding cost of the groups touched by a move between `source` and
@@ -207,10 +212,10 @@ impl MossoSummarizer {
         cost
     }
 
-    /// Finishes the stream: materializes the final graph, re-encodes the grouping
-    /// optimally, and returns both.
+    /// Finishes the stream: materializes the final graph (insertions minus
+    /// deletions), re-encodes the grouping optimally, and returns both.
     pub fn finalize(self) -> (FlatSummary, Graph) {
-        let graph = self.builder.build();
+        let graph = self.adjacency.to_graph();
         (FlatSummary::build(&graph, self.grouping), graph)
     }
 }
@@ -284,6 +289,54 @@ mod tests {
         assert!(summarizer.grouping().validate().is_ok());
         let (summary, graph) = summarizer.finalize();
         assert_eq!(graph.num_edges(), 3);
+        summary.verify_lossless(&graph).unwrap();
+    }
+
+    #[test]
+    fn deletions_keep_the_summary_lossless() {
+        let g = caveman(&CavemanConfig {
+            num_nodes: 100,
+            num_cliques: 15,
+            ..CavemanConfig::default()
+        });
+        let mut summarizer = MossoSummarizer::new(g.num_nodes(), MossoConfig::default());
+        for (u, v) in g.edges() {
+            summarizer.insert_edge(u, v);
+        }
+        let victims: Vec<(u32, u32)> = g.edges().step_by(7).take(20).collect();
+        for &(u, v) in &victims {
+            summarizer.delete_edge(u, v);
+        }
+        summarizer.delete_edge(victims[0].0, victims[0].1); // double delete: no-op
+        assert_eq!(
+            summarizer.current_graph().num_edges(),
+            g.num_edges() - victims.len()
+        );
+        let (summary, graph) = summarizer.finalize();
+        assert_eq!(graph.num_edges(), g.num_edges() - victims.len());
+        summary.verify_lossless(&graph).unwrap();
+    }
+
+    #[test]
+    fn apply_delta_matches_single_edge_calls() {
+        use slugger_graph::stream::GraphDelta;
+        let mut summarizer = MossoSummarizer::new(
+            8,
+            MossoConfig {
+                seed: 5,
+                ..MossoConfig::default()
+            },
+        );
+        summarizer.insert_edge(0, 1);
+        summarizer.insert_edge(1, 2);
+        let (deleted, inserted) = summarizer.apply_delta(&GraphDelta {
+            deletions: vec![(0, 1), (6, 7)],
+            insertions: vec![(1, 2), (2, 3), (3, 3)],
+        });
+        assert_eq!(deleted, 1, "only the present edge deletes");
+        assert_eq!(inserted, 1, "duplicates and self-loops are no-ops");
+        let (summary, graph) = summarizer.finalize();
+        assert_eq!(graph.num_edges(), 2);
         summary.verify_lossless(&graph).unwrap();
     }
 

@@ -1,0 +1,16 @@
+//! Harness binary for the streaming re-summarization experiment (incremental vs
+//! full rebuild vs MoSSo on fully dynamic edge streams).  Asserts decode-identity
+//! of the incrementally maintained summary after every delta batch, so it doubles
+//! as the CI streaming smoke test.
+//!
+//! ```text
+//! cargo run --release --bin streaming [--scale 1.0] [--iterations 5] [--seed 0]
+//! ```
+
+use slugger_bench::experiments::streaming;
+use slugger_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    print!("{}", streaming::run(&scale));
+}

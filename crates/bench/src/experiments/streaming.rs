@@ -1,0 +1,207 @@
+//! Streaming re-summarization: incremental maintenance versus full rebuild versus
+//! MoSSo on fully dynamic edge streams (the ROADMAP's "MoSSo-style
+//! streaming/incremental updates" scale target).
+//!
+//! A target graph is split into an initial snapshot plus churned delta batches
+//! (deletions re-inserted a batch later) by `slugger_graph::stream::stream_batches`.
+//! Per batch the harness measures
+//!
+//! * **incremental** — `IncrementalSummarizer::resummarize` on the maintained
+//!   hierarchical summary (dirty-region re-expansion + localized pipeline passes);
+//! * **rebuild** — a full SLUGGER run on the current graph (what you would pay
+//!   without incremental maintenance);
+//! * **MoSSo** — the flat-model online baseline consuming the identical
+//!   `GraphDelta`;
+//!
+//! and **asserts decode-identity** after every batch: the maintained summary must
+//! decode to exactly the current graph (the lossless invariant the streaming test
+//! suite pins).  Costs are compared on pruned snapshots, since the maintained
+//! summary is deliberately unpruned.
+
+use crate::experiments::heading;
+use crate::runner::ExperimentScale;
+use crate::table::{fmt_duration, TableWriter};
+use slugger_baselines::{MossoConfig, MossoSummarizer};
+use slugger_core::decode::decode_full;
+use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
+use slugger_core::{Slugger, SluggerConfig};
+use slugger_graph::gen::{caveman, rmat, CavemanConfig, RmatConfig};
+use slugger_graph::stream::{stream_batches, DynamicGraph, StreamConfig};
+use slugger_graph::Graph;
+use std::time::Instant;
+
+/// Attempted RMAT edges at `--scale 1.0` (the acceptance target: |E| ≈ 144k with
+/// per-batch deltas of at most ~1% of the edges).
+pub const RMAT_BASE_EDGES: usize = 150_000;
+
+/// Caveman nodes at `--scale 1.0`.
+pub const CAVEMAN_BASE_NODES: usize = 20_000;
+
+/// Delta batches per stream.
+pub const NUM_BATCHES: usize = 10;
+
+/// Runs the experiment and returns the report.
+pub fn run(scale: &ExperimentScale) -> String {
+    let mut out = heading("Streaming — incremental re-summarization vs full rebuild vs MoSSo");
+    let iterations = scale.iterations.min(5);
+    let rmat_graph = rmat(&RmatConfig {
+        scale: 16,
+        num_edges: (RMAT_BASE_EDGES as f64 * scale.scale).round().max(64.0) as usize,
+        seed: scale.seed,
+        ..RmatConfig::default()
+    });
+    out.push_str(&stream_section("RMAT", &rmat_graph, iterations, scale));
+    let nodes = ((CAVEMAN_BASE_NODES as f64 * scale.scale).round() as usize).max(60);
+    let caveman_graph = caveman(&CavemanConfig {
+        num_nodes: nodes,
+        num_cliques: (nodes / 8).max(4),
+        min_clique: 5,
+        max_clique: 10,
+        rewire_probability: 0.03,
+        seed: scale.seed,
+    });
+    out.push_str(&stream_section(
+        "Caveman",
+        &caveman_graph,
+        iterations,
+        scale,
+    ));
+    out.push_str(
+        "\nDecode-identity is asserted after every batch: the incrementally maintained \
+         summary and a from-scratch run see the identical current graph.  `Speedup` is \
+         rebuild time over incremental time for the same batch; incremental costs are \
+         pruned snapshots (the maintained summary itself stays unpruned).  MoSSo \
+         maintains the flat model online and is shown for the model-expressiveness \
+         trade-off, not as a like-for-like cost target.\n",
+    );
+    out
+}
+
+fn stream_section(
+    name: &str,
+    target: &Graph,
+    iterations: usize,
+    scale: &ExperimentScale,
+) -> String {
+    let (initial, batches) = stream_batches(
+        target,
+        &StreamConfig {
+            initial_fraction: 0.9,
+            num_batches: NUM_BATCHES,
+            churn: 0.25,
+            seed: scale.seed,
+        },
+    );
+    let slugger_config = SluggerConfig {
+        iterations,
+        seed: scale.seed,
+        parallelism: scale.parallelism(),
+        shards: scale.shards,
+        ..SluggerConfig::default()
+    };
+    let bootstrap_start = Instant::now();
+    let mut inc = IncrementalSummarizer::bootstrap(
+        &initial,
+        &Slugger::new(slugger_config),
+        IncrementalConfig {
+            seed: scale.seed,
+            parallelism: scale.parallelism(),
+            shards: scale.shards,
+            ..IncrementalConfig::default()
+        },
+    );
+    let bootstrap_elapsed = bootstrap_start.elapsed();
+    let mut mosso = MossoSummarizer::new(
+        target.num_nodes(),
+        MossoConfig {
+            seed: scale.seed,
+            ..MossoConfig::default()
+        },
+    );
+    let mosso_start = Instant::now();
+    for (u, v) in initial.edges() {
+        mosso.insert_edge(u, v);
+    }
+    let mosso_bootstrap = mosso_start.elapsed();
+    let mut current = DynamicGraph::from_graph(&initial);
+
+    let mut table = TableWriter::new([
+        "Batch",
+        "Ops",
+        "Dirty",
+        "Leaves",
+        "Incr time",
+        "Rebuild",
+        "Speedup",
+        "Incr cost",
+        "Rebuild cost",
+        "MoSSo time",
+        "MoSSo cost",
+    ]);
+    let mut inc_total = 0.0f64;
+    let mut rebuild_total = 0.0f64;
+    for (i, delta) in batches.iter().enumerate() {
+        delta.apply_to(&mut current);
+        let report = inc.resummarize(delta);
+        let inc_secs = report.elapsed.as_secs_f64();
+        inc_total += inc_secs;
+
+        let graph_now = current.to_graph();
+        assert_eq!(
+            decode_full(inc.summary()).edge_set(),
+            graph_now.edge_set(),
+            "{name}: incremental summary diverged from the stream at batch {i}"
+        );
+        let rebuild_start = Instant::now();
+        let rebuilt = Slugger::new(slugger_config).summarize(&graph_now);
+        let rebuild_secs = rebuild_start.elapsed().as_secs_f64();
+        rebuild_total += rebuild_secs;
+
+        let mosso_batch = Instant::now();
+        mosso.apply_delta(delta);
+        let mosso_secs = mosso_batch.elapsed();
+        let (pruned, _) = inc.pruned_summary(2);
+
+        table.row([
+            (i + 1).to_string(),
+            format!("-{} +{}", report.deleted, report.inserted),
+            report.dirty_roots.to_string(),
+            report.reexpanded_leaves.to_string(),
+            fmt_duration(report.elapsed),
+            fmt_duration(std::time::Duration::from_secs_f64(rebuild_secs)),
+            format!("{:.1}x", rebuild_secs / inc_secs.max(1e-9)),
+            pruned.encoding_cost().to_string(),
+            rebuilt.metrics.cost.to_string(),
+            fmt_duration(mosso_secs),
+            mosso_flat_cost(&mosso).to_string(),
+        ]);
+    }
+
+    let fresh_per_batch = (target.num_edges() - initial.num_edges()) as f64 / NUM_BATCHES as f64;
+    let mut out = format!(
+        "\n### {name} stream: |V| = {}, final |E| = {}, {} batches of ~{:.2}% fresh edges \
+         each (churn 0.25), T = {iterations}\n\nBootstrap: SLUGGER in {} on the 90% \
+         snapshot; MoSSo streamed the snapshot in {}.\n\n",
+        target.num_nodes(),
+        target.num_edges(),
+        NUM_BATCHES,
+        100.0 * fresh_per_batch / target.num_edges().max(1) as f64,
+        fmt_duration(bootstrap_elapsed),
+        fmt_duration(mosso_bootstrap),
+    );
+    out.push_str(&table.to_text());
+    out.push_str(&format!(
+        "\nTotals over {NUM_BATCHES} batches: incremental {}, rebuild {} ({:.1}x).\n",
+        fmt_duration(std::time::Duration::from_secs_f64(inc_total)),
+        fmt_duration(std::time::Duration::from_secs_f64(rebuild_total)),
+        rebuild_total / inc_total.max(1e-9),
+    ));
+    out
+}
+
+/// Current flat-model cost of the MoSSo state (cloned grouping re-encoded against
+/// the current graph — MoSSo itself re-encodes optimally only on finalize).
+fn mosso_flat_cost(mosso: &MossoSummarizer) -> usize {
+    let graph = mosso.current_graph().to_graph();
+    slugger_baselines::FlatSummary::build(&graph, mosso.grouping().clone()).total_cost()
+}

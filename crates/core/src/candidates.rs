@@ -44,7 +44,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use slugger_graph::hash::splitmix64;
-use slugger_graph::Graph;
+use slugger_graph::{AdjacencyList, Graph};
 
 /// Tuning knobs of the candidate-generation step.
 #[derive(Clone, Copy, Debug)]
@@ -95,9 +95,9 @@ pub struct CandidateScratch {
 /// The min-hash shingle of one root under the hoisted seed mix:
 /// `min_{u ∈ A} min_{w ∈ N(u) ∪ {u}} splitmix64(w ^ seed_mix)`.
 #[inline]
-fn root_shingle(
+fn root_shingle<G: AdjacencyList>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     root: SupernodeId,
     seed_mix: u64,
 ) -> u64 {
@@ -114,9 +114,9 @@ fn root_shingle(
 /// Computes the min-hash shingle of every given root under the permutation derived
 /// from `seed`.  The shingle of root `A` is
 /// `min_{u ∈ A} min_{w ∈ N(u) ∪ {u}} h(w)` with `h(w) = hash_node_with_seed(w, seed)`.
-pub fn shingles(
+pub fn shingles<G: AdjacencyList>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     roots: &[SupernodeId],
     seed: u64,
 ) -> Vec<u64> {
@@ -129,9 +129,9 @@ pub fn shingles(
 
 /// The min-hash shingle of one root by table lookup (table mode).
 #[inline]
-fn root_shingle_table(
+fn root_shingle_table<G: AdjacencyList>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     root: SupernodeId,
     node_hash: &[u64],
 ) -> u64 {
@@ -150,9 +150,9 @@ fn root_shingle_table(
 /// allowed.  Large groups go through a (reused, per-seed) node-hash table, small ones
 /// hash lazily; the fold is a pure map either way, so neither the chunking nor the
 /// table cutoff ever affects the values.
-fn fill_keyed(
+fn fill_keyed<G: AdjacencyList + Sync>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     group: &[SupernodeId],
     seed: u64,
     threads: usize,
@@ -219,9 +219,9 @@ fn random_split(
 /// ≤ `config.max_group_size`) within which the merging step searches for pairs.
 ///
 /// Equivalent to [`candidate_sets_with`] on a single thread with throwaway scratch.
-pub fn candidate_sets(
+pub fn candidate_sets<G: AdjacencyList + Sync>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     roots: &[SupernodeId],
     seed: u64,
     config: &CandidateConfig,
@@ -234,9 +234,9 @@ pub fn candidate_sets(
 ///
 /// `threads` is a pure throughput knob (the shingle fold is a pure map dealt in
 /// contiguous chunks), so every thread count produces the identical grouping.
-pub fn candidate_sets_with(
+pub fn candidate_sets_with<G: AdjacencyList + Sync>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     roots: &[SupernodeId],
     seed: u64,
     config: &CandidateConfig,

@@ -30,7 +30,7 @@ use crate::encoder::{EncoderMemo, PanelSolution};
 use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
 use slugger_graph::hash::FxHashMap;
 use slugger_graph::Graph;
-use view::{MergeView, PanelEdges};
+use view::{MergeView, PanelEdges, PnEdgeSink};
 
 /// Per-worker mutable context of the merge machinery: the panel re-encoding memo
 /// plus reusable scratch buffers.
@@ -280,6 +280,122 @@ impl MergeEngine {
             set_root,
             roots,
         }
+    }
+
+    /// Rebuilds an engine around an **existing** summary — one produced by a
+    /// previous run (possibly pruned) or reloaded through [`crate::storage`]:
+    /// reconstructs the union-find, the root set and every root's metadata from the
+    /// summary's structure and p/n-edges.  O(arena + |P⁺| + |P⁻|), paid once; the
+    /// incremental re-summarizer ([`crate::incremental`]) then maintains the engine
+    /// across delta batches so per-batch work stays proportional to the dirty
+    /// region.
+    ///
+    /// The summary is adopted as-is: the caller is responsible for it being a
+    /// lossless encoding of whatever graph the follow-up merges should preserve.
+    pub fn from_summary(summary: HierarchicalSummary) -> Self {
+        let arena = summary.arena_len();
+        let mut dsu_parent: Vec<SupernodeId> = (0..arena as SupernodeId).collect();
+        for id in 0..arena as SupernodeId {
+            if let Some(p) = summary.parent(id) {
+                dsu_parent[id as usize] = p;
+            }
+        }
+        let root_ids: Vec<SupernodeId> = summary.roots().collect();
+        let mut set_root: FxHashMap<SupernodeId, SupernodeId> = FxHashMap::default();
+        let mut roots: FxHashMap<SupernodeId, RootMeta> = FxHashMap::default();
+        for &r in &root_ids {
+            set_root.insert(r, r);
+            roots.insert(
+                r,
+                RootMeta {
+                    tree_size: summary.tree_supernodes(r).len(),
+                    height: summary.tree_height(r),
+                    adjacency: FxHashMap::default(),
+                    pn_count: 0,
+                },
+            );
+        }
+        for ((x, y), _sign) in summary.pn_edges() {
+            let rx = summary.root_of(x);
+            let ry = summary.root_of(y);
+            let meta_x = roots.get_mut(&rx).expect("edge endpoint's root");
+            *meta_x.adjacency.entry(ry).or_insert(0) += 1;
+            meta_x.pn_count += 1;
+            if rx != ry {
+                let meta_y = roots.get_mut(&ry).expect("edge endpoint's root");
+                *meta_y.adjacency.entry(rx).or_insert(0) += 1;
+                meta_y.pn_count += 1;
+            }
+        }
+        MergeEngine {
+            summary,
+            dsu_parent,
+            set_root,
+            roots,
+        }
+    }
+
+    /// Dissolves the tree of `root` back into singleton-leaf roots: removes every
+    /// p/n-edge incident to the tree through the bookkeeping sink (so neighbor
+    /// roots' metadata stays exact), resets the union-find entries of the dissolved
+    /// region, and gives every leaf a fresh edge-free [`RootMeta`].  Returns
+    /// `(leaves, killed_internal_supernodes)`.
+    ///
+    /// This is the dirty-region **re-expansion** primitive of
+    /// [`crate::incremental`]: after dissolving, the caller restores exact
+    /// leaf-level p-edges for the current graph's edges incident to the region,
+    /// which re-establishes losslessness with the region fully expanded.
+    pub fn dissolve_root(&mut self, root: SupernodeId) -> (usize, usize) {
+        debug_assert!(
+            self.roots.contains_key(&root),
+            "dissolve requires a current root"
+        );
+        let tree = self.summary.tree_supernodes(root);
+        // Drop every incident p/n-edge in deterministic (sorted) order: incidence
+        // sets iterate in hash-layout order, which legitimately differs between the
+        // serial and the parallel apply path's insertion histories.
+        let mut incident: Vec<SupernodeId> = Vec::new();
+        for &x in &tree {
+            incident.clear();
+            incident.extend(self.summary.incident(x));
+            incident.sort_unstable();
+            for &other in &incident {
+                self.remove_pn_edge(x, other);
+            }
+        }
+        // Root bookkeeping of the dissolved tree, then the structural dissolution.
+        let rep = self.find(root);
+        self.set_root.remove(&rep);
+        self.roots.remove(&root);
+        let nodes = self.summary.dissolve_tree(root);
+        let num_subnodes = self.summary.num_subnodes();
+        let mut leaves = 0usize;
+        for &x in &nodes {
+            self.dsu_parent[x as usize] = x;
+            if (x as usize) < num_subnodes {
+                self.set_root.insert(x, x);
+                self.roots.insert(
+                    x,
+                    RootMeta {
+                        tree_size: 1,
+                        height: 0,
+                        adjacency: FxHashMap::default(),
+                        pn_count: 0,
+                    },
+                );
+                leaves += 1;
+            }
+        }
+        (leaves, nodes.len() - leaves)
+    }
+
+    /// Restores one exact leaf-level p-edge (the dirty-region re-encoding of a
+    /// current-graph edge) through the bookkeeping sink.  The pair must currently
+    /// be uncovered — which holds by construction after [`MergeEngine::dissolve_root`]
+    /// removed every edge incident to the dirty trees.
+    pub fn restore_leaf_edge(&mut self, u: SupernodeId, v: SupernodeId) {
+        debug_assert_eq!(self.summary.edge_weight(u, v), 0);
+        self.add_pn_edge(u, v, 1);
     }
 
     /// Read access to the evolving summary.
@@ -755,6 +871,139 @@ mod tests {
         engine.apply_merge(0, 2, &mut ctx);
         assert_eq!(engine.summary().encoding_cost(), before + 2);
         engine.summary().validate().unwrap();
+    }
+
+    /// One canonicalized root record: `(root, cost, tree_size, height, adjacency)`.
+    type RootRecord = (SupernodeId, usize, usize, usize, Vec<(SupernodeId, u32)>);
+
+    /// Canonicalized records of every current root — the engine state an
+    /// incremental batch depends on.
+    fn root_fingerprint(engine: &MergeEngine) -> Vec<RootRecord> {
+        engine
+            .roots()
+            .into_iter()
+            .map(|r| {
+                let meta = engine.root_meta(r).unwrap();
+                let mut adjacency: Vec<(SupernodeId, u32)> =
+                    meta.adjacency.iter().map(|(&k, &v)| (k, v)).collect();
+                adjacency.sort_unstable();
+                (
+                    r,
+                    engine.root_cost(r),
+                    meta.tree_size,
+                    meta.height,
+                    adjacency,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn from_summary_rebuilds_the_live_engine_state() {
+        let g = star_plus_edge();
+        let mut live = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = live.apply_merge(2, 3, &mut ctx);
+        live.apply_merge(m, 1, &mut ctx);
+        let rebuilt = MergeEngine::from_summary(live.summary().clone());
+        assert_eq!(rebuilt.roots(), live.roots());
+        assert_eq!(root_fingerprint(&rebuilt), root_fingerprint(&live));
+        // And the rebuilt engine keeps working: evaluations agree with the live one.
+        let roots = live.roots();
+        for i in 0..roots.len() {
+            for j in (i + 1)..roots.len() {
+                let a = live.evaluate_merge(roots[i], roots[j], &mut ctx);
+                let b = rebuilt.evaluate_merge(roots[i], roots[j], &mut ctx);
+                assert_eq!(a.cost_before, b.cost_before);
+                assert_eq!(a.cost_after, b.cost_after);
+            }
+        }
+    }
+
+    #[test]
+    fn from_summary_handles_pruned_multi_arity_hierarchies() {
+        use crate::model::EdgeSign;
+        let mut s = crate::model::HierarchicalSummary::identity(5);
+        let m = s.create_supernode_with_children(&[0, 1, 2]);
+        s.set_edge(m, m, EdgeSign::Positive);
+        s.set_edge(m, 3, EdgeSign::Positive);
+        s.set_edge(0, 1, EdgeSign::Negative);
+        let engine = MergeEngine::from_summary(s);
+        assert_eq!(engine.num_roots(), 3);
+        // Cost_m = 3 h-edges + 3 incident p/n-edges (self-loop, (m,3), (0,1)-in-tree).
+        assert_eq!(engine.root_cost(m), 6);
+        assert_eq!(engine.edges_between_roots(m, 3), 1);
+        assert_eq!(engine.root_height(m), 1);
+    }
+
+    #[test]
+    fn merging_next_to_a_multi_arity_root_stays_lossless() {
+        // Regression: pruned hierarchies (adopted via `from_summary`) carry roots
+        // with three or more children.  A Case-2 re-encoding against such a common
+        // root used to expand only the first two children into the panel, so a
+        // solved C-level edge silently covered the dropped child's subnodes too —
+        // here, merging 4 and 5 (both adjacent to children 0 and 1 of c = {0,1,2}
+        // at leaf level, but NOT to child 2) must not invent edges to 2.
+        use crate::model::EdgeSign;
+        let graph = Graph::from_edges(6, vec![(4, 0), (4, 1), (5, 0), (5, 1)]);
+        let mut s = crate::model::HierarchicalSummary::identity(6);
+        let _c = s.create_supernode_with_children(&[0, 1, 2]);
+        for (u, v) in graph.edges() {
+            s.set_edge(u, v, EdgeSign::Positive);
+        }
+        crate::decode::verify_lossless(&s, &graph).unwrap();
+        let mut engine = MergeEngine::from_summary(s);
+        let mut ctx = MergeCtx::new();
+        engine.apply_merge(4, 5, &mut ctx);
+        engine.summary().validate().unwrap();
+        crate::decode::verify_lossless(engine.summary(), &graph).unwrap();
+    }
+
+    #[test]
+    fn dissolve_root_reexpands_and_keeps_neighbor_metadata_exact() {
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        let (leaves, killed) = engine.dissolve_root(m2);
+        assert_eq!((leaves, killed), (3, 2));
+        engine.summary().validate().unwrap();
+        // The dissolved leaves are fresh edge-free roots …
+        for leaf in [2u32, 3, 4] {
+            assert!(engine.summary().is_root(leaf));
+            assert_eq!(engine.root_cost(leaf), 0);
+        }
+        // … and the hubs' metadata no longer mentions the dissolved tree.
+        for hub in [0u32, 1] {
+            assert_eq!(engine.edges_between_roots(hub, m2), 0);
+            let mut adj = engine.adjacent_roots(hub);
+            adj.sort_unstable();
+            assert!(
+                !adj.contains(&m) && !adj.contains(&m2),
+                "hub {hub}: {adj:?}"
+            );
+        }
+        // Restoring the region's graph edges at leaf level re-establishes
+        // losslessness, and the state matches a freshly-built engine exactly.
+        for leaf in [2u32, 3, 4] {
+            for hub in [0u32, 1] {
+                engine.restore_leaf_edge(leaf, hub);
+            }
+        }
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+        let fresh = MergeEngine::new(&g);
+        assert_eq!(engine.roots(), fresh.roots());
+        assert_eq!(root_fingerprint(&engine), root_fingerprint(&fresh));
+    }
+
+    fn double_star_7() -> Graph {
+        let mut edges = vec![(0, 1)];
+        for s in 2..5u32 {
+            edges.push((0, s));
+            edges.push((1, s));
+        }
+        Graph::from_edges(5, edges)
     }
 
     #[test]

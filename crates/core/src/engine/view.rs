@@ -109,18 +109,28 @@ impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
 /// self-loops) among the ≤ 6 panel supernodes.
 pub(crate) type PanelEdges = InlineVec<(SupernodeId, SupernodeId), 21>;
 
-/// Panel supernodes of one side: the root plus its direct children when internal.
-/// Returns (shape_internal, [root, child1, child2]) with unused slots `None`.
+/// Panel supernodes of one side: the root plus its direct children when the root
+/// is **binary**.  Returns (shape_internal, [root, child1, child2]) with unused
+/// slots `None`.
+///
+/// Sides with any other arity enter the panel as a single opaque cell (the root
+/// itself).  Leaves have no children to expand; roots with **three or more**
+/// children exist when the engine adopts a pruned hierarchy
+/// ([`super::MergeEngine::from_summary`], the incremental path) — expanding only
+/// two of them would let a solved `C`-level edge cover the dropped children's
+/// subnodes and silently change the represented graph.  Opaque is always sound:
+/// edges strictly below an opaque side are never enumerated as panel edges, so
+/// they stay in place with their coverage intact, and every panel edge touching
+/// the side covers exactly the whole tree — the cell it models.
 pub(crate) fn side_panel<V: MergeView + ?Sized>(
     view: &V,
     root: SupernodeId,
 ) -> (bool, [Option<SupernodeId>; 3]) {
     let children = view.children_of(root);
-    if children.is_empty() {
-        (false, [Some(root), None, None])
-    } else {
-        debug_assert_eq!(children.len(), 2, "merging phase trees are binary");
+    if children.len() == 2 {
         (true, [Some(root), Some(children[0]), Some(children[1])])
+    } else {
+        (false, [Some(root), None, None])
     }
 }
 

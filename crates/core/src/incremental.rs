@@ -1,0 +1,660 @@
+//! Batch-incremental (streaming) re-summarization: maintain a
+//! [`HierarchicalSummary`] under a fully dynamic edge stream, re-running the
+//! pipeline only over the **dirty region** of each delta batch.
+//!
+//! SLUGGER summarizes a static graph; [`IncrementalSummarizer`] keeps that summary
+//! (and the [`MergeEngine`] bookkeeping around it) alive across
+//! [`GraphDelta`] batches of edge insertions and deletions, so a small delta costs
+//! work proportional to the touched region instead of `O(|V| + |E|)` per update —
+//! the hierarchical counterpart of the MoSSo baseline's online maintenance
+//! (`slugger_baselines::mosso`), but batch-oriented and built on the exact sharded
+//! pipeline of [`crate::pipeline`].
+//!
+//! # The dirty-region contract
+//!
+//! A batch [`IncrementalSummarizer::resummarize`] proceeds in four steps:
+//!
+//! 1. **Apply** the delta to the maintained [`DynamicGraph`] (deletions first,
+//!    then insertions, each idempotently).
+//! 2. **Localize**: the *affected* roots are the current summary roots containing
+//!    an endpoint of any applied operation.  The **dirty set** is the affected
+//!    roots plus their summary-adjacent roots on the frozen pre-batch view whose
+//!    supernode holds at most [`IncrementalConfig::adjacent_cap`] subnodes — the
+//!    same touched-∪-adjacent footprint the parallel apply stage uses for conflict
+//!    partitioning ([`crate::engine::apply::plan_footprint`]).  Affected roots are
+//!    always dirty; the cap only bounds how much *context* is re-opened around
+//!    them.
+//! 3. **Re-expand**: every dirty root is dissolved
+//!    ([`MergeEngine::dissolve_root`]) — its incident p/n-edges are removed with
+//!    exact metadata bookkeeping and its internal supernodes are killed — and the
+//!    region's leaves get back exact leaf-level p-edges for every current-graph
+//!    edge with at least one endpoint in the region.  Any pair covered by a
+//!    removed edge had an endpoint in a dirty tree, so after this step the summary
+//!    is again a lossless encoding of the *post-delta* graph, with the dirty
+//!    region fully expanded and everything else untouched.
+//! 4. **Re-summarize**: [`IncrementalConfig::iterations`] passes of the standard
+//!    candidates → shard → merge → apply pipeline run with the candidate-root list
+//!    **restricted to the region's roots** (the dissolved leaves, then their merge
+//!    products).  Planner state ([`PlannerPool`]) and apply workers
+//!    ([`ApplyWorkers`]) persist across batches, so encoder memos and overlay
+//!    pools warm up once per stream, not once per batch.
+//!
+//! Steps 3–4 only ever *preserve* the represented graph, so after **any** sequence
+//! of deltas the maintained summary decodes to exactly the current graph — the
+//! lossless invariant the streaming tests pin after every batch.
+//!
+//! # Determinism
+//!
+//! A stream run is a pure function of `(initial state, delta sequence, seed)`:
+//! dirty sets are computed in sorted order, dissolution removes edges in sorted
+//! order, and the pipeline stages inherit the output-invariance of
+//! [`crate::pipeline`] — neither [`IncrementalConfig::parallelism`] nor
+//! [`IncrementalConfig::shards`] ever changes the summary (pinned by
+//! `crates/core/tests/incremental_invariance.rs`).  Pipeline RNG streams are
+//! indexed by a monotone *epoch* counter (total pipeline iterations so far), so no
+//! stream is ever reused across batches.
+//!
+//! # Pruning
+//!
+//! The maintained summary is kept **unpruned**: pruning rewrites edges behind the
+//! engine's back and would desynchronize the incremental bookkeeping.  Ask
+//! [`IncrementalSummarizer::pruned_summary`] for a pruned snapshot (a clone) when
+//! reporting encoding costs; the maintained state itself stays incremental.
+//!
+//! ```
+//! use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
+//! use slugger_graph::stream::GraphDelta;
+//! use slugger_graph::Graph;
+//!
+//! let graph = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]);
+//! let mut inc = IncrementalSummarizer::from_graph(&graph, IncrementalConfig::default());
+//! let delta = GraphDelta {
+//!     deletions: vec![(3, 4)],
+//!     insertions: vec![(2, 3), (4, 5)],
+//! };
+//! inc.resummarize(&delta);
+//! inc.verify_lossless().unwrap();
+//! ```
+
+use crate::candidates::{candidate_sets_with, CandidateConfig, CandidateScratch};
+use crate::engine::apply::{apply_plans_with, ApplyWorkers};
+use crate::engine::{MergeCtx, MergeEngine};
+use crate::merge::{merging_threshold, MergeOptions};
+use crate::model::{HierarchicalSummary, SupernodeId};
+use crate::pipeline::{plan_shards_pooled, set_rng, Parallelism, PlannerPool, DEFAULT_SHARDS};
+use crate::prune::{prune_all, PruneReport};
+use crate::slugger::{SluggerPlanner, SluggerShardWorker};
+use serde::{Deserialize, Serialize};
+use slugger_graph::stream::{DynamicGraph, GraphDelta};
+use slugger_graph::{Graph, NodeId};
+
+/// Configuration of the incremental re-summarizer.  The pipeline knobs mirror
+/// [`crate::SluggerConfig`]; `iterations` counts merge passes **per batch** and is
+/// deliberately small (the dirty region is small), and `adjacent_cap` bounds the
+/// dirty-region expansion (step 2 of the module docs).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IncrementalConfig {
+    /// Candidate-generation + merging passes per delta batch.
+    pub iterations: usize,
+    /// Maximum candidate-set size (paper: 500).
+    pub max_candidate_size: usize,
+    /// Maximum shingle-based splits before random splitting (paper: 10).
+    pub max_shingle_splits: usize,
+    /// Optional upper bound on hierarchy-tree height, as in [`crate::SluggerConfig`].
+    pub height_bound: Option<usize>,
+    /// Whether the local re-encoding memo is enabled.
+    pub memoization: bool,
+    /// A summary-adjacent root joins the dirty set only while its supernode holds
+    /// at most this many subnodes (affected roots always join).  `0` disables the
+    /// adjacency expansion entirely; large values re-open more context around each
+    /// delta at proportionally higher per-batch cost.
+    pub adjacent_cap: usize,
+    /// Random seed of the per-batch pipeline runs.
+    pub seed: u64,
+    /// Worker shards per pipeline pass (pure scheduling, never changes output).
+    pub shards: usize,
+    /// Worker threads (pure throughput, never changes output).
+    pub parallelism: Parallelism,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        IncrementalConfig {
+            iterations: 3,
+            max_candidate_size: 500,
+            max_shingle_splits: 10,
+            height_bound: None,
+            memoization: true,
+            adjacent_cap: 32,
+            seed: 0,
+            shards: DEFAULT_SHARDS,
+            parallelism: Parallelism::Sequential,
+        }
+    }
+}
+
+/// What one [`IncrementalSummarizer::resummarize`] batch did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchReport {
+    /// 1-based batch number within this summarizer's stream.
+    pub batch: usize,
+    /// Edge deletions actually applied (absent edges are no-ops).
+    pub deleted: usize,
+    /// Edge insertions actually applied (present edges are no-ops).
+    pub inserted: usize,
+    /// Roots dissolved (affected plus capped summary-adjacent expansion).
+    pub dirty_roots: usize,
+    /// Internal supernodes killed by the dissolution.
+    pub dissolved_supernodes: usize,
+    /// Subnodes re-expanded into singleton roots.
+    pub reexpanded_leaves: usize,
+    /// Exact leaf-level p-edges restored for the region.
+    pub restored_edges: usize,
+    /// Candidate pairs evaluated by the per-batch pipeline passes.
+    pub pairs_evaluated: usize,
+    /// Merges performed by the per-batch pipeline passes.
+    pub merges: usize,
+    /// Encoding cost of the maintained (unpruned) summary after the batch.
+    pub cost: usize,
+    /// Wall-clock duration of the whole batch.
+    pub elapsed: std::time::Duration,
+}
+
+/// The batch-incremental re-summarization engine (see the module docs).
+pub struct IncrementalSummarizer {
+    config: IncrementalConfig,
+    engine: MergeEngine,
+    graph: DynamicGraph,
+    /// Monotone pipeline-pass counter across all batches: the RNG stream index, so
+    /// no `(seed, iteration, set)` stream is ever reused between batches.
+    epoch: usize,
+    batches: usize,
+    /// Persistent pipeline state, warm across batches.
+    planner_pool: PlannerPool<SluggerPlanner>,
+    apply_workers: ApplyWorkers,
+    ctx: MergeCtx,
+    candidate_scratch: CandidateScratch,
+    /// Per-subnode dirty flag, cleared after every batch (allocated once).
+    dirty_mark: Vec<bool>,
+}
+
+impl IncrementalSummarizer {
+    /// Starts a stream from an existing summary known (by the caller) to be a
+    /// lossless encoding of `graph` — typically [`crate::Slugger`] output on the
+    /// initial snapshot, or a summary reloaded through
+    /// [`crate::storage::read_summary`] between sessions.
+    ///
+    /// Only the node counts are checked here (verifying losslessness costs
+    /// `O(|E|)`; call [`IncrementalSummarizer::verify_lossless`] when in doubt).
+    pub fn from_summary(
+        summary: HierarchicalSummary,
+        graph: &Graph,
+        config: IncrementalConfig,
+    ) -> Result<Self, String> {
+        if summary.num_subnodes() != graph.num_nodes() {
+            return Err(format!(
+                "summary covers {} subnodes but the graph has {} nodes",
+                summary.num_subnodes(),
+                graph.num_nodes()
+            ));
+        }
+        let num_subnodes = summary.num_subnodes();
+        Ok(IncrementalSummarizer {
+            ctx: if config.memoization {
+                MergeCtx::new()
+            } else {
+                MergeCtx::disabled()
+            },
+            config,
+            engine: MergeEngine::from_summary(summary),
+            graph: DynamicGraph::from_graph(graph),
+            epoch: 0,
+            batches: 0,
+            planner_pool: PlannerPool::new(),
+            apply_workers: ApplyWorkers::new(),
+            candidate_scratch: CandidateScratch::default(),
+            dirty_mark: vec![false; num_subnodes],
+        })
+    }
+
+    /// Starts a stream from the trivial (identity) summary of `graph`: every
+    /// subedge a p-edge between singleton supernodes.  Structure then builds up as
+    /// batches touch the graph; use [`IncrementalSummarizer::bootstrap`] to start
+    /// from a full SLUGGER run instead.
+    pub fn from_graph(graph: &Graph, config: IncrementalConfig) -> Self {
+        IncrementalSummarizer {
+            ctx: if config.memoization {
+                MergeCtx::new()
+            } else {
+                MergeCtx::disabled()
+            },
+            config,
+            engine: MergeEngine::new(graph),
+            graph: DynamicGraph::from_graph(graph),
+            epoch: 0,
+            batches: 0,
+            planner_pool: PlannerPool::new(),
+            apply_workers: ApplyWorkers::new(),
+            candidate_scratch: CandidateScratch::default(),
+            dirty_mark: vec![false; graph.num_nodes()],
+        }
+    }
+
+    /// Runs a full SLUGGER pass over `graph` (with `slugger`'s configuration) and
+    /// adopts the resulting summary as the stream's starting point.
+    pub fn bootstrap(graph: &Graph, slugger: &crate::Slugger, config: IncrementalConfig) -> Self {
+        let outcome = slugger.summarize(graph);
+        Self::from_summary(outcome.summary, graph, config)
+            .expect("a summarize outcome always matches its input graph")
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &IncrementalConfig {
+        &self.config
+    }
+
+    /// The maintained (unpruned) summary.  Decodes to exactly the current graph.
+    pub fn summary(&self) -> &HierarchicalSummary {
+        self.engine.summary()
+    }
+
+    /// The maintained current graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Number of delta batches processed so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// A pruned snapshot of the maintained summary (the maintained state itself
+    /// stays unpruned; see the module docs).  Returns the snapshot and what
+    /// pruning changed.
+    pub fn pruned_summary(&self, rounds: usize) -> (HierarchicalSummary, PruneReport) {
+        let mut snapshot = self.engine.summary().clone();
+        let graph = self.graph.to_graph();
+        let report = prune_all(&mut snapshot, &graph, rounds);
+        (snapshot, report)
+    }
+
+    /// Verifies the lossless invariant: the maintained summary must decode to
+    /// exactly the current graph.  `O(|V| + |E|)` — meant for tests and debugging,
+    /// not the per-batch hot path.
+    pub fn verify_lossless(&self) -> Result<(), String> {
+        crate::decode::verify_lossless(self.engine.summary(), &self.graph.to_graph())
+    }
+
+    /// Ingests one delta batch: applies it to the current graph, re-expands the
+    /// dirty region, and re-summarizes that region through the sharded pipeline.
+    /// See the module docs for the four-step contract.
+    pub fn resummarize(&mut self, delta: &GraphDelta) -> BatchReport {
+        let start = std::time::Instant::now();
+        self.batches += 1;
+        let mut report = BatchReport {
+            batch: self.batches,
+            ..BatchReport::default()
+        };
+
+        // Step 1: apply the delta (deletions first), remembering the endpoints of
+        // every operation that actually changed the graph.
+        let mut touched: Vec<NodeId> = Vec::new();
+        for &(u, v) in &delta.deletions {
+            if self.graph.remove_edge(u, v) {
+                report.deleted += 1;
+                touched.push(u);
+                touched.push(v);
+            }
+        }
+        for &(u, v) in &delta.insertions {
+            if self.graph.insert_edge(u, v) {
+                report.inserted += 1;
+                touched.push(u);
+                touched.push(v);
+            }
+        }
+        if touched.is_empty() {
+            report.cost = self.engine.summary().encoding_cost();
+            report.elapsed = start.elapsed();
+            return report;
+        }
+
+        // Step 2: localize.  Affected roots, then the capped summary-adjacent
+        // expansion — everything in sorted order so the batch is a pure function
+        // of the engine's *content* (hash-map iteration orders are not).
+        let mut affected: Vec<SupernodeId> =
+            touched.iter().map(|&u| self.engine.root_of(u)).collect();
+        affected.sort_unstable();
+        affected.dedup();
+        let mut dirty = affected.clone();
+        if self.config.adjacent_cap > 0 {
+            let mut adjacent: Vec<SupernodeId> = Vec::new();
+            for &r in &affected {
+                adjacent.extend(self.engine.adjacent_roots(r));
+            }
+            adjacent.sort_unstable();
+            adjacent.dedup();
+            let summary = self.engine.summary();
+            dirty.extend(
+                adjacent
+                    .into_iter()
+                    .filter(|&r| summary.members(r).len() <= self.config.adjacent_cap),
+            );
+            dirty.sort_unstable();
+            dirty.dedup();
+        }
+        report.dirty_roots = dirty.len();
+
+        // Step 3: re-expand.  Dissolve every dirty tree, then restore exact
+        // leaf-level p-edges for the current graph's edges incident to the region.
+        let mut leaves: Vec<NodeId> = Vec::new();
+        for &r in &dirty {
+            leaves.extend_from_slice(self.engine.summary().members(r));
+            let (_, killed) = self.engine.dissolve_root(r);
+            report.dissolved_supernodes += killed;
+        }
+        leaves.sort_unstable();
+        report.reexpanded_leaves = leaves.len();
+        for &u in &leaves {
+            self.dirty_mark[u as usize] = true;
+        }
+        for &u in &leaves {
+            for &w in self.graph.neighbors(u) {
+                // Dirty-dirty pairs are seen from both sides; restore them once.
+                if !self.dirty_mark[w as usize] || u < w {
+                    self.engine.restore_leaf_edge(u, w);
+                    report.restored_edges += 1;
+                }
+            }
+        }
+
+        // Step 4: re-summarize the region.  `active` tracks the region's current
+        // roots across passes: surviving roots keep their (ascending) order and
+        // merge products are appended in ascending arena order.
+        let mut active: Vec<SupernodeId> = leaves.iter().map(|&u| u as SupernodeId).collect();
+        let candidate_config = CandidateConfig {
+            max_group_size: self.config.max_candidate_size,
+            max_shingle_splits: self.config.max_shingle_splits,
+        };
+        let threads = self.config.parallelism.threads();
+        for t in 1..=self.config.iterations {
+            if active.len() < 2 {
+                break;
+            }
+            self.epoch += 1;
+            let threshold = merging_threshold(t, self.config.iterations);
+            let pass_seed = self
+                .config
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(self.epoch as u64);
+            let sets = candidate_sets_with(
+                self.engine.summary(),
+                &self.graph,
+                &active,
+                pass_seed,
+                &candidate_config,
+                threads,
+                &mut self.candidate_scratch,
+            );
+            let worker = SluggerShardWorker {
+                view: &self.engine,
+                options: MergeOptions {
+                    threshold,
+                    height_bound: self.config.height_bound,
+                },
+                memoization: self.config.memoization,
+            };
+            let seed = self.config.seed;
+            let epoch = self.epoch;
+            let plans = plan_shards_pooled(
+                &worker,
+                &sets,
+                self.config.shards,
+                self.config.parallelism,
+                &|set_index| set_rng(seed, epoch, set_index),
+                &mut self.planner_pool,
+            );
+            let arena_before = self.engine.summary().arena_len() as SupernodeId;
+            let (stats, _) = apply_plans_with(
+                &mut self.engine,
+                &mut self.ctx,
+                &mut self.apply_workers,
+                &plans,
+                threads,
+            );
+            report.pairs_evaluated += stats.evaluated;
+            report.merges += stats.merged;
+            // Return spent merge vectors to the persistent planners, so
+            // steady-state batches pop instead of allocating.
+            self.planner_pool.recycle_plans(plans);
+            let summary = self.engine.summary();
+            active.retain(|&r| summary.is_root(r));
+            active.extend(
+                (arena_before..summary.arena_len() as SupernodeId)
+                    .filter(|&id| summary.is_root(id)),
+            );
+        }
+
+        for &u in &leaves {
+            self.dirty_mark[u as usize] = false;
+        }
+        report.cost = self.engine.summary().encoding_cost();
+        report.elapsed = start.elapsed();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_full;
+    use crate::{Slugger, SluggerConfig};
+    use slugger_graph::gen::{caveman, CavemanConfig};
+    use slugger_graph::stream::{stream_batches, StreamConfig};
+
+    fn test_graph(seed: u64) -> Graph {
+        caveman(&CavemanConfig {
+            num_nodes: 200,
+            num_cliques: 25,
+            min_clique: 5,
+            max_clique: 9,
+            rewire_probability: 0.02,
+            seed,
+        })
+    }
+
+    fn quick_slugger(seed: u64) -> Slugger {
+        Slugger::new(SluggerConfig {
+            iterations: 5,
+            max_candidate_size: 64,
+            max_shingle_splits: 5,
+            seed,
+            ..SluggerConfig::default()
+        })
+    }
+
+    #[test]
+    fn stream_of_batches_stays_lossless() {
+        let target = test_graph(3);
+        let (initial, batches) = stream_batches(
+            &target,
+            &StreamConfig {
+                initial_fraction: 0.75,
+                num_batches: 5,
+                churn: 0.3,
+                seed: 9,
+            },
+        );
+        let mut inc = IncrementalSummarizer::bootstrap(
+            &initial,
+            &quick_slugger(1),
+            IncrementalConfig {
+                seed: 11,
+                ..IncrementalConfig::default()
+            },
+        );
+        inc.verify_lossless().unwrap();
+        for (i, delta) in batches.iter().enumerate() {
+            let report = inc.resummarize(delta);
+            assert_eq!(report.batch, i + 1);
+            assert!(report.dirty_roots > 0);
+            inc.summary().validate().unwrap();
+            inc.verify_lossless()
+                .unwrap_or_else(|e| panic!("batch {i}: {e}"));
+        }
+        // The stream converged to the target graph, and so did the summary.
+        assert_eq!(
+            decode_full(inc.summary()).edge_set(),
+            target.edge_set(),
+            "final summary must decode to the target graph"
+        );
+        assert_eq!(inc.batches(), 5);
+    }
+
+    #[test]
+    fn deletion_only_batches_are_handled() {
+        let graph = test_graph(5);
+        let mut inc = IncrementalSummarizer::bootstrap(
+            &graph,
+            &quick_slugger(2),
+            IncrementalConfig::default(),
+        );
+        let victims: Vec<(u32, u32)> = graph.edges().take(17).collect();
+        let report = inc.resummarize(&GraphDelta {
+            deletions: victims.clone(),
+            insertions: Vec::new(),
+        });
+        assert_eq!(report.deleted, victims.len());
+        assert_eq!(report.inserted, 0);
+        inc.verify_lossless().unwrap();
+        assert_eq!(inc.graph().num_edges(), graph.num_edges() - victims.len());
+    }
+
+    #[test]
+    fn empty_and_no_op_deltas_change_nothing() {
+        let graph = test_graph(7);
+        let mut inc = IncrementalSummarizer::bootstrap(
+            &graph,
+            &quick_slugger(3),
+            IncrementalConfig::default(),
+        );
+        let cost = inc.summary().encoding_cost();
+        let report = inc.resummarize(&GraphDelta::new());
+        assert_eq!(report.dirty_roots, 0);
+        assert_eq!(report.cost, cost);
+        // Deleting an absent edge and re-inserting a present one are both no-ops.
+        let (u, v) = graph.edges().next().unwrap();
+        let report = inc.resummarize(&GraphDelta {
+            deletions: vec![(198, 199)],
+            insertions: vec![(u, v)],
+        });
+        assert_eq!((report.deleted, report.inserted), (0, 0));
+        assert_eq!(report.cost, cost);
+        inc.verify_lossless().unwrap();
+    }
+
+    #[test]
+    fn incremental_keeps_compressing_the_touched_region() {
+        // Stream in a brand-new clique: the re-summarizer must compress it rather
+        // than leaving it at the trivial leaf-edge encoding.
+        let base = test_graph(11);
+        let mut inc = IncrementalSummarizer::bootstrap(
+            &base,
+            &quick_slugger(4),
+            IncrementalConfig::default(),
+        );
+        let members: Vec<u32> = (0..14).map(|i| i * 13 % 200).collect();
+        let mut insertions = Vec::new();
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                if !base.has_edge(a, b) && a != b {
+                    insertions.push((a, b));
+                }
+            }
+        }
+        let trivial_extra = insertions.len();
+        let (pruned_before, _) = inc.pruned_summary(2);
+        let before = pruned_before.encoding_cost();
+        let report = inc.resummarize(&GraphDelta::from_insertions(insertions));
+        assert!(report.merges > 0, "a dense clique must trigger merges");
+        inc.verify_lossless().unwrap();
+        // The maintained summary is unpruned, so compare pruned snapshots: the new
+        // clique must come out clearly cheaper than one p-edge per inserted edge.
+        let (pruned_after, _) = inc.pruned_summary(2);
+        let after = pruned_after.encoding_cost();
+        assert!(
+            after < before + trivial_extra,
+            "expected compression of the new clique: {before} -> {after} \
+             (trivial would be {})",
+            before + trivial_extra
+        );
+    }
+
+    #[test]
+    fn from_graph_starts_from_the_identity_encoding() {
+        let graph = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        let mut inc = IncrementalSummarizer::from_graph(&graph, IncrementalConfig::default());
+        assert_eq!(inc.summary().encoding_cost(), 2);
+        inc.verify_lossless().unwrap();
+        inc.resummarize(&GraphDelta::from_insertions([(1, 2)]));
+        inc.verify_lossless().unwrap();
+        assert_eq!(inc.graph().num_edges(), 3);
+    }
+
+    #[test]
+    fn from_summary_rejects_mismatched_node_counts() {
+        let summary = HierarchicalSummary::identity(3);
+        let graph = Graph::empty(4);
+        assert!(
+            IncrementalSummarizer::from_summary(summary, &graph, IncrementalConfig::default())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn pruned_snapshot_is_lossless_and_never_more_expensive() {
+        let target = test_graph(13);
+        let (initial, batches) = stream_batches(&target, &StreamConfig::default());
+        let mut inc = IncrementalSummarizer::bootstrap(
+            &initial,
+            &quick_slugger(5),
+            IncrementalConfig::default(),
+        );
+        for delta in &batches {
+            inc.resummarize(delta);
+        }
+        let (pruned, _report) = inc.pruned_summary(2);
+        assert!(pruned.encoding_cost() <= inc.summary().encoding_cost());
+        crate::decode::verify_lossless(&pruned, &target).unwrap();
+        // The maintained state is untouched by the snapshot.
+        inc.verify_lossless().unwrap();
+    }
+
+    #[test]
+    fn adjacent_cap_zero_disables_context_expansion() {
+        let graph = test_graph(17);
+        let mut narrow = IncrementalSummarizer::bootstrap(
+            &graph,
+            &quick_slugger(6),
+            IncrementalConfig {
+                adjacent_cap: 32,
+                ..IncrementalConfig::default()
+            },
+        );
+        let mut wide = IncrementalSummarizer::bootstrap(
+            &graph,
+            &quick_slugger(6),
+            IncrementalConfig {
+                adjacent_cap: usize::MAX,
+                ..IncrementalConfig::default()
+            },
+        );
+        let delta = GraphDelta::from_insertions([(0, 100), (50, 150)]);
+        let narrow_report = narrow.resummarize(&delta);
+        let wide_report = wide.resummarize(&delta);
+        assert!(narrow_report.dirty_roots <= wide_report.dirty_roots);
+        narrow.verify_lossless().unwrap();
+        wide.verify_lossless().unwrap();
+    }
+}

@@ -35,6 +35,9 @@
 //! * [`engine::plan`] — the copy-on-write planning overlay shard workers fork per
 //!   candidate set, backed by pooled scratch so steady-state planning never
 //!   allocates.
+//! * [`incremental`] — batch-incremental (streaming) re-summarization: maintains a
+//!   summary under edge insertions/deletions by re-expanding and re-summarizing
+//!   only the dirty region of each delta batch.
 //! * [`merge`] — the merging step over one candidate set (Algorithm 2), in planning
 //!   ([`merge::plan_candidate_set`]) and direct ([`merge::process_candidate_set`])
 //!   form.
@@ -56,6 +59,7 @@ pub mod candidates;
 pub mod decode;
 pub mod encoder;
 pub mod engine;
+pub mod incremental;
 pub mod merge;
 pub mod metrics;
 pub mod model;
@@ -66,6 +70,7 @@ pub mod storage;
 
 pub use decode::SummaryNeighborView;
 pub use engine::MergeCtx;
+pub use incremental::{BatchReport, IncrementalConfig, IncrementalSummarizer};
 pub use metrics::SummaryMetrics;
 pub use model::{EdgeSign, HierarchicalSummary, Supernode, SupernodeId};
 pub use pipeline::Parallelism;
@@ -74,6 +79,7 @@ pub use slugger::{Slugger, SluggerConfig, SluggerOutcome, StageProfile};
 /// Convenience prelude.
 pub mod prelude {
     pub use crate::decode::{decode_full, neighbors_of, verify_lossless};
+    pub use crate::incremental::{BatchReport, IncrementalConfig, IncrementalSummarizer};
     pub use crate::metrics::SummaryMetrics;
     pub use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
     pub use crate::pipeline::Parallelism;

@@ -440,6 +440,37 @@ impl HierarchicalSummary {
         self.supernodes[id as usize].members.shrink_to_fit();
     }
 
+    /// Structurally dissolves the tree rooted at `root` back into singleton leaves:
+    /// every internal supernode of the tree is killed (children/members cleared,
+    /// marked dead) and every leaf becomes a parentless root again.  Returns the ids
+    /// of **all** supernodes that belonged to the tree (leaves and killed internal
+    /// nodes alike), in the deterministic preorder of
+    /// [`HierarchicalSummary::tree_supernodes`].
+    ///
+    /// The caller must have removed every p/n-edge incident to the tree's supernodes
+    /// first (the incremental engine routes those removals through its bookkeeping
+    /// sink); a dead supernode with edges would corrupt the model.  Used by the
+    /// dirty-region re-expansion of `slugger_core::incremental`.
+    pub fn dissolve_tree(&mut self, root: SupernodeId) -> Vec<SupernodeId> {
+        assert!(self.is_root(root), "only a root tree can be dissolved");
+        let nodes = self.tree_supernodes(root);
+        for &x in &nodes {
+            debug_assert!(
+                self.incidence[x as usize].is_empty(),
+                "supernode {x} still carries p/n-edges; remove them before dissolving"
+            );
+            let s = &mut self.supernodes[x as usize];
+            s.parent = None;
+            if !s.children.is_empty() {
+                s.children.clear();
+                s.members.clear();
+                s.members.shrink_to_fit();
+                s.alive = false;
+            }
+        }
+        nodes
+    }
+
     /// Height of the hierarchy tree rooted at `root` (a lone leaf has height 0).
     pub fn tree_height(&self, root: SupernodeId) -> usize {
         let mut max_h = 0usize;
@@ -725,6 +756,45 @@ mod tests {
     fn create_supernode_rejects_single_child() {
         let mut s = HierarchicalSummary::identity(2);
         let _ = s.create_supernode_with_children(&[0]);
+    }
+
+    #[test]
+    fn dissolve_tree_restores_singleton_roots() {
+        let mut s = HierarchicalSummary::identity(5);
+        let m01 = s.merge_roots(0, 1);
+        let m = s.merge_roots(m01, 2);
+        s.set_edge(3, 4, EdgeSign::Positive);
+        let nodes = s.dissolve_tree(m);
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, m01, m]);
+        for leaf in 0..3u32 {
+            assert!(s.is_root(leaf), "leaf {leaf} must be a root again");
+            assert_eq!(s.members(leaf), &[leaf]);
+        }
+        assert!(!s.is_alive(m01));
+        assert!(!s.is_alive(m));
+        assert_eq!(s.num_h_edges(), 0);
+        // The untouched edge (3, 4) survives.
+        assert_eq!(s.edge_sign(3, 4), Some(EdgeSign::Positive));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn dissolve_tree_of_a_lone_leaf_is_a_no_op() {
+        let mut s = HierarchicalSummary::identity(2);
+        let nodes = s.dissolve_tree(0);
+        assert_eq!(nodes, vec![0]);
+        assert!(s.is_root(0));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "only a root")]
+    fn dissolve_tree_rejects_non_roots() {
+        let mut s = HierarchicalSummary::identity(2);
+        let _m = s.merge_roots(0, 1);
+        let _ = s.dissolve_tree(0);
     }
 
     #[test]

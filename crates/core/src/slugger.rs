@@ -243,15 +243,7 @@ impl Slugger {
             );
             stages.apply += stage_start.elapsed();
             apply_profile.absorb(profile);
-            // Return the spent plans' merge vectors to the (persistent) planners,
-            // so the next iteration's sets pop them instead of allocating.
-            if !planner_pool.is_empty() {
-                let mut planners: Vec<_> = planner_pool.iter_mut().collect();
-                let n = planners.len();
-                for (i, plan) in plans.into_iter().enumerate() {
-                    planners[i % n].ctx.recycle_merges(plan.merges);
-                }
-            }
+            planner_pool.recycle_plans(plans);
             iterations.push(IterationRecord {
                 iteration: t,
                 threshold,
@@ -294,16 +286,35 @@ impl Slugger {
 /// copy-on-write [`PlanningEngine`] overlay over the frozen view built from that
 /// scratch, whose construction cost is proportional to the set, not to the graph —
 /// and which, once the pools are warm, allocates nothing per set.
-struct SluggerShardWorker<'a> {
-    view: &'a MergeEngine,
-    options: MergeOptions,
-    memoization: bool,
+pub(crate) struct SluggerShardWorker<'a> {
+    pub(crate) view: &'a MergeEngine,
+    pub(crate) options: MergeOptions,
+    pub(crate) memoization: bool,
 }
 
 /// Per-shard planning state: evaluation context plus the pooled overlay scratch.
-struct SluggerPlanner {
-    ctx: MergeCtx,
-    overlay: PlanScratch,
+/// Shared with the incremental re-summarizer ([`crate::incremental`]), whose
+/// persistent [`PlannerPool`] keeps these warm across delta batches.
+pub(crate) struct SluggerPlanner {
+    pub(crate) ctx: MergeCtx,
+    pub(crate) overlay: PlanScratch,
+}
+
+impl PlannerPool<SluggerPlanner> {
+    /// Returns the spent plans' merge vectors to the pooled planners
+    /// (round-robin), so the next pass's sets pop them instead of allocating.
+    /// Shared by the batch driver ([`Slugger::summarize`]) and the incremental
+    /// re-summarizer so the pooling policy cannot drift between the two.
+    pub(crate) fn recycle_plans(&mut self, plans: Vec<SetPlan>) {
+        if self.is_empty() {
+            return;
+        }
+        let mut planners: Vec<_> = self.iter_mut().collect();
+        let n = planners.len();
+        for (i, plan) in plans.into_iter().enumerate() {
+            planners[i % n].ctx.recycle_merges(plan.merges);
+        }
+    }
 }
 
 impl ShardWorker for SluggerShardWorker<'_> {

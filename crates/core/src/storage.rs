@@ -124,7 +124,21 @@ pub fn encode_summary(summary: &HierarchicalSummary) -> Bytes {
     buf.freeze()
 }
 
+/// A count or id decoded from untrusted input, checked to fit [`SupernodeId`]
+/// (serialized ids are `u32`; anything larger is corruption, and truncating casts
+/// would silently alias ids).
+fn checked_id(value: u64, what: &'static str) -> Result<SupernodeId, StorageError> {
+    SupernodeId::try_from(value).map_err(|_| StorageError::Corrupt(what))
+}
+
 /// Decodes a summary from a byte buffer.
+///
+/// Never panics, whatever the input: every count is validated against the bytes
+/// actually present **before** anything is allocated from it (a forged header must
+/// not trigger a multi-gigabyte allocation), ids are range-checked instead of
+/// truncated, and the reconstructed model is [`HierarchicalSummary::validate`]d so
+/// an `Ok` summary is always internally consistent.  Pinned by the fuzz-style
+/// proptest in `crates/core/tests/storage_roundtrip.rs`.
 pub fn decode_summary(bytes: &Bytes) -> Result<HierarchicalSummary, StorageError> {
     let mut buf = bytes.clone();
     if buf.remaining() < 5 {
@@ -139,14 +153,23 @@ pub fn decode_summary(bytes: &Bytes) -> Result<HierarchicalSummary, StorageError
     if version != VERSION {
         return Err(StorageError::UnsupportedVersion(version));
     }
-    let num_subnodes = get_varint(&mut buf)? as usize;
+    let num_subnodes = checked_id(get_varint(&mut buf)?, "subnode count overflows u32")? as usize;
+    // Each leaf contributes at least one parent byte later in the payload, so a
+    // subnode count beyond the remaining bytes cannot be honest.
+    if num_subnodes > buf.remaining() {
+        return Err(StorageError::Corrupt("subnode count exceeds payload"));
+    }
     let num_internal = get_varint(&mut buf)? as usize;
+    // Each internal entry needs at least two varint bytes (id + parent).
+    if num_internal > buf.remaining() / 2 {
+        return Err(StorageError::Corrupt("internal count exceeds payload"));
+    }
     let mut internal: Vec<(SupernodeId, Option<SupernodeId>)> = Vec::with_capacity(num_internal);
     for _ in 0..num_internal {
-        let id = get_varint(&mut buf)? as SupernodeId;
+        let id = checked_id(get_varint(&mut buf)?, "internal id overflows u32")?;
         let parent = match get_varint(&mut buf)? {
             0 => None,
-            p => Some((p - 1) as SupernodeId),
+            p => Some(checked_id(p - 1, "parent id overflows u32")?),
         };
         if (id as usize) < num_subnodes {
             return Err(StorageError::Corrupt(
@@ -159,14 +182,18 @@ pub fn decode_summary(bytes: &Bytes) -> Result<HierarchicalSummary, StorageError
     for _ in 0..num_subnodes {
         leaf_parents.push(match get_varint(&mut buf)? {
             0 => None,
-            p => Some((p - 1) as SupernodeId),
+            p => Some(checked_id(p - 1, "leaf parent id overflows u32")?),
         });
     }
     let num_edges = get_varint(&mut buf)? as usize;
+    // Each edge needs at least three bytes (two endpoint varints plus the sign).
+    if num_edges > buf.remaining() / 3 {
+        return Err(StorageError::Corrupt("edge count exceeds payload"));
+    }
     let mut edges = Vec::with_capacity(num_edges);
     for _ in 0..num_edges {
-        let a = get_varint(&mut buf)? as SupernodeId;
-        let b = get_varint(&mut buf)? as SupernodeId;
+        let a = checked_id(get_varint(&mut buf)?, "edge endpoint overflows u32")?;
+        let b = checked_id(get_varint(&mut buf)?, "edge endpoint overflows u32")?;
         if !buf.has_remaining() {
             return Err(StorageError::Corrupt("truncated edge sign"));
         }
@@ -181,6 +208,11 @@ pub fn decode_summary(bytes: &Bytes) -> Result<HierarchicalSummary, StorageError
     // Rebuild: create the identity summary, then re-create the internal supernodes in
     // topological (children-before-parents) order by repeatedly merging roots.
     let summary = rebuild(num_subnodes, &internal, &leaf_parents, &edges)?;
+    // Belt and braces: whatever the parent tables encoded, an `Ok` result must be a
+    // model every downstream consumer can trust.
+    summary
+        .validate()
+        .map_err(|_| StorageError::Corrupt("reconstructed summary is inconsistent"))?;
     Ok(summary)
 }
 
@@ -227,6 +259,21 @@ fn rebuild(
                     .ok_or(StorageError::Corrupt("child created after parent"))
             })
             .collect::<Result<_, _>>()?;
+        // Guard the arena's invariants before touching it (the model asserts them):
+        // a child claimed by two parents, or listed twice, is no longer a root here.
+        // Duplicate detection sorts a copy — an adversarial file can make one
+        // children list arbitrarily long, so a quadratic scan would be a
+        // CPU-exhaustion vector.
+        for &c in &mapped {
+            if !summary.is_root(c) {
+                return Err(StorageError::Corrupt("supernode claimed by two parents"));
+            }
+        }
+        let mut dedup_check = mapped.clone();
+        dedup_check.sort_unstable();
+        if dedup_check.windows(2).any(|w| w[0] == w[1]) {
+            return Err(StorageError::Corrupt("supernode claimed by two parents"));
+        }
         let new_id = summary.create_supernode_with_children(&mapped);
         mapping.insert(old_id, new_id);
     }

@@ -40,6 +40,22 @@ pub trait NeighborAccess {
     }
 }
 
+/// Slice-based sorted-adjacency access: the interface hot paths (candidate
+/// generation, dirty-region expansion) iterate neighbors through, so they run
+/// unchanged on the immutable CSR [`Graph`] and on the editable
+/// [`crate::stream::DynamicGraph`] of the streaming workloads.
+///
+/// Unlike [`NeighborAccess`] (a dyn-friendly callback interface for graph
+/// algorithms), this trait hands out borrowed slices and therefore requires the
+/// adjacency to be materialized and **sorted ascending**.
+pub trait AdjacencyList {
+    /// Number of nodes; node ids are `0..num_nodes()`.
+    fn num_nodes(&self) -> usize;
+
+    /// Sorted adjacency slice of `u`.
+    fn neighbors(&self, u: NodeId) -> &[NodeId];
+}
+
 /// A simple undirected graph in CSR form.
 ///
 /// Construct one through [`crate::builder::GraphBuilder`], [`Graph::from_edges`], or a
@@ -209,6 +225,16 @@ impl Graph {
             return Err("edge count mismatch".into());
         }
         Ok(())
+    }
+}
+
+impl AdjacencyList for Graph {
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        Graph::neighbors(self, u)
     }
 }
 

@@ -18,6 +18,9 @@
 //!   construction of the paper).
 //! * [`sample`] — induced-subgraph node sampling used by the scalability experiment
 //!   (Fig. 1(b)).
+//! * [`stream`] — the dynamic-graph substrate of the streaming workloads:
+//!   [`DynamicGraph`] (editable sorted adjacency), [`GraphDelta`] (batched
+//!   insertions/deletions) and a deterministic edge-stream generator.
 //! * [`io`] — plain-text edge-list reading/writing.
 //! * [`hash`] — a fast FxHash-style hasher plus the `SplitMix64`-based value hashing
 //!   used by min-hash candidate generation.
@@ -36,14 +39,17 @@ pub mod hash;
 pub mod io;
 pub mod sample;
 pub mod stats;
+pub mod stream;
 
 pub use builder::GraphBuilder;
-pub use graph::{Graph, NeighborAccess, NodeId};
+pub use graph::{AdjacencyList, Graph, NeighborAccess, NodeId};
 pub use hash::{FxHashMap, FxHashSet, FxHasher};
+pub use stream::{DynamicGraph, GraphDelta};
 
 /// Convenience prelude re-exporting the items almost every consumer needs.
 pub mod prelude {
     pub use crate::builder::GraphBuilder;
-    pub use crate::graph::{Graph, NeighborAccess, NodeId};
+    pub use crate::graph::{AdjacencyList, Graph, NeighborAccess, NodeId};
     pub use crate::hash::{FxHashMap, FxHashSet};
+    pub use crate::stream::{DynamicGraph, GraphDelta};
 }

@@ -1,0 +1,414 @@
+//! Dynamic-graph substrate for the streaming workloads: a mutable adjacency
+//! structure ([`DynamicGraph`]) that supports edge insertions *and* deletions, the
+//! batch delta type ([`GraphDelta`]) shared by the incremental re-summarizer in
+//! `slugger-core` and the MoSSo baseline in `slugger-baselines`, and a deterministic
+//! edge-stream generator ([`stream_batches`]) that turns any static graph into an
+//! initial snapshot plus a sequence of delta batches (optionally with churn:
+//! edges that are deleted and later re-inserted).
+//!
+//! Everything here is seeded and deterministic, like the rest of the crate.
+
+use crate::graph::{AdjacencyList, Graph, NeighborAccess, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+/// A simple undirected graph under edit: per-node **sorted** adjacency lists that
+/// support O(deg) edge insertion/removal while staying binary-searchable, plus an
+/// exact edge count.
+///
+/// This is the maintained "current graph" of a streaming run.  It deliberately
+/// mirrors [`Graph`]'s semantics (no self-loops, no multi-edges) so a
+/// [`DynamicGraph`] and the [`Graph`] materialized from it always agree.
+#[derive(Clone, Debug, Default)]
+pub struct DynamicGraph {
+    lists: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// The empty dynamic graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        DynamicGraph {
+            lists: vec![Vec::new(); num_nodes],
+            num_edges: 0,
+        }
+    }
+
+    /// Copies a static graph into editable form.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let lists = (0..graph.num_nodes() as NodeId)
+            .map(|u| graph.neighbors(u).to_vec())
+            .collect();
+        DynamicGraph {
+            lists,
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Number of nodes `|V|`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted adjacency list of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.lists[u as usize]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.lists[u as usize].len()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists. O(log deg).
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.lists[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Inserts the undirected edge `(u, v)`.  Returns `false` (and changes nothing)
+    /// for self-loops and already-present edges.
+    pub fn insert_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let pos_u = match self.lists[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        self.lists[u as usize].insert(pos_u, v);
+        let pos_v = self.lists[v as usize]
+            .binary_search(&u)
+            .expect_err("adjacency lists out of sync");
+        self.lists[v as usize].insert(pos_v, u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes the undirected edge `(u, v)`.  Returns `false` (and changes nothing)
+    /// when the edge is absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let pos_u = match self.lists[u as usize].binary_search(&v) {
+            Ok(pos) => pos,
+            Err(_) => return false,
+        };
+        self.lists[u as usize].remove(pos_u);
+        let pos_v = self.lists[v as usize]
+            .binary_search(&u)
+            .expect("adjacency lists out of sync");
+        self.lists[v as usize].remove(pos_v);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Iterates over every undirected edge exactly once, as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.lists.iter().enumerate().flat_map(|(u, list)| {
+            let u = u as NodeId;
+            list.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Freezes the current state into an immutable CSR [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        Graph::from_edges(self.num_nodes(), self.edges())
+    }
+}
+
+impl AdjacencyList for DynamicGraph {
+    fn num_nodes(&self) -> usize {
+        DynamicGraph::num_nodes(self)
+    }
+
+    fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        DynamicGraph::neighbors(self, u)
+    }
+}
+
+impl NeighborAccess for DynamicGraph {
+    fn num_nodes(&self) -> usize {
+        DynamicGraph::num_nodes(self)
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in DynamicGraph::neighbors(self, u) {
+            f(v);
+        }
+    }
+
+    fn neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
+        DynamicGraph::neighbors(self, u).to_vec()
+    }
+
+    fn degree_of(&self, u: NodeId) -> usize {
+        self.degree(u)
+    }
+}
+
+/// One batch of a fully dynamic edge stream: edges to delete and edges to insert.
+///
+/// Consumers apply **deletions first, then insertions**, each idempotently (a
+/// deletion of an absent edge and an insertion of a present edge are no-ops), so an
+/// edge appearing in both lists is present after the batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Edges removed by this batch.
+    pub deletions: Vec<(NodeId, NodeId)>,
+    /// Edges added by this batch.
+    pub insertions: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphDelta {
+    /// The empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// A pure-insertion delta.
+    pub fn from_insertions<I: IntoIterator<Item = (NodeId, NodeId)>>(edges: I) -> Self {
+        GraphDelta {
+            deletions: Vec::new(),
+            insertions: edges.into_iter().collect(),
+        }
+    }
+
+    /// Total number of operations in the batch.
+    pub fn len(&self) -> usize {
+        self.deletions.len() + self.insertions.len()
+    }
+
+    /// Whether the batch contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.deletions.is_empty() && self.insertions.is_empty()
+    }
+
+    /// Applies the batch to a dynamic graph (deletions first, then insertions) and
+    /// returns `(applied_deletions, applied_insertions)`.
+    pub fn apply_to(&self, graph: &mut DynamicGraph) -> (usize, usize) {
+        let mut deleted = 0usize;
+        for &(u, v) in &self.deletions {
+            if graph.remove_edge(u, v) {
+                deleted += 1;
+            }
+        }
+        let mut inserted = 0usize;
+        for &(u, v) in &self.insertions {
+            if graph.insert_edge(u, v) {
+                inserted += 1;
+            }
+        }
+        (deleted, inserted)
+    }
+}
+
+/// Configuration of the deterministic stream generator [`stream_batches`].
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Fraction of the target graph's edges present in the initial snapshot.
+    pub initial_fraction: f64,
+    /// Number of delta batches the remaining edges are spread over.
+    pub num_batches: usize,
+    /// Churn ratio: per batch, this fraction of the batch's insertion count is
+    /// additionally *deleted* from the currently present edges and re-inserted in
+    /// the following batch (the last batch deletes nothing), exercising the
+    /// fully-dynamic path while still converging to the target graph.
+    pub churn: f64,
+    /// Seed of the (deterministic) edge shuffle and churn sampling.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            initial_fraction: 0.9,
+            num_batches: 10,
+            churn: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// Splits `target` into an initial snapshot plus `num_batches` delta batches such
+/// that applying every batch in order to the snapshot reproduces `target` exactly.
+///
+/// The edge order is a seeded shuffle; with `churn > 0` each non-final batch also
+/// deletes a few already-present edges, which the next batch re-inserts (so every
+/// batch of a churned stream mixes deletions and insertions).  Pure function of
+/// `(target, config)`.
+pub fn stream_batches(target: &Graph, config: &StreamConfig) -> (Graph, Vec<GraphDelta>) {
+    let mut edges: Vec<(NodeId, NodeId)> = target.edges().collect();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x57e4_a11c_e5ee_d000);
+    edges.shuffle(&mut rng);
+    let initial_count =
+        ((edges.len() as f64) * config.initial_fraction.clamp(0.0, 1.0)).round() as usize;
+    let initial_count = initial_count.min(edges.len());
+    let initial = Graph::from_edges(target.num_nodes(), edges[..initial_count].iter().copied());
+    let remaining = &edges[initial_count..];
+    let num_batches = config.num_batches.max(1);
+    let per_batch = remaining.len().div_ceil(num_batches).max(1);
+
+    let mut batches: Vec<GraphDelta> = Vec::with_capacity(num_batches);
+    // Edges present at the *start* of the upcoming batch (initial snapshot plus
+    // everything inserted in earlier batches, minus their pending churn
+    // deletions).  Churn victims are sampled from this set **before** the batch's
+    // own insertions are appended: consumers apply deletions first, so deleting
+    // an edge this very batch also inserts would silently no-op and the
+    // effective churn rate would fall below `StreamConfig::churn`.
+    let mut present: Vec<(NodeId, NodeId)> = edges[..initial_count].to_vec();
+    let mut carry: Vec<(NodeId, NodeId)> = Vec::new();
+    for b in 0..num_batches {
+        let start = (b * per_batch).min(remaining.len());
+        let end = ((b + 1) * per_batch).min(remaining.len());
+        let fresh = &remaining[start..end];
+        let mut delta = GraphDelta::new();
+        let last = b + 1 == num_batches;
+        let mut next_carry: Vec<(NodeId, NodeId)> = Vec::new();
+        if !last && config.churn > 0.0 && !present.is_empty() {
+            let churn_count = ((fresh.len().max(1) as f64) * config.churn).round() as usize;
+            for _ in 0..churn_count.min(present.len().saturating_sub(1)) {
+                let idx = rng.random_range(0..present.len());
+                let edge = present.swap_remove(idx);
+                delta.deletions.push(edge);
+                next_carry.push(edge);
+            }
+        }
+        // Re-insert the previous batch's churn deletions, then the fresh edges;
+        // both are present again from this batch on (so they stay eligible as
+        // future churn victims).
+        delta.insertions.append(&mut carry);
+        delta.insertions.extend_from_slice(fresh);
+        present.extend_from_slice(&delta.insertions);
+        carry = next_carry;
+        batches.push(delta);
+    }
+    // Any churn still pending after the loop would break convergence; the loop
+    // re-inserts every deletion one batch later and deletes nothing in the final
+    // batch, so `carry` must be empty here.
+    debug_assert!(carry.is_empty());
+    (initial, batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{caveman, CavemanConfig};
+
+    #[test]
+    fn dynamic_graph_insert_remove_roundtrip() {
+        let mut g = DynamicGraph::new(5);
+        assert!(g.insert_edge(0, 1));
+        assert!(g.insert_edge(1, 2));
+        assert!(!g.insert_edge(1, 0), "duplicate insert must be a no-op");
+        assert!(!g.insert_edge(2, 2), "self-loop must be rejected");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.remove_edge(0, 1));
+        assert!(!g.remove_edge(0, 1), "double remove must be a no-op");
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+        let frozen = g.to_graph();
+        assert_eq!(frozen.num_edges(), 1);
+        assert!(frozen.has_edge(1, 2));
+        frozen.validate().unwrap();
+    }
+
+    #[test]
+    fn dynamic_graph_matches_static_source() {
+        let target = caveman(&CavemanConfig {
+            num_nodes: 120,
+            num_cliques: 15,
+            ..CavemanConfig::default()
+        });
+        let dynamic = DynamicGraph::from_graph(&target);
+        assert_eq!(dynamic.num_edges(), target.num_edges());
+        assert_eq!(dynamic.to_graph().edge_set(), target.edge_set());
+        for u in 0..target.num_nodes() as NodeId {
+            assert_eq!(dynamic.neighbors(u), target.neighbors(u));
+        }
+    }
+
+    #[test]
+    fn delta_apply_is_idempotent_per_op() {
+        let mut g = DynamicGraph::new(4);
+        g.insert_edge(0, 1);
+        let delta = GraphDelta {
+            deletions: vec![(0, 1), (0, 1), (2, 3)],
+            insertions: vec![(0, 1), (1, 2), (1, 2)],
+        };
+        let (deleted, inserted) = delta.apply_to(&mut g);
+        assert_eq!(deleted, 1, "only the present edge deletes");
+        assert_eq!(inserted, 2, "duplicate insertion is a no-op");
+        assert!(
+            g.has_edge(0, 1),
+            "delete-then-insert leaves the edge present"
+        );
+        assert!(g.has_edge(1, 2));
+        assert_eq!(delta.len(), 6);
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn stream_batches_converge_to_the_target() {
+        let target = caveman(&CavemanConfig {
+            num_nodes: 200,
+            num_cliques: 25,
+            ..CavemanConfig::default()
+        });
+        for churn in [0.0, 0.5] {
+            let config = StreamConfig {
+                initial_fraction: 0.8,
+                num_batches: 6,
+                churn,
+                seed: 7,
+            };
+            let (initial, batches) = stream_batches(&target, &config);
+            assert_eq!(batches.len(), 6);
+            let mut current = DynamicGraph::from_graph(&initial);
+            assert!(current.num_edges() < target.num_edges());
+            for delta in &batches {
+                delta.apply_to(&mut current);
+            }
+            assert_eq!(
+                current.to_graph().edge_set(),
+                target.edge_set(),
+                "stream (churn {churn}) must converge to the target graph"
+            );
+            if churn > 0.0 {
+                assert!(
+                    batches.iter().any(|d| !d.deletions.is_empty()),
+                    "churned streams must contain deletions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_batches_are_deterministic() {
+        let target = caveman(&CavemanConfig {
+            num_nodes: 100,
+            ..CavemanConfig::default()
+        });
+        let config = StreamConfig::default();
+        let (a_init, a_batches) = stream_batches(&target, &config);
+        let (b_init, b_batches) = stream_batches(&target, &config);
+        assert_eq!(a_init.edge_set(), b_init.edge_set());
+        assert_eq!(a_batches, b_batches);
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-algorithm streaming integration: the incremental re-summarizer against
+//! the full-rebuild baseline and MoSSo on the same fully dynamic edge streams.
+//!
+//! After **every** delta batch:
+//!
+//! * the incrementally maintained summary decodes **identically** to the current
+//!   graph (the lossless invariant of `slugger_core::incremental`), i.e. exactly
+//!   the graph a from-scratch run would be summarizing;
+//! * its (pruned-snapshot) encoding cost stays within a fixed factor of a full
+//!   SLUGGER rebuild on the current graph.
+//!
+//! The stream also round-trips through `storage` mid-way — persisting the summary
+//! and resuming from the reloaded bytes must preserve the invariant — and MoSSo
+//! consumes the identical `GraphDelta` batches as the flat-model streaming
+//! baseline.
+
+use slugger::baselines::{MossoConfig, MossoSummarizer};
+use slugger::core::decode::decode_full;
+use slugger::core::incremental::{IncrementalConfig, IncrementalSummarizer};
+use slugger::core::storage::{read_summary, write_summary};
+use slugger::graph::gen::{caveman, rmat, CavemanConfig, RmatConfig};
+use slugger::graph::stream::{stream_batches, DynamicGraph, StreamConfig};
+use slugger::prelude::*;
+
+/// Cost factor the incremental summary must stay within, relative to a full
+/// rebuild on the identical graph.  The incremental path only re-opens the dirty
+/// region, so it can lag the global optimum a little — but staying within a
+/// constant factor after ten churned batches is exactly what makes it usable.
+const COST_FACTOR: f64 = 1.5;
+
+fn rebuild_cost(graph: &Graph, seed: u64) -> usize {
+    let outcome = Slugger::new(SluggerConfig {
+        iterations: 5,
+        seed,
+        ..SluggerConfig::default()
+    })
+    .summarize(graph);
+    outcome.metrics.cost
+}
+
+fn check_stream(name: &str, target: &Graph, stream_seed: u64) {
+    let (initial, batches) = stream_batches(
+        target,
+        &StreamConfig {
+            initial_fraction: 0.85,
+            num_batches: 6,
+            churn: 0.3,
+            seed: stream_seed,
+        },
+    );
+    let bootstrap = Slugger::new(SluggerConfig {
+        iterations: 5,
+        seed: 3,
+        ..SluggerConfig::default()
+    });
+    let mut inc =
+        IncrementalSummarizer::bootstrap(&initial, &bootstrap, IncrementalConfig::default());
+    let mut mosso = MossoSummarizer::new(target.num_nodes(), MossoConfig::default());
+    for (u, v) in initial.edges() {
+        mosso.insert_edge(u, v);
+    }
+    let mut current = DynamicGraph::from_graph(&initial);
+
+    for (i, delta) in batches.iter().enumerate() {
+        delta.apply_to(&mut current);
+        inc.resummarize(delta);
+        mosso.apply_delta(delta);
+
+        // Decode-identity: the maintained summary represents exactly the graph a
+        // from-scratch run would see right now.
+        let graph_now = current.to_graph();
+        assert_eq!(
+            decode_full(inc.summary()).edge_set(),
+            graph_now.edge_set(),
+            "{name}: incremental summary diverged from the stream after batch {i}"
+        );
+        inc.summary()
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: invalid summary after batch {i}: {e}"));
+
+        // Cost competitiveness (pruned snapshot vs pruned full rebuild).
+        let (pruned, _) = inc.pruned_summary(2);
+        let rebuilt = rebuild_cost(&graph_now, 3);
+        assert!(
+            (pruned.encoding_cost() as f64) <= (rebuilt as f64) * COST_FACTOR + 8.0,
+            "{name}: batch {i}: incremental cost {} exceeds {COST_FACTOR}x the \
+             rebuild cost {rebuilt}",
+            pruned.encoding_cost()
+        );
+
+        // Halfway through, persist the maintained summary and resume from the
+        // reloaded bytes: the invariant must survive the storage round-trip.
+        if i == batches.len() / 2 {
+            let mut buffer = Vec::new();
+            write_summary(inc.summary(), &mut buffer).unwrap();
+            let restored = read_summary(&buffer[..]).unwrap();
+            inc = IncrementalSummarizer::from_summary(
+                restored,
+                &graph_now,
+                IncrementalConfig::default(),
+            )
+            .unwrap();
+            inc.verify_lossless()
+                .unwrap_or_else(|e| panic!("{name}: reloaded summary not lossless: {e}"));
+        }
+    }
+
+    // The stream converged to the target; so must every maintained state.
+    assert_eq!(decode_full(inc.summary()).edge_set(), target.edge_set());
+    let (mosso_summary, mosso_graph) = mosso.finalize();
+    assert_eq!(mosso_graph.edge_set(), target.edge_set());
+    mosso_summary
+        .verify_lossless(&mosso_graph)
+        .unwrap_or_else(|e| panic!("{name}: MoSSo lost the stream: {e}"));
+}
+
+#[test]
+fn caveman_stream_decodes_identically_after_every_batch() {
+    let target = caveman(&CavemanConfig {
+        num_nodes: 400,
+        num_cliques: 50,
+        min_clique: 5,
+        max_clique: 9,
+        rewire_probability: 0.02,
+        seed: 31,
+    });
+    check_stream("caveman", &target, 11);
+}
+
+#[test]
+fn rmat_stream_decodes_identically_after_every_batch() {
+    let target = rmat(&RmatConfig {
+        scale: 10,
+        num_edges: 7_000,
+        seed: 9,
+        ..RmatConfig::default()
+    });
+    check_stream("rmat", &target, 17);
+}
