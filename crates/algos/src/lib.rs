@@ -4,11 +4,12 @@
 //! [`slugger_graph::NeighborAccess`], so they run unchanged on
 //!
 //! * a raw [`slugger_graph::Graph`], and
-//! * a compressed [`slugger_core::HierarchicalSummary`] via
-//!   [`slugger_core::decode::SummaryNeighborView`] (on-the-fly partial decompression,
-//!   Sect. VIII-C of the SLUGGER paper).
+//! * a compressed `slugger_core::HierarchicalSummary` via
+//!   `slugger_core::decode::SummaryNeighborView` (on-the-fly partial decompression,
+//!   Sect. VIII-C of the SLUGGER paper; this crate deliberately does not depend on
+//!   `slugger-core` — the view implements the shared `NeighborAccess` trait).
 //!
-//! Provided algorithms: BFS/DFS traversal ([`traversal`]), PageRank ([`pagerank`]),
+//! Provided algorithms: BFS/DFS traversal ([`traversal`]), PageRank ([`mod@pagerank`]),
 //! Dijkstra / unweighted shortest paths ([`shortest_path`]), and triangle counting
 //! ([`triangles`]) — the four workloads of the paper's appendix experiment.
 

@@ -1,16 +1,20 @@
 //! Harness binary for the streaming re-summarization experiment (incremental vs
 //! full rebuild vs MoSSo on fully dynamic edge streams).  Asserts decode-identity
 //! of the incrementally maintained summary after every delta batch, so it doubles
-//! as the CI streaming smoke test.
+//! as the CI streaming smoke test; CI additionally forces a low `--compact-ratio`
+//! to smoke the arena-compaction path and uploads the `--json` report so the
+//! bench trajectory is tracked across PRs.
 //!
 //! ```text
 //! cargo run --release --bin streaming [--scale 1.0] [--iterations 5] [--seed 0]
+//!     [--prune-rounds 2] [--compact-ratio 0.5] [--json streaming.json]
 //! ```
 
-use slugger_bench::experiments::streaming;
+use slugger_bench::experiments::streaming::{self, StreamingOptions};
 use slugger_bench::ExperimentScale;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    print!("{}", streaming::run(&scale));
+    let options = StreamingOptions::from_env();
+    print!("{}", streaming::run_with(&scale, &options));
 }

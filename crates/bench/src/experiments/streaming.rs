@@ -7,7 +7,11 @@
 //! Per batch the harness measures
 //!
 //! * **incremental** — `IncrementalSummarizer::resummarize` on the maintained
-//!   hierarchical summary (dirty-region re-expansion + localized pipeline passes);
+//!   hierarchical summary (dirty-region re-expansion + localized pipeline passes +
+//!   engine-hosted region pruning), including the per-batch **prune time** and the
+//!   **resident arena size** (allocated slots, dead slots in parentheses) so the
+//!   bench tracks that pruning cost follows the dirty region and memory follows the
+//!   live summary — not the stream length;
 //! * **rebuild** — a full SLUGGER run on the current graph (what you would pay
 //!   without incremental maintenance);
 //! * **MoSSo** — the flat-model online baseline consuming the identical
@@ -15,8 +19,19 @@
 //!
 //! and **asserts decode-identity** after every batch: the maintained summary must
 //! decode to exactly the current graph (the lossless invariant the streaming test
-//! suite pins).  Costs are compared on pruned snapshots, since the maintained
-//! summary is deliberately unpruned.
+//! suite pins).  With incremental pruning enabled (the default) the maintained
+//! summary's cost is reported directly; pass `--prune-rounds 0` to reproduce the
+//! legacy snapshot-pruned reporting.
+//!
+//! Extra harness flags (parsed by the `streaming` binary on top of the shared
+//! [`ExperimentScale`] flags):
+//!
+//! * `--prune-rounds N` — per-batch region-prune rounds (default 2; 0 = legacy
+//!   unpruned maintenance);
+//! * `--compact-ratio R` — arena compaction threshold (default 0.5; 0 disables;
+//!   CI forces a low ratio to smoke the compaction path);
+//! * `--json PATH` — also write the per-batch measurements as JSON, so the bench
+//!   trajectory can be tracked across PRs.
 
 use crate::experiments::heading;
 use crate::runner::ExperimentScale;
@@ -40,8 +55,104 @@ pub const CAVEMAN_BASE_NODES: usize = 20_000;
 /// Delta batches per stream.
 pub const NUM_BATCHES: usize = 10;
 
-/// Runs the experiment and returns the report.
+/// Streaming-specific harness knobs (see the module docs).
+#[derive(Clone, Debug, Default)]
+pub struct StreamingOptions {
+    /// Per-batch region-prune rounds (`--prune-rounds`; `None` = library default).
+    pub prune_rounds: Option<usize>,
+    /// Arena compaction threshold (`--compact-ratio`; `None` = library default).
+    pub compact_dead_ratio: Option<f64>,
+    /// Write the per-batch measurements as JSON to this path (`--json`).
+    pub json_path: Option<String>,
+}
+
+impl StreamingOptions {
+    /// Parses the streaming-specific flags from an argument list (unknown flags
+    /// are ignored — the shared [`ExperimentScale`] parser handles the rest).
+    /// An unparsable value for a *recognized* flag panics: silently falling back
+    /// to the library default would let a typo'd CI smoke (e.g. a forced low
+    /// `--compact-ratio`) go green without exercising the path it exists for.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = StreamingOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--prune-rounds" => {
+                    let v = iter.next().expect("--prune-rounds needs a value");
+                    out.prune_rounds = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("--prune-rounds: not a count: {v:?}")),
+                    );
+                }
+                "--compact-ratio" => {
+                    let v = iter.next().expect("--compact-ratio needs a value");
+                    out.compact_dead_ratio = Some(
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("--compact-ratio: not a ratio: {v:?}")),
+                    );
+                }
+                "--json" => {
+                    out.json_path = Some(iter.next().expect("--json needs a path"));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    fn apply(&self, mut config: IncrementalConfig) -> IncrementalConfig {
+        if let Some(rounds) = self.prune_rounds {
+            config.prune_rounds = rounds;
+        }
+        if let Some(ratio) = self.compact_dead_ratio {
+            config.compact_dead_ratio = ratio;
+        }
+        config
+    }
+}
+
+/// One batch's measurements (feeds both the text table and the JSON report).
+struct BatchRow {
+    batch: usize,
+    deleted: usize,
+    inserted: usize,
+    dirty_roots: usize,
+    leaves: usize,
+    incr_secs: f64,
+    prune_secs: f64,
+    rebuild_secs: f64,
+    mosso_secs: f64,
+    incr_cost: usize,
+    rebuild_cost: usize,
+    mosso_cost: usize,
+    arena_len: usize,
+    dead_slots: usize,
+    compacted_slots: usize,
+}
+
+/// One stream's measurements.
+struct StreamRun {
+    name: String,
+    num_nodes: usize,
+    initial_edges: usize,
+    final_edges: usize,
+    bootstrap_secs: f64,
+    mosso_bootstrap_secs: f64,
+    rows: Vec<BatchRow>,
+}
+
+/// Runs the experiment with default streaming options and returns the report.
 pub fn run(scale: &ExperimentScale) -> String {
+    run_with(scale, &StreamingOptions::default())
+}
+
+/// Runs the experiment with explicit streaming options and returns the report.
+pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
     let mut out = heading("Streaming — incremental re-summarization vs full rebuild vs MoSSo");
     let iterations = scale.iterations.min(5);
     let rmat_graph = rmat(&RmatConfig {
@@ -50,7 +161,10 @@ pub fn run(scale: &ExperimentScale) -> String {
         seed: scale.seed,
         ..RmatConfig::default()
     });
-    out.push_str(&stream_section("RMAT", &rmat_graph, iterations, scale));
+    let mut runs = Vec::new();
+    let run = stream_section("RMAT", &rmat_graph, iterations, scale, options);
+    out.push_str(&render_section(&run, iterations));
+    runs.push(run);
     let nodes = ((CAVEMAN_BASE_NODES as f64 * scale.scale).round() as usize).max(60);
     let caveman_graph = caveman(&CavemanConfig {
         num_nodes: nodes,
@@ -60,20 +174,26 @@ pub fn run(scale: &ExperimentScale) -> String {
         rewire_probability: 0.03,
         seed: scale.seed,
     });
-    out.push_str(&stream_section(
-        "Caveman",
-        &caveman_graph,
-        iterations,
-        scale,
-    ));
+    let run = stream_section("Caveman", &caveman_graph, iterations, scale, options);
+    out.push_str(&render_section(&run, iterations));
+    runs.push(run);
     out.push_str(
         "\nDecode-identity is asserted after every batch: the incrementally maintained \
          summary and a from-scratch run see the identical current graph.  `Speedup` is \
-         rebuild time over incremental time for the same batch; incremental costs are \
-         pruned snapshots (the maintained summary itself stays unpruned).  MoSSo \
-         maintains the flat model online and is shown for the model-expressiveness \
-         trade-off, not as a like-for-like cost target.\n",
+         rebuild time over incremental time for the same batch; `Prune` is the \
+         engine-hosted region-prune share of the incremental time (bounded by the \
+         dirty region, not the summary) and `Arena` is allocated supernode slots with \
+         dead slots in parentheses (bounded by the live summary via compaction).  \
+         MoSSo maintains the flat model online and is shown for the \
+         model-expressiveness trade-off, not as a like-for-like cost target.\n",
     );
+    if let Some(path) = &options.json_path {
+        let json = render_json(scale, options, &runs);
+        match std::fs::write(path, &json) {
+            Ok(()) => out.push_str(&format!("\nPer-batch JSON written to {path}.\n")),
+            Err(e) => out.push_str(&format!("\nFailed to write JSON to {path}: {e}.\n")),
+        }
+    }
     out
 }
 
@@ -82,7 +202,8 @@ fn stream_section(
     target: &Graph,
     iterations: usize,
     scale: &ExperimentScale,
-) -> String {
+    options: &StreamingOptions,
+) -> StreamRun {
     let (initial, batches) = stream_batches(
         target,
         &StreamConfig {
@@ -99,16 +220,18 @@ fn stream_section(
         shards: scale.shards,
         ..SluggerConfig::default()
     };
+    let incremental_config = options.apply(IncrementalConfig {
+        seed: scale.seed,
+        parallelism: scale.parallelism(),
+        shards: scale.shards,
+        ..IncrementalConfig::default()
+    });
+    let report_pruned_snapshots = incremental_config.prune_rounds == 0;
     let bootstrap_start = Instant::now();
     let mut inc = IncrementalSummarizer::bootstrap(
         &initial,
         &Slugger::new(slugger_config),
-        IncrementalConfig {
-            seed: scale.seed,
-            parallelism: scale.parallelism(),
-            shards: scale.shards,
-            ..IncrementalConfig::default()
-        },
+        incremental_config,
     );
     let bootstrap_elapsed = bootstrap_start.elapsed();
     let mut mosso = MossoSummarizer::new(
@@ -125,26 +248,10 @@ fn stream_section(
     let mosso_bootstrap = mosso_start.elapsed();
     let mut current = DynamicGraph::from_graph(&initial);
 
-    let mut table = TableWriter::new([
-        "Batch",
-        "Ops",
-        "Dirty",
-        "Leaves",
-        "Incr time",
-        "Rebuild",
-        "Speedup",
-        "Incr cost",
-        "Rebuild cost",
-        "MoSSo time",
-        "MoSSo cost",
-    ]);
-    let mut inc_total = 0.0f64;
-    let mut rebuild_total = 0.0f64;
+    let mut rows = Vec::with_capacity(batches.len());
     for (i, delta) in batches.iter().enumerate() {
         delta.apply_to(&mut current);
         let report = inc.resummarize(delta);
-        let inc_secs = report.elapsed.as_secs_f64();
-        inc_total += inc_secs;
 
         let graph_now = current.to_graph();
         assert_eq!(
@@ -155,39 +262,103 @@ fn stream_section(
         let rebuild_start = Instant::now();
         let rebuilt = Slugger::new(slugger_config).summarize(&graph_now);
         let rebuild_secs = rebuild_start.elapsed().as_secs_f64();
-        rebuild_total += rebuild_secs;
 
         let mosso_batch = Instant::now();
         mosso.apply_delta(delta);
-        let mosso_secs = mosso_batch.elapsed();
-        let (pruned, _) = inc.pruned_summary(2);
+        let mosso_secs = mosso_batch.elapsed().as_secs_f64();
+        // With incremental pruning the maintained summary *is* the pruned summary;
+        // without it (legacy mode), fall back to the snapshot-pruned cost.
+        let incr_cost = if report_pruned_snapshots {
+            inc.pruned_summary(2).0.encoding_cost()
+        } else {
+            report.cost
+        };
 
-        table.row([
-            (i + 1).to_string(),
-            format!("-{} +{}", report.deleted, report.inserted),
-            report.dirty_roots.to_string(),
-            report.reexpanded_leaves.to_string(),
-            fmt_duration(report.elapsed),
-            fmt_duration(std::time::Duration::from_secs_f64(rebuild_secs)),
-            format!("{:.1}x", rebuild_secs / inc_secs.max(1e-9)),
-            pruned.encoding_cost().to_string(),
-            rebuilt.metrics.cost.to_string(),
-            fmt_duration(mosso_secs),
-            mosso_flat_cost(&mosso).to_string(),
-        ]);
+        rows.push(BatchRow {
+            batch: i + 1,
+            deleted: report.deleted,
+            inserted: report.inserted,
+            dirty_roots: report.dirty_roots,
+            leaves: report.reexpanded_leaves,
+            incr_secs: report.elapsed.as_secs_f64(),
+            prune_secs: report.prune_elapsed.as_secs_f64(),
+            rebuild_secs,
+            mosso_secs,
+            incr_cost,
+            rebuild_cost: rebuilt.metrics.cost,
+            mosso_cost: mosso_flat_cost(&mosso),
+            arena_len: report.arena_len,
+            dead_slots: report.dead_slots,
+            compacted_slots: report.compacted_slots,
+        });
     }
 
-    let fresh_per_batch = (target.num_edges() - initial.num_edges()) as f64 / NUM_BATCHES as f64;
+    StreamRun {
+        name: name.to_string(),
+        num_nodes: target.num_nodes(),
+        initial_edges: initial.num_edges(),
+        final_edges: target.num_edges(),
+        bootstrap_secs: bootstrap_elapsed.as_secs_f64(),
+        mosso_bootstrap_secs: mosso_bootstrap.as_secs_f64(),
+        rows,
+    }
+}
+
+fn render_section(run: &StreamRun, iterations: usize) -> String {
+    let mut table = TableWriter::new([
+        "Batch",
+        "Ops",
+        "Dirty",
+        "Leaves",
+        "Incr time",
+        "Prune",
+        "Rebuild",
+        "Speedup",
+        "Arena",
+        "Incr cost",
+        "Rebuild cost",
+        "MoSSo time",
+        "MoSSo cost",
+    ]);
+    let mut inc_total = 0.0f64;
+    let mut rebuild_total = 0.0f64;
+    for row in &run.rows {
+        inc_total += row.incr_secs;
+        rebuild_total += row.rebuild_secs;
+        let arena = if row.compacted_slots > 0 {
+            format!("{}({})*", row.arena_len, row.dead_slots)
+        } else {
+            format!("{}({})", row.arena_len, row.dead_slots)
+        };
+        table.row([
+            row.batch.to_string(),
+            format!("-{} +{}", row.deleted, row.inserted),
+            row.dirty_roots.to_string(),
+            row.leaves.to_string(),
+            fmt_duration(std::time::Duration::from_secs_f64(row.incr_secs)),
+            fmt_duration(std::time::Duration::from_secs_f64(row.prune_secs)),
+            fmt_duration(std::time::Duration::from_secs_f64(row.rebuild_secs)),
+            format!("{:.1}x", row.rebuild_secs / row.incr_secs.max(1e-9)),
+            arena,
+            row.incr_cost.to_string(),
+            row.rebuild_cost.to_string(),
+            fmt_duration(std::time::Duration::from_secs_f64(row.mosso_secs)),
+            row.mosso_cost.to_string(),
+        ]);
+    }
+    let fresh_per_batch = (run.final_edges as f64 - run.initial_edges as f64) / NUM_BATCHES as f64;
     let mut out = format!(
-        "\n### {name} stream: |V| = {}, final |E| = {}, {} batches of ~{:.2}% fresh edges \
+        "\n### {} stream: |V| = {}, final |E| = {}, {} batches of ~{:.2}% fresh edges \
          each (churn 0.25), T = {iterations}\n\nBootstrap: SLUGGER in {} on the 90% \
-         snapshot; MoSSo streamed the snapshot in {}.\n\n",
-        target.num_nodes(),
-        target.num_edges(),
+         snapshot; MoSSo streamed the snapshot in {}.  `*` marks batches that \
+         compacted the arena.\n\n",
+        run.name,
+        run.num_nodes,
+        run.final_edges,
         NUM_BATCHES,
-        100.0 * fresh_per_batch / target.num_edges().max(1) as f64,
-        fmt_duration(bootstrap_elapsed),
-        fmt_duration(mosso_bootstrap),
+        100.0 * fresh_per_batch / (run.final_edges as f64).max(1.0),
+        fmt_duration(std::time::Duration::from_secs_f64(run.bootstrap_secs)),
+        fmt_duration(std::time::Duration::from_secs_f64(run.mosso_bootstrap_secs)),
     );
     out.push_str(&table.to_text());
     out.push_str(&format!(
@@ -196,6 +367,74 @@ fn stream_section(
         fmt_duration(std::time::Duration::from_secs_f64(rebuild_total)),
         rebuild_total / inc_total.max(1e-9),
     ));
+    out
+}
+
+/// Hand-rolled JSON (the vendored `serde_json` is a Debug-based stand-in, not a
+/// codec): strictly numbers, strings and nesting — parseable by any JSON reader.
+fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[StreamRun]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"scale\": {}, \"iterations\": {}, \"seed\": {}, \"threads\": {}, \"shards\": {},\n",
+        scale.scale,
+        scale.iterations.min(5),
+        scale.seed,
+        scale.threads,
+        scale.shards
+    ));
+    out.push_str(&format!(
+        "  \"prune_rounds\": {}, \"compact_dead_ratio\": {},\n",
+        options
+            .prune_rounds
+            .unwrap_or(IncrementalConfig::default().prune_rounds),
+        options
+            .compact_dead_ratio
+            .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
+    ));
+    out.push_str("  \"streams\": [\n");
+    for (si, run) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"num_nodes\": {}, \"initial_edges\": {}, \
+             \"final_edges\": {}, \"bootstrap_secs\": {:.6}, \
+             \"mosso_bootstrap_secs\": {:.6}, \"batches\": [\n",
+            run.name,
+            run.num_nodes,
+            run.initial_edges,
+            run.final_edges,
+            run.bootstrap_secs,
+            run.mosso_bootstrap_secs
+        ));
+        for (bi, row) in run.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"batch\": {}, \"deleted\": {}, \"inserted\": {}, \
+                 \"dirty_roots\": {}, \"leaves\": {}, \"incr_secs\": {:.6}, \
+                 \"prune_secs\": {:.6}, \"rebuild_secs\": {:.6}, \"mosso_secs\": {:.6}, \
+                 \"incr_cost\": {}, \"rebuild_cost\": {}, \"mosso_cost\": {}, \
+                 \"arena_len\": {}, \"dead_slots\": {}, \"compacted_slots\": {}}}{}\n",
+                row.batch,
+                row.deleted,
+                row.inserted,
+                row.dirty_roots,
+                row.leaves,
+                row.incr_secs,
+                row.prune_secs,
+                row.rebuild_secs,
+                row.mosso_secs,
+                row.incr_cost,
+                row.rebuild_cost,
+                row.mosso_cost,
+                row.arena_len,
+                row.dead_slots,
+                row.compacted_slots,
+                if bi + 1 < run.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if si + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 

@@ -23,7 +23,7 @@
 //!   a ten-root group), small groups hash each touched node inline during the fold,
 //!   with the seed mix hoisted once per round.  Only near-full groups — where the
 //!   lookups amortize the build — go through a per-seed hash table kept in the
-//!   reusable [`CandidateScratch`] (see [`TABLE_FOLD_FACTOR`]); both modes compute
+//!   reusable [`CandidateScratch`] (see `TABLE_FOLD_FACTOR`); both modes compute
 //!   the identical permutation.
 //! * **Sort-based bucketing.**  Splitting a group by shingle value sorts a reusable
 //!   `(shingle, root)` buffer (allocation-free unstable sort; root ids are unique, so
@@ -37,7 +37,7 @@
 //!   substrate already used by [`crate::pipeline`].  The fold is a pure map, so the
 //!   chunking — and hence the thread count — never changes the grouping; byte-identical
 //!   output for a fixed seed is pinned by `tests/candidate_determinism.rs` against the
-//!   straightforward [`reference`] implementation.
+//!   straightforward [`mod@reference`] implementation.
 
 use crate::model::{HierarchicalSummary, SupernodeId};
 use rand::rngs::StdRng;

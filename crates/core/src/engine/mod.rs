@@ -8,7 +8,7 @@
 //!
 //! * the **immutable cost/topology view** — the engine as it stood when the
 //!   iteration's candidate sets were generated, shared as `&MergeEngine` by every
-//!   shard and queried through the [`view`] trait;
+//!   shard and queried through the `view` trait;
 //! * the **per-shard mutable state** — a copy-on-write [`plan::PlanningEngine`]
 //!   overlay on which a shard speculatively plans each candidate set's merges,
 //!   touching memory proportional to the set instead of deep-copying the engine.
@@ -20,7 +20,7 @@
 //!
 //! Every evaluation/application runs against a per-worker [`MergeCtx`]: the encoder
 //! memo plus reusable scratch buffers, so the hot path performs no per-evaluation
-//! heap allocation (see [`view`]'s module docs for the allocation discipline).
+//! heap allocation (see `view`'s module docs for the allocation discipline).
 
 pub mod apply;
 pub mod plan;
@@ -338,7 +338,7 @@ impl MergeEngine {
     /// Dissolves the tree of `root` back into singleton-leaf roots: removes every
     /// p/n-edge incident to the tree through the bookkeeping sink (so neighbor
     /// roots' metadata stays exact), resets the union-find entries of the dissolved
-    /// region, and gives every leaf a fresh edge-free [`RootMeta`].  Returns
+    /// region, and gives every leaf a fresh edge-free `RootMeta`.  Returns
     /// `(leaves, killed_internal_supernodes)`.
     ///
     /// This is the dirty-region **re-expansion** primitive of
@@ -396,6 +396,168 @@ impl MergeEngine {
     pub fn restore_leaf_edge(&mut self, u: SupernodeId, v: SupernodeId) {
         debug_assert_eq!(self.summary.edge_weight(u, v), 0);
         self.add_pn_edge(u, v, 1);
+    }
+
+    /// Removes a non-leaf supernode from the maintained summary with **exact**
+    /// engine bookkeeping — the structural half of engine-hosted pruning (the
+    /// [`crate::prune::PruneHost`] impl routes the substeps' edge edits through the
+    /// p/n-edge sink and their structural removals through here).
+    ///
+    /// The node's own incident edges are dropped through the sink first.  Removing
+    /// an **internal** node keeps the containing root's identity (its tree just
+    /// shrinks); removing a **root** splits its tree into one tree per child, so
+    /// the union-find, the root set and every re-attributed edge's adjacency
+    /// metadata are rebuilt for the split region — cost proportional to the tree
+    /// and its incident edges, never to the whole summary.
+    pub fn prune_supernode(&mut self, id: SupernodeId) {
+        // Drop the node's own p/n-edges through the sink, in sorted order (the
+        // incidence set iterates in layout order, which is not content-determined).
+        let mut incident: Vec<SupernodeId> = self.summary.incident(id).collect();
+        incident.sort_unstable();
+        for other in incident {
+            self.remove_pn_edge(id, other);
+        }
+        let root = self.root_of(id);
+        if root != id {
+            // Internal node: the containing root keeps its identity; the tree
+            // shrinks by one and may get shallower.  The dead node's union-find
+            // entry keeps chaining into the tree, which stays correct.
+            self.summary.prune_supernode(id);
+            let meta = self.roots.get_mut(&root).expect("containing root");
+            meta.tree_size -= 1;
+            meta.height = self.summary.tree_height(root);
+            return;
+        }
+        // Root removal: the tree splits into one tree per child.  Re-attributing
+        // the descendants' edges pair by pair would have to split adjacency maps;
+        // instead drop every edge incident to the tree through the sink, perform
+        // the split, and re-add them — the summary content is untouched (the same
+        // (x, y, sign) triples come back) while every neighbor's metadata is
+        // re-derived exactly.
+        let children = self.summary.children(id).to_vec();
+        let tree = self.summary.tree_supernodes(id);
+        let mut edges: Vec<(SupernodeId, SupernodeId, EdgeSign)> = Vec::new();
+        let mut buf: Vec<SupernodeId> = Vec::new();
+        for &x in &tree {
+            buf.clear();
+            buf.extend(self.summary.incident(x));
+            buf.sort_unstable();
+            for &y in &buf {
+                let sign = self.summary.edge_sign(x, y).expect("incident edge");
+                edges.push((x, y, sign));
+                self.remove_pn_edge(x, y);
+            }
+        }
+        let rep = self.find(id);
+        self.set_root.remove(&rep);
+        self.roots.remove(&id);
+        self.summary.prune_supernode(id);
+        self.dsu_parent[id as usize] = id;
+        for &c in &children {
+            let subtree = self.summary.tree_supernodes(c);
+            for &x in &subtree {
+                self.dsu_parent[x as usize] = c;
+            }
+            self.set_root.insert(c, c);
+            self.roots.insert(
+                c,
+                RootMeta {
+                    tree_size: subtree.len(),
+                    height: self.summary.tree_height(c),
+                    adjacency: FxHashMap::default(),
+                    pn_count: 0,
+                },
+            );
+        }
+        for (x, y, sign) in edges {
+            self.add_pn_edge(x, y, sign.weight() as i8);
+        }
+    }
+
+    /// Compacts the summary's arena ([`HierarchicalSummary::compact`]) and rebuilds
+    /// the engine's union-find, root set and adjacency metadata for the renumbered
+    /// ids.  Returns the number of dead slots reclaimed (0 = arena already dense,
+    /// nothing changed).
+    ///
+    /// The remap preserves id order, so candidate bucketing, pivot selection and
+    /// every other id-*order*-dependent tie-break behave identically afterwards:
+    /// compaction never changes subsequent outputs (in id-free canonical form) —
+    /// pinned by `tests/incremental_prune_compact.rs`.  Must only be called between
+    /// pipeline passes (no outstanding plans or forced arena slots).
+    pub fn compact(&mut self) -> usize {
+        if self.summary.num_dead_slots() == 0 {
+            return 0;
+        }
+        let mut summary = std::mem::take(&mut self.summary);
+        let map = summary.compact();
+        *self = MergeEngine::from_summary(summary);
+        map.reclaimed()
+    }
+
+    /// Exhaustive consistency check of the engine's incremental bookkeeping
+    /// against a from-scratch rebuild — `O(arena + edges)`, meant for tests.
+    ///
+    /// Verifies the summary itself ([`HierarchicalSummary::validate`]), that the
+    /// union-find resolves every alive supernode to its summary root, and that the
+    /// root set and every root's metadata (tree size, height, adjacency counts)
+    /// equal what [`MergeEngine::from_summary`] derives from the summary alone.
+    pub fn validate(&self) -> Result<(), String> {
+        self.summary.validate()?;
+        for id in 0..self.summary.arena_len() as SupernodeId {
+            if !self.summary.is_alive(id) {
+                continue;
+            }
+            let expected = self.summary.root_of(id);
+            let got = self.root_of_frozen(id);
+            if got != expected {
+                return Err(format!(
+                    "union-find resolves {id} to {got}, summary says {expected}"
+                ));
+            }
+        }
+        let rebuilt = MergeEngine::from_summary(self.summary.clone());
+        if self.roots() != rebuilt.roots() {
+            return Err(format!(
+                "root set {:?} != rebuilt {:?}",
+                self.roots(),
+                rebuilt.roots()
+            ));
+        }
+        for r in self.roots() {
+            let live = &self.roots[&r];
+            let fresh = &rebuilt.roots[&r];
+            if live.tree_size != fresh.tree_size {
+                return Err(format!(
+                    "root {r}: tree_size {} != rebuilt {}",
+                    live.tree_size, fresh.tree_size
+                ));
+            }
+            if live.height != fresh.height {
+                return Err(format!(
+                    "root {r}: height {} != rebuilt {}",
+                    live.height, fresh.height
+                ));
+            }
+            if live.pn_count != fresh.pn_count {
+                return Err(format!(
+                    "root {r}: pn_count {} != rebuilt {}",
+                    live.pn_count, fresh.pn_count
+                ));
+            }
+            let canon = |m: &FxHashMap<SupernodeId, u32>| {
+                let mut v: Vec<(SupernodeId, u32)> = m.iter().map(|(&k, &c)| (k, c)).collect();
+                v.sort_unstable();
+                v
+            };
+            if canon(&live.adjacency) != canon(&fresh.adjacency) {
+                return Err(format!(
+                    "root {r}: adjacency {:?} != rebuilt {:?}",
+                    canon(&live.adjacency),
+                    canon(&fresh.adjacency)
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Read access to the evolving summary.
@@ -494,8 +656,8 @@ impl MergeEngine {
     /// Merges roots `a` and `b`, applying the Case-1 and Case-2 re-encodings, and
     /// returns the id of the new root supernode.
     ///
-    /// Split into [`view::resolve_merge_into`] (the expensive read-only half) and
-    /// [`MergeEngine::commit_merge`] (the cheap mutation half) so the parallel apply
+    /// Split into `view::resolve_merge_into` (the expensive read-only half) and
+    /// `MergeEngine::commit_merge` (the cheap mutation half) so the parallel apply
     /// stage can resolve merges on worker threads and commit them serially through
     /// the identical code path.
     pub fn apply_merge(
@@ -628,6 +790,29 @@ impl view::PnEdgeSink for MergeEngine {
                 Self::decrement(&mut self.roots, ry, rx);
             }
         }
+    }
+}
+
+/// Engine-hosted pruning: the substeps of [`crate::prune`] mutate the maintained
+/// summary through the engine's bookkeeping (edge edits through the p/n-edge sink,
+/// structural removals through [`MergeEngine::prune_supernode`]), so the union-find,
+/// root set and `Saving(A, B, G)` metadata stay exact while the summary is pruned
+/// in place — no snapshot, no rebuild.
+impl crate::prune::PruneHost for MergeEngine {
+    fn summary(&self) -> &HierarchicalSummary {
+        MergeEngine::summary(self)
+    }
+
+    fn remove_edge(&mut self, a: SupernodeId, b: SupernodeId) {
+        self.remove_pn_edge(a, b);
+    }
+
+    fn set_edge(&mut self, a: SupernodeId, b: SupernodeId, sign: EdgeSign) {
+        self.add_pn_edge(a, b, sign.weight() as i8);
+    }
+
+    fn prune_supernode(&mut self, id: SupernodeId) {
+        MergeEngine::prune_supernode(self, id);
     }
 }
 
@@ -1004,6 +1189,83 @@ mod tests {
             edges.push((1, s));
         }
         Graph::from_edges(5, edges)
+    }
+
+    #[test]
+    fn prune_supernode_splits_roots_with_exact_bookkeeping() {
+        // Build a 3-level tree over {2,3,4} next to two hubs, then prune its root:
+        // the children must come back as roots with exact adjacency metadata.
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        engine.validate().unwrap();
+        // m2's own edges (to the hubs) must be re-encoded by the caller first —
+        // simulate the substep by pushing them down to the children.
+        let incident: Vec<SupernodeId> = {
+            let mut v: Vec<SupernodeId> = engine.summary().incident(m2).collect();
+            v.sort_unstable();
+            v
+        };
+        for hub in incident {
+            engine.remove_pn_edge(m2, hub);
+            engine.add_pn_edge(m, hub, 1);
+            engine.add_pn_edge(4, hub, 1);
+        }
+        engine.prune_supernode(m2);
+        engine.validate().unwrap();
+        assert!(engine.summary().is_root(m));
+        assert!(engine.summary().is_root(4));
+        assert!(!engine.summary().is_alive(m2));
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+        // Internal-node pruning keeps the root's identity.
+        let mut engine = MergeEngine::new(&g);
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        // Strip m's edges so it is substep-1 eligible (m2's edges cover the pairs).
+        let incident: Vec<SupernodeId> = {
+            let mut v: Vec<SupernodeId> = engine.summary().incident(m).collect();
+            v.sort_unstable();
+            v
+        };
+        for other in incident {
+            engine.remove_pn_edge(m, other);
+        }
+        engine.prune_supernode(m);
+        engine.validate().unwrap();
+        assert!(engine.summary().is_root(m2));
+        assert_eq!(engine.summary().children(m2).len(), 3);
+        assert_eq!(engine.root_of(2), m2);
+    }
+
+    #[test]
+    fn compact_rebuilds_the_engine_around_renumbered_ids() {
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        let (leaves, killed) = engine.dissolve_root(m2);
+        assert_eq!((leaves, killed), (3, 2));
+        for leaf in [2u32, 3, 4] {
+            for hub in [0u32, 1] {
+                engine.restore_leaf_edge(leaf, hub);
+            }
+        }
+        assert_eq!(engine.summary().num_dead_slots(), 2);
+        let reclaimed = engine.compact();
+        assert_eq!(reclaimed, 2);
+        assert_eq!(engine.summary().num_dead_slots(), 0);
+        assert_eq!(engine.summary().arena_len(), 5);
+        engine.validate().unwrap();
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+        assert_eq!(engine.compact(), 0, "dense arena: compaction is a no-op");
+        // The compacted engine keeps working.
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        assert_eq!(m, 5, "fresh products reuse the reclaimed id space");
+        engine.validate().unwrap();
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
     }
 
     #[test]

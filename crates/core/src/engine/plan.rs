@@ -34,7 +34,7 @@
 //! # Replay mode
 //!
 //! The same overlay also powers the conflict-partitioned parallel **apply** stage
-//! ([`super::apply`]): [`PlanningEngine::for_replay`] starts the local arena at a
+//! ([`super::apply`]): `PlanningEngine::for_replay` starts the local arena at a
 //! *forced* id (the slot the authoritative serial replay would allocate), so
 //! replaying a plan's merges resolves them against concrete, authoritative ids —
 //! committing those resolutions is then byte-identical to the serial path.

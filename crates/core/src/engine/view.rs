@@ -9,6 +9,14 @@
 //! Keeping the problem builders generic (rather than duplicated) is what guarantees
 //! planning and application agree on the encoding semantics.
 //!
+//! The machinery operates on **pruned** summaries natively: hierarchies re-entering
+//! the engine via `MergeEngine::from_summary` — and, since the streaming engine
+//! prunes its maintained summary in place after every batch, the live hierarchy
+//! itself — carry roots of arbitrary arity and edges at any tree level.
+//! [`side_panel`] models every non-binary side as a single opaque cell, which is
+//! always sound (see its docs), so merge evaluation and application need no
+//! special cases for pruned shapes.
+//!
 //! # Allocation discipline
 //!
 //! Merge evaluation is the innermost loop of the pipeline — every candidate pair of

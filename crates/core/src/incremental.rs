@@ -54,12 +54,26 @@
 //! indexed by a monotone *epoch* counter (total pipeline iterations so far), so no
 //! stream is ever reused across batches.
 //!
-//! # Pruning
+//! # Pruning and compaction
 //!
-//! The maintained summary is kept **unpruned**: pruning rewrites edges behind the
-//! engine's back and would desynchronize the incremental bookkeeping.  Ask
-//! [`IncrementalSummarizer::pruned_summary`] for a pruned snapshot (a clone) when
-//! reporting encoding costs; the maintained state itself stays incremental.
+//! The maintained summary is pruned **incrementally**: after each batch's pipeline
+//! passes, the three pruning substeps of [`crate::prune`] re-run over the dirty
+//! region and its summary-adjacent frontier only ([`crate::prune::prune_region`]),
+//! hosted *by the engine* — edge edits go through the engine's bookkeeping sink and
+//! structural removals through [`MergeEngine::prune_supernode`], so the
+//! `Saving(A, B, G)` metadata stays exact and no snapshot is ever cloned.  The
+//! per-report pruning cost is therefore proportional to the dirty region, not to
+//! the summary ([`IncrementalConfig::prune_rounds`]; 0 restores the old
+//! maintain-unpruned behavior, with [`IncrementalSummarizer::pruned_summary`]
+//! still available for snapshot-pruned costs).
+//!
+//! Dissolution and pruning leave dead arena slots behind; once they exceed
+//! [`IncrementalConfig::compact_dead_ratio`] of the arena, the summary is
+//! compacted ([`HierarchicalSummary::compact`]) and the engine rebuilt around the
+//! renumbered ids, so steady-state memory is proportional to the **live** summary,
+//! not to the stream length.  The remap preserves id order, hence compaction never
+//! changes subsequent batch outputs (in id-free canonical form) — pinned by
+//! `tests/incremental_prune_compact.rs`.
 //!
 //! ```
 //! use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
@@ -82,7 +96,7 @@ use crate::engine::{MergeCtx, MergeEngine};
 use crate::merge::{merging_threshold, MergeOptions};
 use crate::model::{HierarchicalSummary, SupernodeId};
 use crate::pipeline::{plan_shards_pooled, set_rng, Parallelism, PlannerPool, DEFAULT_SHARDS};
-use crate::prune::{prune_all, PruneReport};
+use crate::prune::{prune_all, prune_region, PruneReport, DEFAULT_MAX_PAIR_PRODUCT};
 use crate::slugger::{SluggerPlanner, SluggerShardWorker};
 use serde::{Deserialize, Serialize};
 use slugger_graph::stream::{DynamicGraph, GraphDelta};
@@ -109,6 +123,16 @@ pub struct IncrementalConfig {
     /// adjacency expansion entirely; large values re-open more context around each
     /// delta at proportionally higher per-batch cost.
     pub adjacent_cap: usize,
+    /// Pruning rounds run over the dirty region (and its summary-adjacent
+    /// frontier) after each batch's pipeline passes, hosted by the engine so the
+    /// maintained summary stays pruned with exact metadata.  `0` keeps the
+    /// maintained summary unpruned (the pre-incremental-pruning behavior).
+    pub prune_rounds: usize,
+    /// Arena compaction triggers at the end of a batch once dead slots exceed
+    /// this fraction of the arena (`0.5` = compact when half the slots are dead,
+    /// bounding resident memory at `live / (1 - ratio)`).  `0.0` disables
+    /// compaction; the arena then grows with the stream.
+    pub compact_dead_ratio: f64,
     /// Random seed of the per-batch pipeline runs.
     pub seed: u64,
     /// Worker shards per pipeline pass (pure scheduling, never changes output).
@@ -126,6 +150,8 @@ impl Default for IncrementalConfig {
             height_bound: None,
             memoization: true,
             adjacent_cap: 32,
+            prune_rounds: 2,
+            compact_dead_ratio: 0.5,
             seed: 0,
             shards: DEFAULT_SHARDS,
             parallelism: Parallelism::Sequential,
@@ -154,13 +180,46 @@ pub struct BatchReport {
     pub pairs_evaluated: usize,
     /// Merges performed by the per-batch pipeline passes.
     pub merges: usize,
-    /// Encoding cost of the maintained (unpruned) summary after the batch.
+    /// What the post-batch region prune changed (all zeros when
+    /// [`IncrementalConfig::prune_rounds`] is 0).
+    pub prune: PruneReport,
+    /// Wall-clock duration of the post-batch region prune alone.  Bounded by the
+    /// dirty region's size, not by the summary — the `streaming` bench reports it
+    /// per batch.
+    pub prune_elapsed: std::time::Duration,
+    /// Dead arena slots reclaimed by compaction at the end of this batch (0 when
+    /// the dead-slot ratio stayed below the threshold).
+    pub compacted_slots: usize,
+    /// Arena length (allocated supernode slots, dead included) after the batch.
+    pub arena_len: usize,
+    /// Dead arena slots remaining after the batch.
+    pub dead_slots: usize,
+    /// Encoding cost of the maintained summary after the batch (pruned when
+    /// [`IncrementalConfig::prune_rounds`] > 0).
     pub cost: usize,
     /// Wall-clock duration of the whole batch.
     pub elapsed: std::time::Duration,
 }
 
 /// The batch-incremental re-summarization engine (see the module docs).
+///
+/// ```
+/// use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
+/// use slugger_graph::stream::GraphDelta;
+/// use slugger_graph::Graph;
+///
+/// let graph = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]);
+/// let mut inc = IncrementalSummarizer::from_graph(&graph, IncrementalConfig::default());
+/// let report = inc.resummarize(&GraphDelta {
+///     deletions: vec![(3, 4)],
+///     insertions: vec![(2, 3), (4, 5)],
+/// });
+/// // The maintained summary is pruned incrementally and decodes to the current
+/// // graph after every batch; the report carries the per-batch accounting.
+/// assert_eq!((report.deleted, report.inserted), (1, 2));
+/// inc.verify_lossless().unwrap();
+/// assert_eq!(inc.summary().encoding_cost(), report.cost);
+/// ```
 pub struct IncrementalSummarizer {
     config: IncrementalConfig,
     engine: MergeEngine,
@@ -253,7 +312,9 @@ impl IncrementalSummarizer {
         &self.config
     }
 
-    /// The maintained (unpruned) summary.  Decodes to exactly the current graph.
+    /// The maintained summary — incrementally pruned when
+    /// [`IncrementalConfig::prune_rounds`] > 0.  Decodes to exactly the current
+    /// graph after every batch.
     pub fn summary(&self) -> &HierarchicalSummary {
         self.engine.summary()
     }
@@ -268,9 +329,11 @@ impl IncrementalSummarizer {
         self.batches
     }
 
-    /// A pruned snapshot of the maintained summary (the maintained state itself
-    /// stays unpruned; see the module docs).  Returns the snapshot and what
-    /// pruning changed.
+    /// A **globally** pruned snapshot of the maintained summary (a clone run
+    /// through [`prune_all`]).  With incremental pruning enabled the maintained
+    /// summary is already region-pruned, so this mostly confirms there is little
+    /// left to prune; with [`IncrementalConfig::prune_rounds`] = 0 it is the only
+    /// way to report pruned costs.  Returns the snapshot and what pruning changed.
     pub fn pruned_summary(&self, rounds: usize) -> (HierarchicalSummary, PruneReport) {
         let mut snapshot = self.engine.summary().clone();
         let graph = self.graph.to_graph();
@@ -283,6 +346,14 @@ impl IncrementalSummarizer {
     /// not the per-batch hot path.
     pub fn verify_lossless(&self) -> Result<(), String> {
         crate::decode::verify_lossless(self.engine.summary(), &self.graph.to_graph())
+    }
+
+    /// Exhaustive consistency check of the engine's incremental bookkeeping
+    /// (union-find, root metadata, summary invariants) against a from-scratch
+    /// rebuild — see [`MergeEngine::validate`].  `O(arena + edges)`; tests and
+    /// debugging only.
+    pub fn validate(&self) -> Result<(), String> {
+        self.engine.validate()
     }
 
     /// Ingests one delta batch: applies it to the current graph, re-expands the
@@ -315,6 +386,8 @@ impl IncrementalSummarizer {
         }
         if touched.is_empty() {
             report.cost = self.engine.summary().encoding_cost();
+            report.arena_len = self.engine.summary().arena_len();
+            report.dead_slots = self.engine.summary().num_dead_slots();
             report.elapsed = start.elapsed();
             return report;
         }
@@ -344,6 +417,20 @@ impl IncrementalSummarizer {
             dirty.dedup();
         }
         report.dirty_roots = dirty.len();
+
+        // Roots adjacent to the dirty set that stay intact: dissolving the region
+        // moves every edge between their trees and the region down to leaf level
+        // (their own internal/root-level edges included), so they are exactly the
+        // **frontier** the post-batch prune must revisit alongside the region.
+        let mut frontier: Vec<SupernodeId> = Vec::new();
+        if self.config.prune_rounds > 0 {
+            for &r in &dirty {
+                frontier.extend(self.engine.adjacent_roots(r));
+            }
+            frontier.sort_unstable();
+            frontier.dedup();
+            frontier.retain(|r| dirty.binary_search(r).is_err());
+        }
 
         // Step 3: re-expand.  Dissolve every dirty tree, then restore exact
         // leaf-level p-edges for the current graph's edges incident to the region.
@@ -439,9 +526,70 @@ impl IncrementalSummarizer {
         for &u in &leaves {
             self.dirty_mark[u as usize] = false;
         }
-        report.cost = self.engine.summary().encoding_cost();
+
+        // Step 5: engine-hosted pruning of the region plus its frontier (exact
+        // metadata, cost proportional to the dirty region), then arena compaction
+        // once dead slots outweigh the configured ratio.
+        let prune_start = std::time::Instant::now();
+        if self.config.prune_rounds > 0 {
+            let mut region = active;
+            region.extend(frontier);
+            report.prune = prune_region(
+                &mut self.engine,
+                &self.graph,
+                &region,
+                self.config.prune_rounds,
+                DEFAULT_MAX_PAIR_PRODUCT,
+            );
+        }
+        report.prune_elapsed = prune_start.elapsed();
+        report.compacted_slots = self.maybe_compact();
+
+        let summary = self.engine.summary();
+        report.arena_len = summary.arena_len();
+        report.dead_slots = summary.num_dead_slots();
+        report.cost = summary.encoding_cost();
         report.elapsed = start.elapsed();
         report
+    }
+
+    /// Compacts when dead slots exceed `compact_dead_ratio` of the arena;
+    /// returns the number of slots reclaimed (0 when below the threshold or
+    /// compaction is disabled).
+    fn maybe_compact(&mut self) -> usize {
+        let ratio = self.config.compact_dead_ratio;
+        if ratio <= 0.0 {
+            return 0;
+        }
+        let summary = self.engine.summary();
+        let dead = summary.num_dead_slots();
+        if (dead as f64) <= ratio * summary.arena_len() as f64 {
+            return 0;
+        }
+        self.engine.compact()
+    }
+
+    /// Runs the pruning substeps over **all** current roots, hosted by the engine
+    /// (the maintained summary is pruned in place with exact metadata, exactly as
+    /// the per-batch region prune does — just unrestricted).  Useful before
+    /// persisting a summary through [`crate::storage`].
+    pub fn prune_now(&mut self, rounds: usize) -> PruneReport {
+        let roots = self.engine.roots();
+        prune_region(
+            &mut self.engine,
+            &self.graph,
+            &roots,
+            rounds,
+            DEFAULT_MAX_PAIR_PRODUCT,
+        )
+    }
+
+    /// Forces arena compaction regardless of the dead-slot ratio; returns the
+    /// number of slots reclaimed.  Compaction renumbers supernode ids
+    /// order-preservingly and never changes the id-free canonical form or any
+    /// subsequent batch's output.
+    pub fn compact_now(&mut self) -> usize {
+        self.engine.compact()
     }
 }
 

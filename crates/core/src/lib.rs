@@ -26,8 +26,8 @@
 //!   pipeline iteration.
 //! * [`encoder`] — constant-size local re-encoding with memoization (Sect. III-B3).
 //! * [`engine`] — incremental root/cost bookkeeping, `Saving(A, B, G)` and merge
-//!   application; doubles as the frozen iteration view that shards fork
-//!   ([`engine::MergeEngine::fork`]).
+//!   application; doubles as the frozen iteration view the per-shard planning
+//!   overlays read through.
 //! * [`engine::apply`] — the **apply** reconciliation stage: replays per-shard merge
 //!   plans on the authoritative engine with exact cost bookkeeping — serially, or
 //!   across worker threads via conflict-partitioned batches with byte-identical
@@ -37,7 +37,9 @@
 //!   allocates.
 //! * [`incremental`] — batch-incremental (streaming) re-summarization: maintains a
 //!   summary under edge insertions/deletions by re-expanding and re-summarizing
-//!   only the dirty region of each delta batch.
+//!   only the dirty region of each delta batch, pruning it incrementally
+//!   (engine-hosted region pruning) and compacting the arena so memory tracks the
+//!   live summary, not the stream length.
 //! * [`merge`] — the merging step over one candidate set (Algorithm 2), in planning
 //!   ([`merge::plan_candidate_set`]) and direct ([`merge::process_candidate_set`])
 //!   form.
@@ -46,7 +48,10 @@
 //!   streams seeded by `(seed, iteration, set_index)`, and the [`pipeline::Parallelism`]
 //!   thread knob, which never changes results.  Shared with the SWeG baseline.
 //! * [`prune`] — the three pruning substeps (Sect. III-B4, Algorithm 3); the final
-//!   pipeline stage.
+//!   pipeline stage.  Generic over [`prune::PruneHost`], so the same substeps run
+//!   on a bare summary (batch path) or through the live engine's bookkeeping
+//!   (streaming path), globally ([`prune::prune_all`]) or region-restricted
+//!   ([`prune::prune_region`]).
 //! * [`slugger`] — the top-level driver (Algorithm 1) wiring the stages together.
 //! * [`decode`] — full and partial decompression (Algorithm 4) and losslessness
 //!   verification.

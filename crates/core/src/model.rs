@@ -471,6 +471,81 @@ impl HierarchicalSummary {
         nodes
     }
 
+    /// Number of dead arena slots (pruned or dissolved supernodes whose ids are
+    /// still allocated).  Long delta streams accumulate these; compare against
+    /// [`HierarchicalSummary::arena_len`] to decide when to
+    /// [`HierarchicalSummary::compact`].
+    pub fn num_dead_slots(&self) -> usize {
+        self.supernodes.iter().filter(|s| !s.alive).count()
+    }
+
+    /// Compacts the arena: drops every dead slot and renumbers the surviving
+    /// supernodes **order-preservingly** (alive ids keep their relative order;
+    /// leaves `0..num_subnodes` are always alive and therefore keep their exact
+    /// ids).  Edges, incidence sets and parent/child links are rewritten to the
+    /// new ids; the id-free canonical form of the model is untouched.
+    ///
+    /// Because the remap preserves id order, every downstream consumer that only
+    /// depends on the *relative* order of supernode ids (candidate bucketing,
+    /// pivot selection, root iteration, storage's children-before-parents
+    /// invariant) behaves identically on the compacted summary — which is what
+    /// lets the incremental engine compact mid-stream without changing subsequent
+    /// outputs.
+    ///
+    /// Must not be called while forced-slot placeholders from a parallel apply
+    /// stage are pending ([`HierarchicalSummary::merge_roots_at`]): a placeholder
+    /// is a dead slot that is *about* to be written, and compaction would reclaim
+    /// it.  The engine only compacts between batches, when the arena is fully
+    /// committed.
+    ///
+    /// Returns the old-id → new-id [`CompactionMap`].
+    pub fn compact(&mut self) -> CompactionMap {
+        let arena = self.supernodes.len();
+        let mut mapping: Vec<Option<SupernodeId>> = vec![None; arena];
+        let mut next = 0u32;
+        for (id, s) in self.supernodes.iter().enumerate() {
+            if s.alive {
+                mapping[id] = Some(next);
+                next += 1;
+            }
+        }
+        let live = next as usize;
+        if live == arena {
+            return CompactionMap {
+                mapping,
+                reclaimed: 0,
+            };
+        }
+        let remap = |id: SupernodeId| -> SupernodeId {
+            mapping[id as usize].expect("live supernode references a dead slot")
+        };
+        let old_nodes = std::mem::take(&mut self.supernodes);
+        self.supernodes = Vec::with_capacity(live);
+        for s in old_nodes.into_iter() {
+            if !s.alive {
+                continue;
+            }
+            self.supernodes.push(Supernode {
+                parent: s.parent.map(remap),
+                children: s.children.iter().map(|&c| remap(c)).collect(),
+                members: s.members,
+                alive: true,
+            });
+        }
+        let old_edges = std::mem::take(&mut self.edges);
+        self.incidence = vec![FxHashSet::default(); live];
+        for ((a, b), sign) in old_edges {
+            let (na, nb) = (remap(a), remap(b));
+            self.edges.insert(edge_key(na, nb), sign);
+            self.incidence[na as usize].insert(nb);
+            self.incidence[nb as usize].insert(na);
+        }
+        CompactionMap {
+            mapping,
+            reclaimed: arena - live,
+        }
+    }
+
     /// Height of the hierarchy tree rooted at `root` (a lone leaf has height 0).
     pub fn tree_height(&self, root: SupernodeId) -> usize {
         let mut max_h = 0usize;
@@ -568,6 +643,30 @@ impl HierarchicalSummary {
             return Err("subnodes are not partitioned by the roots".into());
         }
         Ok(())
+    }
+}
+
+/// The old-id → new-id mapping produced by [`HierarchicalSummary::compact`].
+///
+/// Holders of pre-compaction supernode ids (the merge engine's union-find, a
+/// caller's root list) translate them through [`CompactionMap::remap`]; dead
+/// slots map to `None`.
+#[derive(Clone, Debug)]
+pub struct CompactionMap {
+    mapping: Vec<Option<SupernodeId>>,
+    reclaimed: usize,
+}
+
+impl CompactionMap {
+    /// New id of an old supernode id, or `None` if the slot was dead (reclaimed).
+    pub fn remap(&self, old: SupernodeId) -> Option<SupernodeId> {
+        self.mapping.get(old as usize).copied().flatten()
+    }
+
+    /// Number of dead arena slots reclaimed (0 means the arena was already dense
+    /// and nothing moved).
+    pub fn reclaimed(&self) -> usize {
+        self.reclaimed
     }
 }
 
@@ -795,6 +894,53 @@ mod tests {
         let mut s = HierarchicalSummary::identity(2);
         let _m = s.merge_roots(0, 1);
         let _ = s.dissolve_tree(0);
+    }
+
+    #[test]
+    fn compact_reclaims_dead_slots_order_preservingly() {
+        let mut s = HierarchicalSummary::identity(6);
+        let m01 = s.merge_roots(0, 1); // id 6
+        let m23 = s.merge_roots(2, 3); // id 7
+        let top = s.merge_roots(m01, m23); // id 8
+        s.set_edge(top, 4, EdgeSign::Positive);
+        s.set_edge(0, 5, EdgeSign::Negative);
+        s.set_edge(m23, m23, EdgeSign::Positive);
+        // Kill m01 (edge-free internal node): one dead slot.
+        s.prune_supernode(m01);
+        assert_eq!(s.num_dead_slots(), 1);
+        let cost_before = s.encoding_cost();
+        let map = s.compact();
+        assert_eq!(map.reclaimed(), 1);
+        assert_eq!(map.remap(m01), None);
+        // Survivors keep their relative order: m23 slides into m01's slot.
+        assert_eq!(map.remap(m23), Some(6));
+        assert_eq!(map.remap(top), Some(7));
+        for leaf in 0..6u32 {
+            assert_eq!(map.remap(leaf), Some(leaf), "leaves never move");
+        }
+        assert_eq!(s.arena_len(), 8);
+        assert_eq!(s.num_dead_slots(), 0);
+        assert_eq!(s.encoding_cost(), cost_before);
+        assert_eq!(s.edge_sign(7, 4), Some(EdgeSign::Positive));
+        assert_eq!(s.edge_sign(6, 6), Some(EdgeSign::Positive));
+        assert_eq!(s.edge_sign(0, 5), Some(EdgeSign::Negative));
+        assert_eq!(s.parent(6), Some(7));
+        let mut kids = s.children(7).to_vec();
+        kids.sort_unstable();
+        assert_eq!(kids, vec![0, 1, 6]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn compact_on_dense_arena_is_a_no_op() {
+        let mut s = HierarchicalSummary::identity(4);
+        let m = s.merge_roots(0, 1);
+        s.set_edge(m, 2, EdgeSign::Positive);
+        let map = s.compact();
+        assert_eq!(map.reclaimed(), 0);
+        assert_eq!(map.remap(m), Some(m));
+        assert_eq!(s.arena_len(), 5);
+        s.validate().unwrap();
     }
 
     #[test]

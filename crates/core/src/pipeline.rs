@@ -148,8 +148,8 @@ pub fn set_rng(seed: u64, iteration: usize, set_index: usize) -> StdRng {
 
 /// An algorithm that plans merges for candidate sets on forked per-shard state.
 ///
-/// Implemented by SLUGGER (fork = [`crate::engine::MergeEngine::fork`] + a private
-/// encoder memo) and by the SWeG baseline (fork = a `Grouping` clone).
+/// Implemented by SLUGGER (fork = a fresh planner over the frozen engine view plus
+/// a private encoder memo) and by the SWeG baseline (fork = a `Grouping` clone).
 pub trait ShardWorker: Sync {
     /// Per-shard mutable planning state.
     type Planner: Send;

@@ -14,10 +14,42 @@
 //!    bridge to the non-hierarchical model, which is a special case of ours
 //!    (Sect. II-B), and it also clears internal-node edges so further rounds of
 //!    substeps 1–2 can prune more.
+//!
+//! # Hosts: bare summaries and the live engine
+//!
+//! Every substep is generic over a [`PruneHost`] — the mutation surface pruning
+//! needs.  Two hosts exist:
+//!
+//! * a bare [`HierarchicalSummary`] (the batch path: [`crate::Slugger`] prunes its
+//!   output once, after the merge iterations, when no engine bookkeeping is alive
+//!   anymore);
+//! * the live [`crate::engine::MergeEngine`] (the streaming path): its edge edits go
+//!   through the engine's p/n-edge bookkeeping sink and its structural removals
+//!   through [`crate::engine::MergeEngine::prune_supernode`], so every root's
+//!   `Saving(A, B, G)` metadata (adjacency counts, tree sizes, heights) stays exact
+//!   while the **maintained** summary is pruned in place.
+//!
+//! The same substep implementations run against both hosts, so the batch and the
+//! streaming path can never disagree about what pruning means.
+//!
+//! # Region-restricted pruning
+//!
+//! [`prune_region`] re-runs the three substeps only over a set of *region* roots
+//! and the root pairs they form with their summary-adjacent partners.  The
+//! incremental re-summarizer ([`crate::incremental`]) calls it after every delta
+//! batch with the batch's dirty roots plus their frontier, so the per-batch pruning
+//! cost is proportional to the dirty region — not to the whole summary, which is
+//! what a from-scratch [`prune_all`] on a snapshot would cost.
+//!
+//! All substeps are **content-deterministic**: supernodes are visited in sorted-id
+//! order and each root pair's re-encoding depends only on that pair's edges, so the
+//! result is a pure function of the model's content — never of hash-map layout.
+//! This is what lets the streaming invariance tests pin byte-identical summaries
+//! across `parallelism × shards` settings even with pruning enabled.
 
 use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
-use slugger_graph::hash::FxHashMap;
-use slugger_graph::{Graph, NodeId};
+use slugger_graph::hash::{FxHashMap, FxHashSet};
+use slugger_graph::{AdjacencyList, NodeId};
 
 /// Summary of what a pruning pass changed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,18 +76,85 @@ impl PruneReport {
     }
 }
 
+/// The mutation surface the pruning substeps run against.
+///
+/// Implemented by the bare [`HierarchicalSummary`] (edits applied directly) and by
+/// [`crate::engine::MergeEngine`] (edits routed through the engine's bookkeeping
+/// sink so its per-root metadata stays exact — see the module docs).
+pub trait PruneHost {
+    /// Read access to the summary being pruned.
+    fn summary(&self) -> &HierarchicalSummary;
+    /// Removes the p/n-edge between two supernodes, if present.
+    fn remove_edge(&mut self, a: SupernodeId, b: SupernodeId);
+    /// Inserts (or overwrites) the p/n-edge between two supernodes.
+    fn set_edge(&mut self, a: SupernodeId, b: SupernodeId, sign: EdgeSign);
+    /// Removes a non-leaf supernode, re-parenting its children (or promoting them
+    /// to roots).  The caller has already re-encoded the node's edges; hosts with
+    /// extra bookkeeping re-attribute the tree's remaining edges themselves.
+    fn prune_supernode(&mut self, id: SupernodeId);
+}
+
+impl PruneHost for HierarchicalSummary {
+    fn summary(&self) -> &HierarchicalSummary {
+        self
+    }
+
+    fn remove_edge(&mut self, a: SupernodeId, b: SupernodeId) {
+        HierarchicalSummary::remove_edge(self, a, b);
+    }
+
+    fn set_edge(&mut self, a: SupernodeId, b: SupernodeId, sign: EdgeSign) {
+        HierarchicalSummary::set_edge(self, a, b, sign);
+    }
+
+    fn prune_supernode(&mut self, id: SupernodeId) {
+        HierarchicalSummary::prune_supernode(self, id);
+    }
+}
+
 /// Substep 1: removes every alive non-leaf supernode with no incident p/n-edge.
 /// Returns the number of supernodes removed.
-pub fn prune_step1(summary: &mut HierarchicalSummary) -> usize {
+pub fn prune_step1<H: PruneHost>(host: &mut H) -> usize {
     let mut removed = 0usize;
     // Pruning a node never makes another node newly edge-free (it has no edges to
     // move), so a single pass over the arena suffices.
-    for id in 0..summary.arena_len() as SupernodeId {
+    for id in 0..host.summary().arena_len() as SupernodeId {
+        let summary = host.summary();
         if !summary.is_alive(id) || summary.supernode(id).is_leaf() {
             continue;
         }
         if summary.incident_count(id) == 0 {
-            summary.prune_supernode(id);
+            host.prune_supernode(id);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Substep 1 restricted to the trees of `region` roots.  When a *root* of the
+/// region is removed, its promoted children are appended to `region` (they are new
+/// region roots for the following substeps).  Returns the number removed.
+fn prune_step1_region<H: PruneHost>(host: &mut H, region: &mut Vec<SupernodeId>) -> usize {
+    let mut nodes: Vec<SupernodeId> = Vec::new();
+    for &r in region.iter() {
+        if host.summary().is_root(r) {
+            nodes.extend(host.summary().tree_supernodes(r));
+        }
+    }
+    // Sorted-id order: the exact visit order `prune_step1` uses, restricted.
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut removed = 0usize;
+    for id in nodes {
+        let summary = host.summary();
+        if !summary.is_alive(id) || summary.supernode(id).is_leaf() {
+            continue;
+        }
+        if summary.incident_count(id) == 0 {
+            if summary.is_root(id) {
+                region.extend_from_slice(summary.children(id));
+            }
+            host.prune_supernode(id);
             removed += 1;
         }
     }
@@ -65,10 +164,29 @@ pub fn prune_step1(summary: &mut HierarchicalSummary) -> usize {
 /// Substep 2: removes every alive non-leaf **root** whose only incident p/n-edge is a
 /// single non-loop edge `(A, B)`, pushing that edge down to `A`'s children (flipping
 /// against existing opposite-sign edges).  Returns the number of roots removed.
-pub fn prune_step2(summary: &mut HierarchicalSummary) -> usize {
+pub fn prune_step2<H: PruneHost>(host: &mut H) -> usize {
+    let mut queue: Vec<SupernodeId> = host.summary().roots().collect();
+    prune_step2_queue(host, &mut queue, None)
+}
+
+/// Substep 2 restricted to `region` roots; promoted children join `region`.
+fn prune_step2_region<H: PruneHost>(host: &mut H, region: &mut Vec<SupernodeId>) -> usize {
+    let mut queue: Vec<SupernodeId> = region.clone();
+    prune_step2_queue(host, &mut queue, Some(region))
+}
+
+/// The substep-2 work loop over an explicit root queue (LIFO, so the global entry
+/// processes roots in descending-id order — promoted children re-enter the queue
+/// either way).  `region` (when given) collects promoted children so callers can
+/// keep their region root set current.
+fn prune_step2_queue<H: PruneHost>(
+    host: &mut H,
+    queue: &mut Vec<SupernodeId>,
+    mut region: Option<&mut Vec<SupernodeId>>,
+) -> usize {
     let mut removed = 0usize;
-    let mut queue: Vec<SupernodeId> = summary.roots().collect();
     while let Some(a) = queue.pop() {
+        let summary = host.summary();
         if !summary.is_alive(a) || !summary.is_root(a) || summary.supernode(a).is_leaf() {
             continue;
         }
@@ -90,21 +208,24 @@ pub fn prune_step2(summary: &mut HierarchicalSummary) -> usize {
             continue;
         }
         // Remove A (drops (A, B) and the |children| h-edges, making children roots).
-        summary.prune_supernode(a);
+        host.prune_supernode(a);
         removed += 1;
         for &c in &children {
-            match summary.edge_sign(c, b) {
+            match host.summary().edge_sign(c, b) {
                 // Opposite sign: +1 and −1 cancelled before, so simply drop it.
                 Some(existing) if existing != sign => {
-                    summary.remove_edge(c, b);
+                    host.remove_edge(c, b);
                 }
                 Some(_) => unreachable!("conflict guard"),
                 None => {
-                    summary.set_edge(c, b, sign);
+                    host.set_edge(c, b, sign);
                 }
             }
             // Newly promoted roots may themselves become eligible.
             queue.push(c);
+        }
+        if let Some(region) = region.as_deref_mut() {
+            region.extend_from_slice(&children);
         }
     }
     removed
@@ -118,11 +239,12 @@ pub fn prune_step2(summary: &mut HierarchicalSummary) -> usize {
 /// `max_pair_product` guards against enumerating astronomically many subnode pairs for
 /// two huge roots; pairs above the limit are skipped (they are never profitable to
 /// flatten in practice).
-pub fn prune_step3(
-    summary: &mut HierarchicalSummary,
-    graph: &Graph,
+pub fn prune_step3<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
     max_pair_product: usize,
 ) -> usize {
+    let summary = host.summary();
     // Root of every subnode (for classifying subedges by root pair).
     let mut root_of_subnode: Vec<SupernodeId> = vec![0; summary.num_subnodes()];
     let roots: Vec<SupernodeId> = summary.roots().collect();
@@ -133,9 +255,13 @@ pub fn prune_step3(
     }
     // Subedge counts per root pair.
     let mut subedge_count: FxHashMap<(SupernodeId, SupernodeId), usize> = FxHashMap::default();
-    for (u, v) in graph.edges() {
-        let key = pair_key(root_of_subnode[u as usize], root_of_subnode[v as usize]);
-        *subedge_count.entry(key).or_insert(0) += 1;
+    for u in 0..summary.num_subnodes() as NodeId {
+        for &w in graph.neighbors(u) {
+            if u < w {
+                let key = pair_key(root_of_subnode[u as usize], root_of_subnode[w as usize]);
+                *subedge_count.entry(key).or_insert(0) += 1;
+            }
+        }
     }
     // Current p/n-edges per root pair.
     let mut pn_edges: FxHashMap<(SupernodeId, SupernodeId), Vec<(SupernodeId, SupernodeId)>> =
@@ -147,59 +273,186 @@ pub fn prune_step3(
 
     let mut reencoded = 0usize;
     for ((root_a, root_b), edges) in pn_edges {
-        let size_a = summary.members(root_a).len();
-        let size_b = summary.members(root_b).len();
-        let total_pairs = if root_a == root_b {
-            size_a * (size_a.saturating_sub(1)) / 2
-        } else {
-            size_a * size_b
-        };
-        if total_pairs == 0 || total_pairs > max_pair_product {
-            continue;
-        }
         let existing = subedge_count
             .get(&pair_key(root_a, root_b))
             .copied()
             .unwrap_or(0);
-        let current_cost = edges.len();
-        let sparse_cost = existing; // one p-edge per subedge
-        let dense_cost = total_pairs - existing + 1; // superedge + one n-edge per non-edge
-        let flat_cost = sparse_cost.min(dense_cost);
-        if flat_cost >= current_cost {
-            continue;
+        if flatten_pair_if_cheaper(
+            host,
+            graph,
+            root_a,
+            root_b,
+            &edges,
+            existing,
+            Some(&root_of_subnode),
+            max_pair_product,
+        ) {
+            reencoded += 1;
         }
-        // Remove the current encoding of this pair ...
-        for (x, y) in edges {
-            summary.remove_edge(x, y);
-        }
-        // ... and re-encode flat.
-        if sparse_cost <= dense_cost {
-            let mut pairs = Vec::new();
-            collect_subedges_between(summary, graph, &root_of_subnode, root_a, root_b, &mut pairs);
-            for (u, v) in pairs {
-                summary.set_edge(u, v, EdgeSign::Positive);
-            }
-        } else {
-            summary.set_edge(root_a, root_b, EdgeSign::Positive);
-            let mut missing = Vec::new();
-            collect_missing_pairs_between(summary, graph, root_a, root_b, &mut missing);
-            for (u, v) in missing {
-                summary.set_edge(u, v, EdgeSign::Negative);
-            }
-        }
-        reencoded += 1;
     }
     reencoded
 }
 
-/// Collects the subedges of `graph` with one endpoint in each root's member set
-/// (or both endpoints in the same set when `root_a == root_b`).
-fn collect_subedges_between(
-    summary: &HierarchicalSummary,
-    graph: &Graph,
-    root_of_subnode: &[SupernodeId],
+/// Substep 3 restricted to pairs with at least one root in `region`: each region
+/// root is paired with every root its tree shares a p/n-edge with (its
+/// summary-adjacent partners, and itself for intra-tree edges).
+fn prune_step3_region<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
+    region: &[SupernodeId],
+    max_pair_product: usize,
+) -> usize {
+    // Subedge counts for every pair a region root participates in, from ONE sweep
+    // over the region's leaf adjacency (graph side — immutable during this
+    // substep; substep 3 rewrites edges, never tree structure).  Counting
+    // per pair on demand would re-scan a root's member adjacency once per
+    // partner, which blows up on hub-adjacent regions.
+    let region_set: FxHashSet<SupernodeId> = region.iter().copied().collect();
+    let mut subedge_count: FxHashMap<(SupernodeId, SupernodeId), usize> = FxHashMap::default();
+    {
+        let summary = host.summary();
+        for &a in region {
+            if !summary.is_root(a) {
+                continue;
+            }
+            for &u in summary.members(a) {
+                for &w in graph.neighbors(u) {
+                    let partner = summary.root_of(w as SupernodeId);
+                    // Each subedge must count once: intra-pair when `u < w`,
+                    // both-in-region pairs at the smaller root's sweep, and
+                    // region-frontier pairs at the (only) region sweep.
+                    let counted = if partner == a {
+                        u < w
+                    } else if region_set.contains(&partner) {
+                        a < partner
+                    } else {
+                        true
+                    };
+                    if counted {
+                        *subedge_count.entry(pair_key(a, partner)).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut reencoded = 0usize;
+    let mut seen: FxHashSet<(SupernodeId, SupernodeId)> = FxHashSet::default();
+    let mut incident: Vec<SupernodeId> = Vec::new();
+    for &a in region {
+        if !host.summary().is_root(a) {
+            continue; // removed by an earlier substep of this pass
+        }
+        // One scan over the tree's incident edges, bucketed by partner root.
+        let summary = host.summary();
+        let mut by_partner: FxHashMap<SupernodeId, Vec<(SupernodeId, SupernodeId)>> =
+            FxHashMap::default();
+        for x in summary.tree_supernodes(a) {
+            incident.clear();
+            incident.extend(summary.incident(x));
+            incident.sort_unstable();
+            for &y in &incident {
+                let partner = summary.root_of(y);
+                // Intra-tree edges are seen from both endpoints; record them once
+                // (self-loops appear once in the incidence set already).
+                if partner == a && y < x {
+                    continue;
+                }
+                by_partner.entry(partner).or_default().push((x, y));
+            }
+        }
+        let mut partners: Vec<SupernodeId> = by_partner.keys().copied().collect();
+        partners.sort_unstable();
+        for b in partners {
+            let key = pair_key(a, b);
+            if !seen.insert(key) {
+                continue;
+            }
+            let edges = &by_partner[&b];
+            let existing = subedge_count.get(&key).copied().unwrap_or(0);
+            if flatten_pair_if_cheaper(host, graph, a, b, edges, existing, None, max_pair_product) {
+                reencoded += 1;
+            }
+        }
+    }
+    reencoded
+}
+
+/// The substep-3 decision for one root pair: given the pair's current p/n-edges and
+/// the number of subedges between the two member sets, re-encode flat (sparse
+/// p-edges, or superedge + n-edges) when strictly cheaper.  Shared by the global
+/// and the region-restricted entry so the two can never diverge.
+///
+/// `root_of_subnode` is the global path's precomputed O(1) leaf → root table
+/// (valid throughout substep 3, which never changes tree structure); the region
+/// path passes `None` and subedge collection falls back to parent-chasing.
+#[allow(clippy::too_many_arguments)]
+fn flatten_pair_if_cheaper<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
     root_a: SupernodeId,
     root_b: SupernodeId,
+    edges: &[(SupernodeId, SupernodeId)],
+    existing: usize,
+    root_of_subnode: Option<&[SupernodeId]>,
+    max_pair_product: usize,
+) -> bool {
+    let summary = host.summary();
+    let size_a = summary.members(root_a).len();
+    let size_b = summary.members(root_b).len();
+    let total_pairs = if root_a == root_b {
+        size_a * (size_a.saturating_sub(1)) / 2
+    } else {
+        size_a * size_b
+    };
+    if total_pairs == 0 || total_pairs > max_pair_product {
+        return false;
+    }
+    let current_cost = edges.len();
+    let sparse_cost = existing; // one p-edge per subedge
+    let dense_cost = total_pairs - existing + 1; // superedge + one n-edge per non-edge
+    let flat_cost = sparse_cost.min(dense_cost);
+    if flat_cost >= current_cost {
+        return false;
+    }
+    // Remove the current encoding of this pair ...
+    for &(x, y) in edges {
+        host.remove_edge(x, y);
+    }
+    // ... and re-encode flat.
+    if sparse_cost <= dense_cost {
+        let mut pairs = Vec::new();
+        collect_subedges_between(
+            host.summary(),
+            graph,
+            root_a,
+            root_b,
+            root_of_subnode,
+            &mut pairs,
+        );
+        for (u, v) in pairs {
+            host.set_edge(u, v, EdgeSign::Positive);
+        }
+    } else {
+        host.set_edge(root_a, root_b, EdgeSign::Positive);
+        let mut missing = Vec::new();
+        collect_missing_pairs_between(host.summary(), graph, root_a, root_b, &mut missing);
+        for (u, v) in missing {
+            host.set_edge(u, v, EdgeSign::Negative);
+        }
+    }
+    true
+}
+
+/// Collects the subedges of `graph` with one endpoint in each root's member set
+/// (or both endpoints in the same set when `root_a == root_b`).  Uses the
+/// precomputed leaf → root table when the caller has one (the global substep-3
+/// path), otherwise chases parent pointers.
+fn collect_subedges_between<G: AdjacencyList>(
+    summary: &HierarchicalSummary,
+    graph: &G,
+    root_a: SupernodeId,
+    root_b: SupernodeId,
+    root_of_subnode: Option<&[SupernodeId]>,
     out: &mut Vec<(NodeId, NodeId)>,
 ) {
     let (iterate, other) = if summary.members(root_a).len() <= summary.members(root_b).len() {
@@ -207,9 +460,13 @@ fn collect_subedges_between(
     } else {
         (root_b, root_a)
     };
+    let root_of_leaf = |w: NodeId| match root_of_subnode {
+        Some(table) => table[w as usize],
+        None => summary.root_of(w as SupernodeId),
+    };
     for &u in summary.members(iterate) {
         for &w in graph.neighbors(u) {
-            if root_of_subnode[w as usize] != other {
+            if root_of_leaf(w) != other {
                 continue;
             }
             if root_a == root_b {
@@ -224,9 +481,9 @@ fn collect_subedges_between(
 }
 
 /// Collects the *non*-adjacent subnode pairs between the two roots' member sets.
-fn collect_missing_pairs_between(
+fn collect_missing_pairs_between<G: AdjacencyList>(
     summary: &HierarchicalSummary,
-    graph: &Graph,
+    graph: &G,
     root_a: SupernodeId,
     root_b: SupernodeId,
     out: &mut Vec<(NodeId, NodeId)>,
@@ -263,13 +520,67 @@ fn pair_key(a: SupernodeId, b: SupernodeId) -> (SupernodeId, SupernodeId) {
 /// Runs the full pruning step: `rounds` passes of substeps 1 → 2 → 3 (the paper notes
 /// the substeps "can be repeated a few times"), stopping early once a pass changes
 /// nothing.
-pub fn prune_all(summary: &mut HierarchicalSummary, graph: &Graph, rounds: usize) -> PruneReport {
+pub fn prune_all<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
+    rounds: usize,
+) -> PruneReport {
     let mut report = PruneReport::default();
     for _ in 0..rounds {
         let pass = PruneReport {
-            step1_removed: prune_step1(summary),
-            step2_removed: prune_step2(summary),
-            step3_reencoded: prune_step3(summary, graph, DEFAULT_MAX_PAIR_PRODUCT),
+            step1_removed: prune_step1(host),
+            step2_removed: prune_step2(host),
+            step3_reencoded: prune_step3(host, graph, DEFAULT_MAX_PAIR_PRODUCT),
+        };
+        let changed = pass.total_changes() > 0;
+        report.absorb(pass);
+        if !changed {
+            break;
+        }
+    }
+    report
+}
+
+/// Region-restricted pruning: `rounds` passes of substeps 1 → 2 → 3 over the trees
+/// of `region` roots and the root pairs they form with their summary-adjacent
+/// partners, stopping early once a pass changes nothing.
+///
+/// Work is proportional to the region's trees and their incident edges, never to
+/// the whole summary — this is the per-batch pruning primitive of the streaming
+/// engine (see the module docs).  Roots promoted by substeps 1–2 (children of a
+/// removed region root) join the region for the remaining substeps and rounds.
+/// Region ids that stop being roots are skipped, so the caller may pass a stale
+/// superset.
+pub fn prune_region<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
+    region: &[SupernodeId],
+    rounds: usize,
+    max_pair_product: usize,
+) -> PruneReport {
+    let mut region: Vec<SupernodeId> = region
+        .iter()
+        .copied()
+        .filter(|&r| host.summary().is_root(r))
+        .collect();
+    region.sort_unstable();
+    region.dedup();
+    let mut report = PruneReport::default();
+    for _ in 0..rounds {
+        if region.is_empty() {
+            break;
+        }
+        let step1_removed = prune_step1_region(host, &mut region);
+        let step2_removed = prune_step2_region(host, &mut region);
+        // Promoted children entered `region` unsorted; restore the deterministic
+        // sorted visit order and drop stale ids before the pair stage.
+        region.retain(|&r| host.summary().is_root(r));
+        region.sort_unstable();
+        region.dedup();
+        let pass = PruneReport {
+            step1_removed,
+            step2_removed,
+            step3_reencoded: prune_step3_region(host, graph, &region, max_pair_product),
         };
         let changed = pass.total_changes() > 0;
         report.absorb(pass);
@@ -289,6 +600,7 @@ mod tests {
     use crate::decode::verify_lossless;
     use crate::engine::MergeCtx;
     use crate::engine::MergeEngine;
+    use slugger_graph::Graph;
 
     #[test]
     fn step1_removes_edge_free_internal_nodes() {
@@ -436,5 +748,132 @@ mod tests {
         assert!(report.total_changes() > 0 || summary.encoding_cost() <= graph.num_edges());
         verify_lossless(&summary, &graph).unwrap();
         summary.validate().unwrap();
+    }
+
+    #[test]
+    fn engine_hosted_prune_matches_bare_summary_prune() {
+        // The same substeps on the same state must produce the identical summary
+        // whether the host is a bare summary or the live engine — and the engine's
+        // bookkeeping must stay exact afterwards.
+        let graph = Graph::from_edges(
+            8,
+            vec![
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (6, 0),
+                (7, 1),
+                (6, 7),
+            ],
+        );
+        let mut engine = MergeEngine::new(&graph);
+        let mut ctx = MergeCtx::new();
+        let m1 = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(4, 5, &mut ctx);
+        let _m3 = engine.apply_merge(m1, m2, &mut ctx);
+        let mut snapshot = engine.summary().clone();
+        let report_summary = prune_all(&mut snapshot, &graph, 3);
+        let report_engine = prune_all(&mut engine, &graph, 3);
+        assert_eq!(report_summary, report_engine);
+        engine.validate().unwrap();
+        verify_lossless(engine.summary(), &graph).unwrap();
+        // Byte-identical arenas and edges.
+        assert_eq!(engine.summary().arena_len(), snapshot.arena_len());
+        for id in 0..snapshot.arena_len() as SupernodeId {
+            assert_eq!(engine.summary().parent(id), snapshot.parent(id));
+            assert_eq!(engine.summary().children(id), snapshot.children(id));
+            assert_eq!(engine.summary().members(id), snapshot.members(id));
+            assert_eq!(engine.summary().is_alive(id), snapshot.is_alive(id));
+        }
+        let mut a: Vec<_> = engine.summary().pn_edges().collect();
+        let mut b: Vec<_> = snapshot.pn_edges().collect();
+        a.sort_unstable_by_key(|&(k, _)| k);
+        b.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(a.len(), b.len());
+        for ((ka, sa), (kb, sb)) in a.into_iter().zip(b) {
+            assert_eq!(ka, kb);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn region_prune_only_touches_the_region() {
+        // Two independent wasteful encodings; pruning the region around one must
+        // leave the other untouched.
+        let graph = Graph::from_edges(8, vec![(0, 2), (4, 6)]);
+        let mut s = HierarchicalSummary::identity(8);
+        let a = s.merge_roots(0, 1);
+        let b = s.merge_roots(2, 3);
+        s.set_edge(a, b, EdgeSign::Positive);
+        s.set_edge(0, 3, EdgeSign::Negative);
+        s.set_edge(1, 2, EdgeSign::Negative);
+        s.set_edge(1, 3, EdgeSign::Negative);
+        let c = s.merge_roots(4, 5);
+        let d = s.merge_roots(6, 7);
+        s.set_edge(c, d, EdgeSign::Positive);
+        s.set_edge(4, 7, EdgeSign::Negative);
+        s.set_edge(5, 6, EdgeSign::Negative);
+        s.set_edge(5, 7, EdgeSign::Negative);
+        verify_lossless(&s, &graph).unwrap();
+        let report = prune_region(&mut s, &graph, &[a], 3, DEFAULT_MAX_PAIR_PRODUCT);
+        assert!(report.total_changes() > 0);
+        verify_lossless(&s, &graph).unwrap();
+        // The (c, d) pair kept its wasteful encoding: the region never reached it.
+        assert_eq!(s.edge_sign(c, d), Some(EdgeSign::Positive));
+        // A full prune afterwards cleans it up.
+        let report = prune_region(&mut s, &graph, &[c, d], 3, DEFAULT_MAX_PAIR_PRODUCT);
+        assert!(report.total_changes() > 0);
+        assert_eq!(s.edge_sign(c, d), None);
+        verify_lossless(&s, &graph).unwrap();
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn region_prune_over_all_roots_equals_global_prune() {
+        let graph = Graph::from_edges(
+            8,
+            vec![
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (6, 0),
+                (7, 1),
+                (6, 7),
+            ],
+        );
+        let mut engine = MergeEngine::new(&graph);
+        let mut ctx = MergeCtx::new();
+        let m1 = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(4, 5, &mut ctx);
+        let _m3 = engine.apply_merge(m1, m2, &mut ctx);
+        let mut global = engine.summary().clone();
+        let mut regional = engine.summary().clone();
+        let report_global = prune_all(&mut global, &graph, 3);
+        let all_roots: Vec<SupernodeId> = regional.roots().collect();
+        let report_regional = prune_region(
+            &mut regional,
+            &graph,
+            &all_roots,
+            3,
+            DEFAULT_MAX_PAIR_PRODUCT,
+        );
+        assert_eq!(report_global, report_regional);
+        assert_eq!(global.encoding_cost(), regional.encoding_cost());
+        for id in 0..global.arena_len() as SupernodeId {
+            assert_eq!(global.parent(id), regional.parent(id));
+            assert_eq!(global.children(id), regional.children(id));
+            assert_eq!(global.is_alive(id), regional.is_alive(id));
+        }
+        verify_lossless(&regional, &graph).unwrap();
     }
 }

@@ -143,6 +143,23 @@ pub struct SluggerOutcome {
 }
 
 /// The SLUGGER algorithm (Algorithm 1 of the paper).
+///
+/// ```
+/// use slugger_core::{Slugger, SluggerConfig};
+/// use slugger_graph::gen::{caveman, CavemanConfig};
+///
+/// let graph = caveman(&CavemanConfig { num_nodes: 150, ..CavemanConfig::default() });
+/// let outcome = Slugger::new(SluggerConfig {
+///     iterations: 5,
+///     seed: 42,
+///     ..SluggerConfig::default()
+/// })
+/// .summarize(&graph);
+/// // Lossless: decoding the summary reproduces the input graph exactly.
+/// slugger_core::decode::verify_lossless(&outcome.summary, &graph).unwrap();
+/// // Structured graphs compress below one output edge per input edge.
+/// assert!(outcome.metrics.cost <= graph.num_edges());
+/// ```
 pub struct Slugger {
     config: SluggerConfig,
 }

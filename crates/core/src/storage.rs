@@ -5,6 +5,14 @@
 //! varint-encoded supernode table (parent + members, from which children are rebuilt)
 //! followed by the p/n-edge list.  The format is endian-stable and versioned.
 //!
+//! Dead arena slots are never serialized and reading re-creates supernodes in
+//! ascending-id order, so a summary's encoding is already arena-*compact*: writing
+//! then reading is equivalent to [`HierarchicalSummary::compact`] as far as ids go
+//! (the id-free canonical form is preserved either way), and pruned, compacted
+//! streaming summaries round-trip mid-stream —
+//! `IncrementalSummarizer::from_summary` resumes from the reloaded bytes (pinned
+//! by `crates/core/tests/{storage_roundtrip,incremental_prune_compact}.rs`).
+//!
 //! ```
 //! use slugger_core::model::{EdgeSign, HierarchicalSummary};
 //! use slugger_core::storage::{read_summary, write_summary};

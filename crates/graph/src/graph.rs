@@ -54,6 +54,14 @@ pub trait AdjacencyList {
 
     /// Sorted adjacency slice of `u`.
     fn neighbors(&self, u: NodeId) -> &[NodeId];
+
+    /// Whether the edge `(u, v)` is present (binary search on the sorted
+    /// adjacency).  Generic consumers — e.g. the region-restricted pruning of
+    /// `slugger-core` — need membership tests on both the static [`Graph`] and the
+    /// streaming [`crate::stream::DynamicGraph`].
+    fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
 }
 
 /// A simple undirected graph in CSR form.

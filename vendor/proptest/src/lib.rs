@@ -109,7 +109,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Lengths accepted by [`vec`]: a fixed size or a half-open range.
+    /// Lengths accepted by [`fn@vec`]: a fixed size or a half-open range.
     pub trait SizeRange {
         /// Draws a length.
         fn sample_len(&self, rng: &mut StdRng) -> usize;
