@@ -3,12 +3,14 @@
 //!
 //! ```text
 //! cargo run --release --bin candidate_stage [--scale 1.0] [--iterations 10] [--seed 0] [--threads N]
+//!     [--json candidates.json] [--history BENCH_candidates.json]
 //! ```
 
-use slugger_bench::experiments::candidate_stage;
+use slugger_bench::experiments::candidate_stage::{self, CandidateStageOptions};
 use slugger_bench::ExperimentScale;
 
 fn main() {
     let scale = ExperimentScale::from_env();
-    print!("{}", candidate_stage::run(&scale));
+    let options = CandidateStageOptions::from_env();
+    print!("{}", candidate_stage::run_with(&scale, &options));
 }

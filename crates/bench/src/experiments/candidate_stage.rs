@@ -11,6 +11,7 @@
 //! experiment measures against.
 
 use crate::experiments::heading;
+use crate::history;
 use crate::runner::ExperimentScale;
 use crate::table::{fmt_duration, TableWriter};
 use slugger_core::candidates::{self, CandidateConfig, CandidateScratch};
@@ -18,6 +19,50 @@ use slugger_core::model::HierarchicalSummary;
 use slugger_core::{Slugger, SluggerConfig};
 use slugger_graph::gen::{rmat, RmatConfig};
 use std::time::{Duration, Instant};
+
+/// Candidate-stage-specific harness knobs (parsed on top of the shared
+/// [`ExperimentScale`] flags; unknown flags are ignored).
+#[derive(Clone, Debug, Default)]
+pub struct CandidateStageOptions {
+    /// Write the measurements as JSON to this path (`--json`).
+    pub json_path: Option<String>,
+    /// Append a one-line summary record (git SHA + config + stage totals) to
+    /// this JSON-Lines history file (`--history`; CI appends to
+    /// `BENCH_candidates.json` at the repo root).
+    pub history_path: Option<String>,
+}
+
+impl CandidateStageOptions {
+    /// Parses the candidate-stage flags from an argument list.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = CandidateStageOptions::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--json" => {
+                    out.json_path = Some(iter.next().expect("--json needs a path"));
+                }
+                "--history" => {
+                    out.history_path = Some(iter.next().expect("--history needs a path"));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Parses from the process arguments (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+}
+
+/// One cap's optimized-vs-reference comparison (averaged over the passes).
+struct CapRow {
+    cap: usize,
+    reference_secs: f64,
+    optimized_secs: f64,
+}
 
 /// Attempted RMAT edges at `--scale 1.0` (realized simple-graph edges land around
 /// 144k, matching the issue's target workload).
@@ -52,8 +97,13 @@ fn assert_identical_summaries(a: &HierarchicalSummary, b: &HierarchicalSummary) 
     assert_eq!(edges(a), edges(b), "p/n-edge content diverged");
 }
 
-/// Runs the experiment and returns the report.
+/// Runs the experiment with default options and returns the report.
 pub fn run(scale: &ExperimentScale) -> String {
+    run_with(scale, &CandidateStageOptions::default())
+}
+
+/// Runs the experiment with explicit options and returns the report.
+pub fn run_with(scale: &ExperimentScale, options: &CandidateStageOptions) -> String {
     let graph = rmat(&RmatConfig {
         scale: 16,
         num_edges: (BASE_EDGES as f64 * scale.scale).round().max(1.0) as usize,
@@ -164,6 +214,7 @@ pub fn run(scale: &ExperimentScale) -> String {
         "Optimized (lazy hash)",
         "Speedup",
     ]);
+    let mut cap_rows: Vec<CapRow> = Vec::new();
     for cap in [500usize, 100, 50, 25] {
         let config = CandidateConfig {
             max_group_size: cap,
@@ -198,6 +249,11 @@ pub fn run(scale: &ExperimentScale) -> String {
             fmt_duration(optimized / COMPARISON_PASSES as u32),
             format!("{speedup:.2}x"),
         ]);
+        cap_rows.push(CapRow {
+            cap,
+            reference_secs: reference.as_secs_f64() / COMPARISON_PASSES as f64,
+            optimized_secs: optimized.as_secs_f64() / COMPARISON_PASSES as f64,
+        });
     }
 
     let mut out = heading("Candidate stage — per-stage wall time and lazy-hash speedup on RMAT");
@@ -234,5 +290,96 @@ pub fn run(scale: &ExperimentScale) -> String {
          threads (`--threads N`), which the reference never does.\n",
         graph.num_nodes(),
     ));
+    let json = render_json(
+        scale,
+        &graph,
+        iterations,
+        &stages,
+        outcome.elapsed,
+        serial_outcome,
+        &parallel_outcome,
+        &cap_rows,
+    );
+    if let Some(path) = &options.json_path {
+        match std::fs::write(path, &json) {
+            Ok(()) => out.push_str(&format!("\nJSON written to {path}.\n")),
+            Err(e) => out.push_str(&format!("\nFailed to write JSON to {path}: {e}.\n")),
+        }
+    }
+    if let Some(path) = &options.history_path {
+        // The history record is the same JSON flattened to one line, prefixed
+        // with the run identity (git SHA + wall-clock stamp).
+        let record = format!(
+            "{{\"experiment\": \"candidate_stage\", \"git_sha\": \"{}\", \
+             \"unix_time\": {}, {}",
+            history::git_sha(),
+            history::unix_time(),
+            json.replace('\n', " ")
+                .trim_start()
+                .trim_start_matches('{')
+                .trim_start()
+        );
+        match history::append_line(path, &record) {
+            Ok(()) => out.push_str(&format!("\nHistory record appended to {path}.\n")),
+            Err(e) => out.push_str(&format!("\nFailed to append history to {path}: {e}.\n")),
+        }
+    }
+    out
+}
+
+/// Hand-rolled JSON (the vendored `serde_json` is a Debug-based stand-in, not a
+/// codec): the per-stage wall times, the apply-path head-to-head, and the
+/// per-cap candidate-stage comparison.
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    scale: &ExperimentScale,
+    graph: &slugger_graph::Graph,
+    iterations: usize,
+    stages: &slugger_core::StageProfile,
+    elapsed: Duration,
+    serial: &slugger_core::SluggerOutcome,
+    parallel: &slugger_core::SluggerOutcome,
+    caps: &[CapRow],
+) -> String {
+    let mut out = String::from("{ ");
+    out.push_str(&format!(
+        "\"scale\": {}, \"iterations\": {iterations}, \"seed\": {}, \"threads\": {}, \
+         \"shards\": {}, \"num_nodes\": {}, \"num_edges\": {},\n",
+        scale.scale,
+        scale.seed,
+        scale.threads,
+        scale.shards,
+        graph.num_nodes(),
+        graph.num_edges(),
+    ));
+    out.push_str(&format!(
+        "  \"stages\": {{\"candidates_secs\": {:.6}, \"plan_secs\": {:.6}, \
+         \"apply_secs\": {:.6}, \"prune_secs\": {:.6}, \"total_secs\": {:.6}}},\n",
+        stages.candidates.as_secs_f64(),
+        stages.plan.as_secs_f64(),
+        stages.apply.as_secs_f64(),
+        stages.prune.as_secs_f64(),
+        elapsed.as_secs_f64(),
+    ));
+    out.push_str(&format!(
+        "  \"apply\": {{\"serial_secs\": {:.6}, \"parallel_secs\": {:.6}, \
+         \"serial_batches\": {}, \"parallel_batches\": {}, \"batched_plans\": {}}},\n",
+        serial.stages.apply.as_secs_f64(),
+        parallel.stages.apply.as_secs_f64(),
+        serial.stages.apply_batches,
+        parallel.stages.apply_batches,
+        parallel.stages.apply_batched_plans,
+    ));
+    out.push_str("  \"candidate_caps\": [");
+    for (i, row) in caps.iter().enumerate() {
+        out.push_str(&format!(
+            "{}{{\"cap\": {}, \"reference_secs\": {:.6}, \"optimized_secs\": {:.6}}}",
+            if i > 0 { ", " } else { "" },
+            row.cap,
+            row.reference_secs,
+            row.optimized_secs,
+        ));
+    }
+    out.push_str("]\n}\n");
     out
 }

@@ -30,15 +30,26 @@
 //!   unpruned maintenance);
 //! * `--compact-ratio R` — arena compaction threshold (default 0.5; 0 disables;
 //!   CI forces a low ratio to smoke the compaction path);
+//! * `--whole-tree` — disable subtree-granular partial dissolution (the legacy
+//!   whole-tree region dissolution; the comparison point for the `Dslv/Rgn`
+//!   ratio column);
+//! * `--input PATH` — stream a real SNAP-format edge list (see
+//!   `slugger_graph::io::read_snap_file` for the dedup/self-loop policy) instead
+//!   of the generated RMAT/caveman graphs;
 //! * `--json PATH` — also write the per-batch measurements as JSON, so the bench
-//!   trajectory can be tracked across PRs.
+//!   trajectory can be tracked across PRs;
+//! * `--history PATH` — append a one-line summary record (git SHA + config +
+//!   totals) to a JSON-Lines history file (CI appends to `BENCH_streaming.json`
+//!   at the repo root).
 
 use crate::experiments::heading;
+use crate::history;
 use crate::runner::ExperimentScale;
 use crate::table::{fmt_duration, TableWriter};
 use slugger_baselines::{MossoConfig, MossoSummarizer};
 use slugger_core::decode::decode_full;
 use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
+use slugger_core::prune::{prune_region_with, PairIndex, DEFAULT_MAX_PAIR_PRODUCT};
 use slugger_core::{Slugger, SluggerConfig};
 use slugger_graph::gen::{caveman, rmat, CavemanConfig, RmatConfig};
 use slugger_graph::stream::{stream_batches, DynamicGraph, StreamConfig};
@@ -62,8 +73,16 @@ pub struct StreamingOptions {
     pub prune_rounds: Option<usize>,
     /// Arena compaction threshold (`--compact-ratio`; `None` = library default).
     pub compact_dead_ratio: Option<f64>,
+    /// Disable subtree-granular partial dissolution (`--whole-tree`).
+    pub whole_tree: bool,
+    /// Stream a real SNAP-format edge list instead of the generated graphs
+    /// (`--input`).
+    pub input_path: Option<String>,
     /// Write the per-batch measurements as JSON to this path (`--json`).
     pub json_path: Option<String>,
+    /// Append a one-line summary record to this JSON-Lines history file
+    /// (`--history`).
+    pub history_path: Option<String>,
 }
 
 impl StreamingOptions {
@@ -91,8 +110,17 @@ impl StreamingOptions {
                             .unwrap_or_else(|_| panic!("--compact-ratio: not a ratio: {v:?}")),
                     );
                 }
+                "--whole-tree" => {
+                    out.whole_tree = true;
+                }
+                "--input" => {
+                    out.input_path = Some(iter.next().expect("--input needs a path"));
+                }
                 "--json" => {
                     out.json_path = Some(iter.next().expect("--json needs a path"));
+                }
+                "--history" => {
+                    out.history_path = Some(iter.next().expect("--history needs a path"));
                 }
                 _ => {}
             }
@@ -112,6 +140,9 @@ impl StreamingOptions {
         if let Some(ratio) = self.compact_dead_ratio {
             config.compact_dead_ratio = ratio;
         }
+        if self.whole_tree {
+            config.partial_dissolution = false;
+        }
         config
     }
 }
@@ -122,8 +153,11 @@ struct BatchRow {
     deleted: usize,
     inserted: usize,
     dirty_roots: usize,
-    leaves: usize,
+    dissolved_subnodes: usize,
+    region_subnodes: usize,
     incr_secs: f64,
+    localize_secs: f64,
+    dissolve_secs: f64,
     prune_secs: f64,
     rebuild_secs: f64,
     mosso_secs: f64,
@@ -135,6 +169,15 @@ struct BatchRow {
     compacted_slots: usize,
 }
 
+/// Flat-vs-hash timings of the region-prune pair bookkeeping on one stream's
+/// final maintained summary (identical outputs asserted; see
+/// `slugger_core::prune::PairIndex`).
+struct PruneCmp {
+    region_roots: usize,
+    flat_secs: f64,
+    hash_secs: f64,
+}
+
 /// One stream's measurements.
 struct StreamRun {
     name: String,
@@ -144,6 +187,7 @@ struct StreamRun {
     bootstrap_secs: f64,
     mosso_bootstrap_secs: f64,
     rows: Vec<BatchRow>,
+    prune_cmp: Option<PruneCmp>,
 }
 
 /// Runs the experiment with default streaming options and returns the report.
@@ -155,31 +199,46 @@ pub fn run(scale: &ExperimentScale) -> String {
 pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
     let mut out = heading("Streaming — incremental re-summarization vs full rebuild vs MoSSo");
     let iterations = scale.iterations.min(5);
-    let rmat_graph = rmat(&RmatConfig {
-        scale: 16,
-        num_edges: (RMAT_BASE_EDGES as f64 * scale.scale).round().max(64.0) as usize,
-        seed: scale.seed,
-        ..RmatConfig::default()
-    });
     let mut runs = Vec::new();
-    let run = stream_section("RMAT", &rmat_graph, iterations, scale, options);
-    out.push_str(&render_section(&run, iterations));
-    runs.push(run);
-    let nodes = ((CAVEMAN_BASE_NODES as f64 * scale.scale).round() as usize).max(60);
-    let caveman_graph = caveman(&CavemanConfig {
-        num_nodes: nodes,
-        num_cliques: (nodes / 8).max(4),
-        min_clique: 5,
-        max_clique: 10,
-        rewire_probability: 0.03,
-        seed: scale.seed,
-    });
-    let run = stream_section("Caveman", &caveman_graph, iterations, scale, options);
-    out.push_str(&render_section(&run, iterations));
-    runs.push(run);
+    if let Some(path) = &options.input_path {
+        let graph = slugger_graph::io::read_snap_file(path)
+            .unwrap_or_else(|e| panic!("--input {path}: {e}"));
+        let name = std::path::Path::new(path)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.clone());
+        let run = stream_section(&name, &graph, iterations, scale, options);
+        out.push_str(&render_section(&run, iterations));
+        runs.push(run);
+    } else {
+        let rmat_graph = rmat(&RmatConfig {
+            scale: 16,
+            num_edges: (RMAT_BASE_EDGES as f64 * scale.scale).round().max(64.0) as usize,
+            seed: scale.seed,
+            ..RmatConfig::default()
+        });
+        let run = stream_section("RMAT", &rmat_graph, iterations, scale, options);
+        out.push_str(&render_section(&run, iterations));
+        runs.push(run);
+        let nodes = ((CAVEMAN_BASE_NODES as f64 * scale.scale).round() as usize).max(60);
+        let caveman_graph = caveman(&CavemanConfig {
+            num_nodes: nodes,
+            num_cliques: (nodes / 8).max(4),
+            min_clique: 5,
+            max_clique: 10,
+            rewire_probability: 0.03,
+            seed: scale.seed,
+        });
+        let run = stream_section("Caveman", &caveman_graph, iterations, scale, options);
+        out.push_str(&render_section(&run, iterations));
+        runs.push(run);
+    }
     out.push_str(
         "\nDecode-identity is asserted after every batch: the incrementally maintained \
-         summary and a from-scratch run see the identical current graph.  `Speedup` is \
+         summary and a from-scratch run see the identical current graph.  `Dslv/Rgn` \
+         is subnodes re-expanded over subnodes held by the dirty region — the \
+         partial-dissolution win (1.0 under `--whole-tree`); `Lcl+Dslv` is the \
+         localize + dissolve share of the incremental time.  `Speedup` is \
          rebuild time over incremental time for the same batch; `Prune` is the \
          engine-hosted region-prune share of the incremental time (bounded by the \
          dirty region, not the summary) and `Arena` is allocated supernode slots with \
@@ -192,6 +251,13 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
         match std::fs::write(path, &json) {
             Ok(()) => out.push_str(&format!("\nPer-batch JSON written to {path}.\n")),
             Err(e) => out.push_str(&format!("\nFailed to write JSON to {path}: {e}.\n")),
+        }
+    }
+    if let Some(path) = &options.history_path {
+        let record = history_record(scale, options, &runs);
+        match history::append_line(path, &record) {
+            Ok(()) => out.push_str(&format!("\nHistory record appended to {path}.\n")),
+            Err(e) => out.push_str(&format!("\nFailed to append history to {path}: {e}.\n")),
         }
     }
     out
@@ -279,8 +345,11 @@ fn stream_section(
             deleted: report.deleted,
             inserted: report.inserted,
             dirty_roots: report.dirty_roots,
-            leaves: report.reexpanded_leaves,
+            dissolved_subnodes: report.dissolved_subnodes,
+            region_subnodes: report.region_subnodes,
             incr_secs: report.elapsed.as_secs_f64(),
+            localize_secs: report.stages.localize.as_secs_f64(),
+            dissolve_secs: report.stages.dissolve.as_secs_f64(),
             prune_secs: report.prune_elapsed.as_secs_f64(),
             rebuild_secs,
             mosso_secs,
@@ -292,6 +361,7 @@ fn stream_section(
             compacted_slots: report.compacted_slots,
         });
     }
+    let prune_cmp = compare_pair_indexes(inc.summary(), &current.to_graph());
 
     StreamRun {
         name: name.to_string(),
@@ -301,7 +371,58 @@ fn stream_section(
         bootstrap_secs: bootstrap_elapsed.as_secs_f64(),
         mosso_bootstrap_secs: mosso_bootstrap.as_secs_f64(),
         rows,
+        prune_cmp,
     }
+}
+
+/// Times one round of region pruning (substep-3 pair bookkeeping included) over a
+/// hub-adjacent region of the final maintained summary, once per
+/// [`PairIndex`] path, each on its own clone — and asserts the two paths report
+/// identical changes (the byte-identity itself is unit-pinned in
+/// `slugger_core::prune`).  The region is the roots holding the 64 highest-degree
+/// subnodes plus every summary-adjacent root — the hub-adjacent shape where the
+/// hash-map path pays per-root rebuild cost.
+fn compare_pair_indexes(
+    summary: &slugger_core::model::HierarchicalSummary,
+    graph: &Graph,
+) -> Option<PruneCmp> {
+    let mut by_degree: Vec<u32> = (0..graph.num_nodes() as u32).collect();
+    by_degree.sort_unstable_by_key(|&u| std::cmp::Reverse(graph.degree(u)));
+    let mut region: Vec<u32> = Vec::new();
+    for &u in by_degree.iter().take(64) {
+        let root = summary.root_of(u);
+        region.push(root);
+        region.extend(summary.incident(root));
+    }
+    region.sort_unstable();
+    region.dedup();
+    if region.is_empty() {
+        return None;
+    }
+    let time_path = |index: PairIndex| -> (f64, usize) {
+        let mut clone = summary.clone();
+        let start = Instant::now();
+        let report = prune_region_with(
+            &mut clone,
+            graph,
+            &region,
+            1,
+            DEFAULT_MAX_PAIR_PRODUCT,
+            index,
+        );
+        (start.elapsed().as_secs_f64(), report.total_changes())
+    };
+    let (flat_secs, flat_changes) = time_path(PairIndex::Flat);
+    let (hash_secs, hash_changes) = time_path(PairIndex::Hash);
+    assert_eq!(
+        flat_changes, hash_changes,
+        "flat and hash pair-index paths diverged on the hub-adjacent region"
+    );
+    Some(PruneCmp {
+        region_roots: region.len(),
+        flat_secs,
+        hash_secs,
+    })
 }
 
 fn render_section(run: &StreamRun, iterations: usize) -> String {
@@ -309,8 +430,9 @@ fn render_section(run: &StreamRun, iterations: usize) -> String {
         "Batch",
         "Ops",
         "Dirty",
-        "Leaves",
+        "Dslv/Rgn",
         "Incr time",
+        "Lcl+Dslv",
         "Prune",
         "Rebuild",
         "Speedup",
@@ -334,8 +456,16 @@ fn render_section(run: &StreamRun, iterations: usize) -> String {
             row.batch.to_string(),
             format!("-{} +{}", row.deleted, row.inserted),
             row.dirty_roots.to_string(),
-            row.leaves.to_string(),
+            format!(
+                "{}/{} ({:.0}%)",
+                row.dissolved_subnodes,
+                row.region_subnodes,
+                100.0 * row.dissolved_subnodes as f64 / (row.region_subnodes as f64).max(1.0)
+            ),
             fmt_duration(std::time::Duration::from_secs_f64(row.incr_secs)),
+            fmt_duration(std::time::Duration::from_secs_f64(
+                row.localize_secs + row.dissolve_secs,
+            )),
             fmt_duration(std::time::Duration::from_secs_f64(row.prune_secs)),
             fmt_duration(std::time::Duration::from_secs_f64(row.rebuild_secs)),
             format!("{:.1}x", row.rebuild_secs / row.incr_secs.max(1e-9)),
@@ -367,6 +497,16 @@ fn render_section(run: &StreamRun, iterations: usize) -> String {
         fmt_duration(std::time::Duration::from_secs_f64(rebuild_total)),
         rebuild_total / inc_total.max(1e-9),
     ));
+    if let Some(cmp) = &run.prune_cmp {
+        out.push_str(&format!(
+            "Region-prune pair index on the final summary's hub-adjacent region \
+             ({} roots): flat {} vs hash {} ({:.2}x), identical changes asserted.\n",
+            cmp.region_roots,
+            fmt_duration(std::time::Duration::from_secs_f64(cmp.flat_secs)),
+            fmt_duration(std::time::Duration::from_secs_f64(cmp.hash_secs)),
+            cmp.hash_secs / cmp.flat_secs.max(1e-9),
+        ));
+    }
     out
 }
 
@@ -383,13 +523,14 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
         scale.shards
     ));
     out.push_str(&format!(
-        "  \"prune_rounds\": {}, \"compact_dead_ratio\": {},\n",
+        "  \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \"partial_dissolution\": {},\n",
         options
             .prune_rounds
             .unwrap_or(IncrementalConfig::default().prune_rounds),
         options
             .compact_dead_ratio
             .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
+        !options.whole_tree,
     ));
     out.push_str("  \"streams\": [\n");
     for (si, run) in runs.iter().enumerate() {
@@ -407,7 +548,9 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
         for (bi, row) in run.rows.iter().enumerate() {
             out.push_str(&format!(
                 "      {{\"batch\": {}, \"deleted\": {}, \"inserted\": {}, \
-                 \"dirty_roots\": {}, \"leaves\": {}, \"incr_secs\": {:.6}, \
+                 \"dirty_roots\": {}, \"dissolved_subnodes\": {}, \
+                 \"region_subnodes\": {}, \"incr_secs\": {:.6}, \
+                 \"localize_secs\": {:.6}, \"dissolve_secs\": {:.6}, \
                  \"prune_secs\": {:.6}, \"rebuild_secs\": {:.6}, \"mosso_secs\": {:.6}, \
                  \"incr_cost\": {}, \"rebuild_cost\": {}, \"mosso_cost\": {}, \
                  \"arena_len\": {}, \"dead_slots\": {}, \"compacted_slots\": {}}}{}\n",
@@ -415,8 +558,11 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
                 row.deleted,
                 row.inserted,
                 row.dirty_roots,
-                row.leaves,
+                row.dissolved_subnodes,
+                row.region_subnodes,
                 row.incr_secs,
+                row.localize_secs,
+                row.dissolve_secs,
                 row.prune_secs,
                 row.rebuild_secs,
                 row.mosso_secs,
@@ -429,12 +575,80 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
                 if bi + 1 < run.rows.len() { "," } else { "" }
             ));
         }
+        out.push_str("    ]");
+        if let Some(cmp) = &run.prune_cmp {
+            out.push_str(&format!(
+                ", \"prune_pair_index\": {{\"region_roots\": {}, \"flat_secs\": {:.6}, \
+                 \"hash_secs\": {:.6}}}",
+                cmp.region_roots, cmp.flat_secs, cmp.hash_secs
+            ));
+        }
         out.push_str(&format!(
-            "    ]}}{}\n",
+            "}}{}\n",
             if si + 1 < runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// One JSON-Lines history record: git SHA + config + per-stream totals (see
+/// [`crate::history`]).  Kept to aggregates so the tracked `BENCH_streaming.json`
+/// stays one compact line per run; the full per-batch detail lives in `--json`.
+fn history_record(
+    scale: &ExperimentScale,
+    options: &StreamingOptions,
+    runs: &[StreamRun],
+) -> String {
+    let mut out = format!(
+        "{{\"experiment\": \"streaming\", \"git_sha\": \"{}\", \"unix_time\": {}, \
+         \"scale\": {}, \"iterations\": {}, \"seed\": {}, \"threads\": {}, \
+         \"shards\": {}, \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \
+         \"partial_dissolution\": {}, \"streams\": [",
+        history::git_sha(),
+        history::unix_time(),
+        scale.scale,
+        scale.iterations.min(5),
+        scale.seed,
+        scale.threads,
+        scale.shards,
+        options
+            .prune_rounds
+            .unwrap_or(IncrementalConfig::default().prune_rounds),
+        options
+            .compact_dead_ratio
+            .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
+        !options.whole_tree,
+    );
+    for (si, run) in runs.iter().enumerate() {
+        let incr_total: f64 = run.rows.iter().map(|r| r.incr_secs).sum();
+        let rebuild_total: f64 = run.rows.iter().map(|r| r.rebuild_secs).sum();
+        let dissolved: usize = run.rows.iter().map(|r| r.dissolved_subnodes).sum();
+        let region: usize = run.rows.iter().map(|r| r.region_subnodes).sum();
+        let final_cost = run.rows.last().map(|r| r.incr_cost).unwrap_or(0);
+        out.push_str(&format!(
+            "{}{{\"name\": \"{}\", \"num_nodes\": {}, \"final_edges\": {}, \
+             \"incr_total_secs\": {:.6}, \"rebuild_total_secs\": {:.6}, \
+             \"dissolved_subnodes\": {}, \"region_subnodes\": {}, \"final_cost\": {}",
+            if si > 0 { ", " } else { "" },
+            run.name,
+            run.num_nodes,
+            run.final_edges,
+            incr_total,
+            rebuild_total,
+            dissolved,
+            region,
+            final_cost,
+        ));
+        if let Some(cmp) = &run.prune_cmp {
+            out.push_str(&format!(
+                ", \"prune_flat_secs\": {:.6}, \"prune_hash_secs\": {:.6}",
+                cmp.flat_secs, cmp.hash_secs
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
     out
 }
 

@@ -1,0 +1,76 @@
+//! Append-per-run perf history.
+//!
+//! The `streaming` and `candidate_stage` binaries can append a one-line JSON
+//! record (git SHA + config + headline totals) to a JSON-Lines file via their
+//! `--history PATH` flag; CI points them at `BENCH_streaming.json` and
+//! `BENCH_candidates.json` at the repo root so the bench trajectory accumulates
+//! across PRs.  Each line is self-contained — readers that want the history
+//! parse the file line by line, so a half-written tail line (crash mid-append)
+//! never corrupts the records before it.
+
+use std::io::Write;
+
+/// The current git commit SHA: `GITHUB_SHA` when CI provides it, otherwise
+/// `git rev-parse HEAD`, otherwise `"unknown"` (the record is still appended —
+/// a local run outside a checkout is worth keeping, just unattributed).
+pub fn git_sha() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        let sha = sha.trim().to_string();
+        if !sha.is_empty() {
+            return sha;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Seconds since the Unix epoch (0 if the clock is before it).
+pub fn unix_time() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Appends `record` (one JSON object, no trailing newline needed) as one line to
+/// the JSON-Lines file at `path`, creating the file if absent.
+pub fn append_line(path: &str, record: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{}", record.trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_accumulates_one_line_per_record() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "slugger_bench_history_{}.jsonl",
+            std::process::id()
+        ));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        append_line(path_str, "{\"run\": 1}").unwrap();
+        append_line(path_str, "{\"run\": 2}\n").unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "{\"run\": 1}\n{\"run\": 2}\n");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn git_sha_is_never_empty() {
+        assert!(!git_sha().is_empty());
+    }
+}

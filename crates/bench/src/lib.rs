@@ -7,6 +7,8 @@
 //!   baselines with the paper's parameters, and the shared `--scale/--iterations/...`
 //!   command-line flags.
 //! * [`table`] — plain-text / markdown table rendering for the reports.
+//! * [`history`] — the append-per-run JSON-Lines perf history (`BENCH_*.json` at the
+//!   repo root) the `streaming` and `candidate_stage` binaries write via `--history`.
 //! * [`experiments`] — one module per table/figure; each returns a report string that
 //!   the corresponding binary prints and `run_all_experiments` aggregates.
 
@@ -14,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod history;
 pub mod runner;
 pub mod table;
 

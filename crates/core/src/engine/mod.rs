@@ -232,6 +232,28 @@ pub struct MergeEvaluation {
     pub cost_after: usize,
 }
 
+/// Outcome of [`MergeEngine::dissolve_partial`].
+///
+/// Invariants: every id in `restore_leaves` is an edge-free singleton root whose
+/// current-graph edges the caller must restore through
+/// [`MergeEngine::restore_leaf_edge`]; `new_roots` are ALL the roots split out of
+/// the dissolved tree (ascending) — the intact surviving subtrees plus the
+/// re-expanded leaves, so `restore_leaves ⊆ new_roots` and on the whole-tree
+/// path the two are equal.
+#[derive(Clone, Debug)]
+pub struct PartialDissolution {
+    /// Leaves whose coverage was zeroed and whose edges need restoring.
+    pub restore_leaves: Vec<SupernodeId>,
+    /// Roots now heading the split-out surviving structure (ascending).
+    pub new_roots: Vec<SupernodeId>,
+    /// Supernodes killed (the ancestor spine, or the whole tree's internals on
+    /// the fallback path).
+    pub killed: usize,
+    /// Whether the exact subtree split was unrepresentable and the whole tree
+    /// was dissolved instead.
+    pub fell_back: bool,
+}
+
 /// The merge engine. Owns the evolving [`HierarchicalSummary`] plus the root-level
 /// indices; borrows the input graph only for initialization (the merging phase itself
 /// works purely on the summary).
@@ -396,6 +418,293 @@ impl MergeEngine {
     pub fn restore_leaf_edge(&mut self, u: SupernodeId, v: SupernodeId) {
         debug_assert_eq!(self.summary.edge_weight(u, v), 0);
         self.add_pn_edge(u, v, 1);
+    }
+
+    /// Subtree-granular dissolution: re-expands only the `affected` leaves of
+    /// `root`'s tree, killing their ancestor **spine** and promoting every intact
+    /// sibling subtree to a root of its own — with exact `Saving(A, B, G)`
+    /// bookkeeping, exactly like [`MergeEngine::dissolve_root`] but proportional
+    /// to the delta, not the region.
+    ///
+    /// See [`PartialDissolution`] for the outcome contract.
+    ///
+    /// `affected` must be a sorted, deduplicated, non-empty set of singleton-leaf
+    /// supernode ids belonging to `root`'s tree.  After the call, every affected
+    /// leaf is an edge-free singleton root (the caller restores its current-graph
+    /// edges through [`MergeEngine::restore_leaf_edge`], as after a full
+    /// dissolution), while every pair *not* involving an affected leaf keeps its
+    /// exact net coverage: the surviving structure's edges are re-attached onto
+    /// the maximal intact subtrees through the bookkeeping sink.
+    ///
+    /// Falls back to whole-tree dissolution (and says so in the returned
+    /// [`PartialDissolution::fell_back`]) when the exact subtree split is not
+    /// representable — an expanded pair would need a net weight outside ±1
+    /// (nested/stacked coverage) or the expansion would cost more than the
+    /// whole-tree path it is supposed to undercut.
+    pub fn dissolve_partial(
+        &mut self,
+        root: SupernodeId,
+        affected: &[SupernodeId],
+    ) -> PartialDissolution {
+        debug_assert!(
+            self.roots.contains_key(&root),
+            "dissolve requires a current root"
+        );
+        debug_assert!(!affected.is_empty());
+        debug_assert!(affected.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(affected.iter().all(
+            |&u| (u as usize) < self.summary.num_subnodes() && self.summary.root_of(u) == root
+        ));
+        let members = self.summary.members(root);
+        // A lone-leaf root, or a delta touching every member, has no intact
+        // structure to preserve: the whole-tree path IS the minimal one.
+        if members.len() <= affected.len() {
+            return self.dissolve_whole(root);
+        }
+        // The kill set is the union of the affected leaves' proper ancestor
+        // chains — upward-closed by construction, always containing `root`.
+        let mut kill_set: slugger_graph::hash::FxHashSet<SupernodeId> =
+            slugger_graph::hash::FxHashSet::default();
+        for &u in affected {
+            let mut cur = self.summary.parent(u);
+            while let Some(p) = cur {
+                if !kill_set.insert(p) {
+                    break;
+                }
+                cur = self.summary.parent(p);
+            }
+        }
+        let mut kill: Vec<SupernodeId> = kill_set.into_iter().collect();
+        kill.sort_unstable();
+        match self.split_root(root, &kill, affected) {
+            Some(new_roots) => PartialDissolution {
+                restore_leaves: affected.to_vec(),
+                new_roots,
+                killed: kill.len(),
+                fell_back: false,
+            },
+            None => self.dissolve_whole(root),
+        }
+    }
+
+    /// The whole-tree path of [`MergeEngine::dissolve_partial`], packaged as a
+    /// [`PartialDissolution`] (every member becomes a restore leaf).
+    fn dissolve_whole(&mut self, root: SupernodeId) -> PartialDissolution {
+        let members: Vec<SupernodeId> = self.summary.members(root).to_vec();
+        let (_, killed) = self.dissolve_root(root);
+        PartialDissolution {
+            new_roots: members.clone(),
+            restore_leaves: members,
+            killed,
+            fell_back: true,
+        }
+    }
+
+    /// Detaches the subtree rooted at `s` from its tree: kills `s`'s proper
+    /// ancestors (the spine up to the root) and promotes `s` and every intact
+    /// sibling subtree to roots, re-attaching the tree's edges exactly.  Returns
+    /// the promoted roots (ascending; `s` among them), or `None` when the exact
+    /// split is not representable (see [`MergeEngine::dissolve_partial`] — the
+    /// caller then falls back to [`MergeEngine::dissolve_root`]).
+    ///
+    /// This is the primitive [`crate::incremental`]'s localization drives:
+    /// detaching invalidates only the panel encodings of the killed ancestors, so
+    /// only they are re-expanded and only the promoted roots re-enter planning.
+    pub fn detach_subtree(&mut self, s: SupernodeId) -> Option<Vec<SupernodeId>> {
+        assert!(self.summary.is_alive(s), "cannot detach a dead supernode");
+        if self.summary.is_root(s) {
+            return Some(vec![s]);
+        }
+        let mut kill: Vec<SupernodeId> = Vec::new();
+        let mut cur = self.summary.parent(s);
+        let mut root = s;
+        while let Some(p) = cur {
+            kill.push(p);
+            root = p;
+            cur = self.summary.parent(p);
+        }
+        kill.sort_unstable();
+        self.split_root(root, &kill, &[])
+    }
+
+    /// Shared split machinery of [`MergeEngine::dissolve_partial`] and
+    /// [`MergeEngine::detach_subtree`]: plans the exact re-attachment of every
+    /// edge incident to `root`'s tree under the kill/drop decomposition, and
+    /// commits it through the same remove-all / split / re-add template as the
+    /// root case of [`MergeEngine::prune_supernode`].  Returns the promoted
+    /// roots, or `None` (state untouched) when the plan is unrepresentable.
+    ///
+    /// `kill` is the sorted, upward-closed spine of internal nodes to kill;
+    /// `drop_leaves` the sorted affected leaves whose coverage is zeroed (their
+    /// edges are dropped, not re-attached — the caller restores them at leaf
+    /// level afterwards).
+    ///
+    /// Every other endpoint is **expanded**: a killed endpoint is replaced by its
+    /// *frontier* — the maximal surviving (non-kill, non-drop) nodes of its
+    /// subtree — which partitions exactly the members the decode rule iterates,
+    /// so each expanded pair's accumulated weight reproduces the pair's net
+    /// coverage precisely (nested endpoints fold to a doubled self-loop weight,
+    /// which is unrepresentable and triggers the fallback).
+    fn split_root(
+        &mut self,
+        root: SupernodeId,
+        kill: &[SupernodeId],
+        drop_leaves: &[SupernodeId],
+    ) -> Option<Vec<SupernodeId>> {
+        let summary = &self.summary;
+        let tree = summary.tree_supernodes(root);
+        let mut tree_sorted = tree.clone();
+        tree_sorted.sort_unstable();
+        // Frontier of every kill node, children-before-parents: a killed child
+        // contributes its own frontier, a dropped leaf contributes nothing, and
+        // any other child is itself a maximal survivor.
+        let mut frontier: FxHashMap<SupernodeId, Vec<SupernodeId>> = FxHashMap::default();
+        let mut stack: Vec<(SupernodeId, bool)> = vec![(root, false)];
+        while let Some((d, expanded)) = stack.pop() {
+            if expanded {
+                let mut f: Vec<SupernodeId> = Vec::new();
+                for &c in summary.children(d) {
+                    if kill.binary_search(&c).is_ok() {
+                        f.extend_from_slice(&frontier[&c]);
+                    } else if drop_leaves.binary_search(&c).is_err() {
+                        f.push(c);
+                    }
+                }
+                frontier.insert(d, f);
+            } else {
+                stack.push((d, true));
+                for &c in summary.children(d) {
+                    if kill.binary_search(&c).is_ok() {
+                        stack.push((c, false));
+                    }
+                }
+            }
+        }
+        // Every edge incident to the tree, deduplicated (intra-tree edges appear
+        // in both endpoints' incidence; keep the visit from the smaller id).
+        let mut saved: Vec<(SupernodeId, SupernodeId, EdgeSign)> = Vec::new();
+        let mut buf: Vec<SupernodeId> = Vec::new();
+        for &x in &tree {
+            buf.clear();
+            buf.extend(summary.incident(x));
+            buf.sort_unstable();
+            for &y in &buf {
+                if y < x && tree_sorted.binary_search(&y).is_ok() {
+                    continue;
+                }
+                saved.push((x, y, summary.edge_sign(x, y).expect("incident edge")));
+            }
+        }
+        // Accumulate the expanded edges.  The budget keeps the expansion from
+        // ever exceeding the whole-tree cost it is meant to undercut (a root
+        // self-loop over a wide frontier expands quadratically).
+        let budget = 16 * (saved.len() + tree.len()) + 64;
+        let mut ops = 0usize;
+        let mut final_weights: FxHashMap<(SupernodeId, SupernodeId), i32> = FxHashMap::default();
+        for &(x, y, sign) in &saved {
+            let w = sign.weight();
+            if x == y {
+                // A self-loop covers each unordered member pair once; over the
+                // frontier partition that is one edge per frontier pair plus a
+                // self-loop per multi-member survivor (singleton survivors cover
+                // zero pairs).  Surviving/dropped self-loops keep/lose it whole.
+                if kill.binary_search(&x).is_ok() {
+                    let f = &frontier[&x];
+                    ops += f.len() * (f.len() + 1) / 2;
+                    if ops > budget {
+                        return None;
+                    }
+                    for (i, &fi) in f.iter().enumerate() {
+                        if summary.members(fi).len() > 1 {
+                            *final_weights.entry((fi, fi)).or_insert(0) += w;
+                        }
+                        for &fj in &f[i + 1..] {
+                            *final_weights
+                                .entry(crate::model::edge_key(fi, fj))
+                                .or_insert(0) += w;
+                        }
+                    }
+                } else if drop_leaves.binary_search(&x).is_err() {
+                    *final_weights.entry((x, x)).or_insert(0) += w;
+                }
+                continue;
+            }
+            let xbuf = [x];
+            let ybuf = [y];
+            let ex: &[SupernodeId] = if kill.binary_search(&x).is_ok() {
+                &frontier[&x]
+            } else if drop_leaves.binary_search(&x).is_ok() {
+                &[]
+            } else {
+                &xbuf
+            };
+            let ey: &[SupernodeId] = if kill.binary_search(&y).is_ok() {
+                &frontier[&y]
+            } else if drop_leaves.binary_search(&y).is_ok() {
+                &[]
+            } else {
+                &ybuf
+            };
+            ops += ex.len() * ey.len();
+            if ops > budget {
+                return None;
+            }
+            for &fx in ex {
+                for &fy in ey {
+                    if fx == fy {
+                        // Nested endpoints: the decode rule iterates the shared
+                        // members from both orientations, doubling the weight.
+                        *final_weights.entry((fx, fx)).or_insert(0) += 2 * w;
+                    } else {
+                        *final_weights
+                            .entry(crate::model::edge_key(fx, fy))
+                            .or_insert(0) += w;
+                    }
+                }
+            }
+        }
+        let mut re_add: Vec<((SupernodeId, SupernodeId), i32)> = Vec::new();
+        for (&key, &w) in &final_weights {
+            match w {
+                0 => {}
+                -1 | 1 => re_add.push((key, w)),
+                _ => return None, // not representable as a single p/n-edge
+            }
+        }
+        re_add.sort_unstable();
+        // Commit: remove everything incident to the tree through the sink, split
+        // the structure, rebuild the union-find + root metadata per survivor, and
+        // re-add the planned edges — the prune_supernode root-split template.
+        for &(x, y, _) in &saved {
+            self.remove_pn_edge(x, y);
+        }
+        let rep = self.find(root);
+        self.set_root.remove(&rep);
+        self.roots.remove(&root);
+        let promoted = self.summary.detach_and_kill(root, kill);
+        for &d in kill {
+            self.dsu_parent[d as usize] = d;
+        }
+        for &c in &promoted {
+            let subtree = self.summary.tree_supernodes(c);
+            for &x in &subtree {
+                self.dsu_parent[x as usize] = c;
+            }
+            self.set_root.insert(c, c);
+            self.roots.insert(
+                c,
+                RootMeta {
+                    tree_size: subtree.len(),
+                    height: self.summary.tree_height(c),
+                    adjacency: FxHashMap::default(),
+                    pn_count: 0,
+                },
+            );
+        }
+        for &((a, b), w) in &re_add {
+            self.add_pn_edge(a, b, w as i8);
+        }
+        Some(promoted)
     }
 
     /// Removes a non-leaf supernode from the maintained summary with **exact**
@@ -1265,6 +1574,111 @@ mod tests {
         let m = engine.apply_merge(2, 3, &mut ctx);
         assert_eq!(m, 5, "fresh products reuse the reclaimed id space");
         engine.validate().unwrap();
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+    }
+
+    #[test]
+    fn dissolve_partial_drops_one_leaf_and_keeps_the_sibling_tree() {
+        // Tree m2 → {m{2,3}, 4}; touching leaf 4 must kill only m2 and leave
+        // m = {2,3} intact — the resulting state is bit-for-bit the state of an
+        // engine that only ever merged 2 and 3.
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        let part = engine.dissolve_partial(m2, &[4]);
+        assert!(!part.fell_back);
+        assert_eq!(part.restore_leaves, vec![4]);
+        assert_eq!(part.new_roots, vec![4, m]);
+        assert_eq!(part.killed, 1);
+        engine.validate().unwrap();
+        for hub in [0u32, 1] {
+            engine.restore_leaf_edge(4, hub);
+        }
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+        let mut reference = MergeEngine::new(&g);
+        reference.apply_merge(2, 3, &mut ctx);
+        assert_eq!(engine.roots(), reference.roots());
+        assert_eq!(root_fingerprint(&engine), root_fingerprint(&reference));
+    }
+
+    #[test]
+    fn dissolve_partial_kills_the_whole_spine_of_a_deep_leaf() {
+        // Touching leaf 2 of m2 → {m{2,3}, 4} invalidates both ancestors: the
+        // spine {m, m2} dies, siblings 3 and 4 come back as singleton roots, and
+        // the re-attached edges reproduce the freshly-built engine exactly.
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        let part = engine.dissolve_partial(m2, &[2]);
+        assert!(!part.fell_back);
+        assert_eq!(part.restore_leaves, vec![2]);
+        assert_eq!(part.new_roots, vec![2, 3, 4]);
+        assert_eq!(part.killed, 2);
+        engine.validate().unwrap();
+        for hub in [0u32, 1] {
+            engine.restore_leaf_edge(2, hub);
+        }
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+        let reference = MergeEngine::new(&g);
+        assert_eq!(engine.roots(), reference.roots());
+        assert_eq!(root_fingerprint(&engine), root_fingerprint(&reference));
+    }
+
+    #[test]
+    fn dissolve_partial_touching_every_member_is_whole_tree() {
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let part = engine.dissolve_partial(m, &[2, 3]);
+        assert!(part.fell_back);
+        assert_eq!(part.restore_leaves, vec![2, 3]);
+        assert_eq!(part.new_roots, vec![2, 3]);
+        engine.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_subtree_promotes_the_subtree_and_its_siblings() {
+        let g = double_star_7();
+        let mut engine = MergeEngine::new(&g);
+        let mut ctx = MergeCtx::new();
+        let m = engine.apply_merge(2, 3, &mut ctx);
+        let m2 = engine.apply_merge(m, 4, &mut ctx);
+        let promoted = engine.detach_subtree(m).expect("representable split");
+        assert_eq!(promoted, vec![4, m]);
+        engine.validate().unwrap();
+        assert!(engine.summary().is_root(m));
+        assert!(engine.summary().is_root(4));
+        assert!(!engine.summary().is_alive(m2));
+        crate::decode::verify_lossless(engine.summary(), &g).unwrap();
+        // Detaching a root is a no-op promotion of itself.
+        assert_eq!(engine.detach_subtree(m), Some(vec![m]));
+    }
+
+    #[test]
+    fn dissolve_partial_falls_back_on_unrepresentable_nested_coverage() {
+        // top → {a{0,1}, 2} with a stored edge (top, a): pair (0,1) is covered
+        // twice, so splitting out `a` would need a weight-2 edge (a, a) — the
+        // planner must detect this and dissolve the whole tree instead.
+        use crate::model::EdgeSign;
+        let g = Graph::from_edges(4, vec![(0, 1), (0, 2), (1, 2)]);
+        let mut s = crate::model::HierarchicalSummary::identity(4);
+        let a = s.create_supernode_with_children(&[0, 1]);
+        let top = s.create_supernode_with_children(&[a, 2]);
+        s.set_edge(top, a, EdgeSign::Positive);
+        crate::decode::verify_lossless(&s, &g).unwrap();
+        let mut engine = MergeEngine::from_summary(s);
+        let part = engine.dissolve_partial(top, &[2]);
+        assert!(part.fell_back);
+        assert_eq!(part.restore_leaves, vec![0, 1, 2]);
+        engine.validate().unwrap();
+        for (u, v) in g.edges() {
+            engine.restore_leaf_edge(u, v);
+        }
         crate::decode::verify_lossless(engine.summary(), &g).unwrap();
     }
 

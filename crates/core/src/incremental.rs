@@ -24,14 +24,20 @@
 //!    partitioning ([`crate::engine::apply::plan_footprint`]).  Affected roots are
 //!    always dirty; the cap only bounds how much *context* is re-opened around
 //!    them.
-//! 3. **Re-expand**: every dirty root is dissolved
-//!    ([`MergeEngine::dissolve_root`]) — its incident p/n-edges are removed with
-//!    exact metadata bookkeeping and its internal supernodes are killed — and the
-//!    region's leaves get back exact leaf-level p-edges for every current-graph
-//!    edge with at least one endpoint in the region.  Any pair covered by a
-//!    removed edge had an endpoint in a dirty tree, so after this step the summary
-//!    is again a lossless encoding of the *post-delta* graph, with the dirty
-//!    region fully expanded and everything else untouched.
+//! 3. **Re-expand**: with [`IncrementalConfig::partial_dissolution`] (the
+//!    default), each affected root is dissolved **subtree-granularly**
+//!    ([`MergeEngine::dissolve_partial`]): only the ancestor spine of its touched
+//!    leaves is killed, the maximal intact sibling subtrees survive as split-out
+//!    roots with the tree's edges re-attached exactly, and context roots stay
+//!    whole — so dissolution cost tracks `|delta|`, not the region.  The touched
+//!    leaves then get back exact leaf-level p-edges for every current-graph edge
+//!    incident to them (their coverage is exactly zero after the split).  With
+//!    the knob off, every dirty root is dissolved whole
+//!    ([`MergeEngine::dissolve_root`]) and the entire region re-expands, as in
+//!    earlier revisions.  Either way the summary is again a lossless encoding of
+//!    the *post-delta* graph after this step, with everything outside the dirty
+//!    region untouched — see ARCHITECTURE.md's subtree-detach lifecycle section
+//!    for why exactly the spine's encodings (and nothing else) are invalidated.
 //! 4. **Re-summarize**: [`IncrementalConfig::iterations`] passes of the standard
 //!    candidates → shard → merge → apply pipeline run with the candidate-root list
 //!    **restricted to the region's roots** (the dissolved leaves, then their merge
@@ -123,6 +129,15 @@ pub struct IncrementalConfig {
     /// adjacency expansion entirely; large values re-open more context around each
     /// delta at proportionally higher per-batch cost.
     pub adjacent_cap: usize,
+    /// When `true` (the default), affected roots are dissolved
+    /// **subtree-granularly** ([`MergeEngine::dissolve_partial`]): only the
+    /// ancestor spines of the touched leaves are killed, intact sibling subtrees
+    /// survive as split-out roots, and context (summary-adjacent) roots stay
+    /// intact while still joining the region as merge candidates — per-batch
+    /// dissolution cost tracks `|delta|`, not the region.  `false` restores the
+    /// whole-tree dissolution of every dirty root.  Both paths keep the summary
+    /// lossless after every batch (pinned by `tests/partial_dissolution.rs`).
+    pub partial_dissolution: bool,
     /// Pruning rounds run over the dirty region (and its summary-adjacent
     /// frontier) after each batch's pipeline passes, hosted by the engine so the
     /// maintained summary stays pruned with exact metadata.  `0` keeps the
@@ -150,6 +165,7 @@ impl Default for IncrementalConfig {
             height_bound: None,
             memoization: true,
             adjacent_cap: 32,
+            partial_dissolution: true,
             prune_rounds: 2,
             compact_dead_ratio: 0.5,
             seed: 0,
@@ -172,8 +188,15 @@ pub struct BatchReport {
     pub dirty_roots: usize,
     /// Internal supernodes killed by the dissolution.
     pub dissolved_supernodes: usize,
-    /// Subnodes re-expanded into singleton roots.
-    pub reexpanded_leaves: usize,
+    /// Subnodes re-expanded into singleton roots.  With
+    /// [`IncrementalConfig::partial_dissolution`] this is only the touched
+    /// leaves (plus whole-tree fallbacks); without it, the entire region.
+    pub dissolved_subnodes: usize,
+    /// Subnodes held by the dirty roots before dissolution — the denominator of
+    /// the `dissolved_subnodes / region_subnodes` ratio the streaming bench
+    /// reports (1.0 under whole-tree dissolution; the smaller, the more of the
+    /// region partial dissolution kept intact).
+    pub region_subnodes: usize,
     /// Exact leaf-level p-edges restored for the region.
     pub restored_edges: usize,
     /// Candidate pairs evaluated by the per-batch pipeline passes.
@@ -199,6 +222,10 @@ pub struct BatchReport {
     pub cost: usize,
     /// Wall-clock duration of the whole batch.
     pub elapsed: std::time::Duration,
+    /// Per-stage wall-clock breakdown of `elapsed`: the pipeline stages
+    /// accumulated over the batch's passes, plus the streaming-only `localize`
+    /// and `dissolve` stages (`stages.prune` mirrors `prune_elapsed`).
+    pub stages: crate::slugger::StageProfile,
 }
 
 /// The batch-incremental re-summarization engine (see the module docs).
@@ -395,6 +422,7 @@ impl IncrementalSummarizer {
         // Step 2: localize.  Affected roots, then the capped summary-adjacent
         // expansion — everything in sorted order so the batch is a pure function
         // of the engine's *content* (hash-map iteration orders are not).
+        let localize_start = std::time::Instant::now();
         let mut affected: Vec<SupernodeId> =
             touched.iter().map(|&u| self.engine.root_of(u)).collect();
         affected.sort_unstable();
@@ -431,17 +459,64 @@ impl IncrementalSummarizer {
             frontier.dedup();
             frontier.retain(|r| dirty.binary_search(r).is_err());
         }
-
-        // Step 3: re-expand.  Dissolve every dirty tree, then restore exact
-        // leaf-level p-edges for the current graph's edges incident to the region.
-        let mut leaves: Vec<NodeId> = Vec::new();
+        report.stages.localize = localize_start.elapsed();
         for &r in &dirty {
-            leaves.extend_from_slice(self.engine.summary().members(r));
-            let (_, killed) = self.engine.dissolve_root(r);
-            report.dissolved_supernodes += killed;
+            report.region_subnodes += self.engine.summary().members(r).len();
+        }
+
+        // Step 3: re-expand.  Subtree-granular by default: each affected root
+        // dissolves only the ancestor spine of its touched leaves
+        // ([`MergeEngine::dissolve_partial`]), intact sibling subtrees survive as
+        // split-out roots, and context roots stay whole — all of them join the
+        // region as merge candidates.  Then restore exact leaf-level p-edges for
+        // the current graph's edges incident to the re-expanded leaves (their
+        // coverage is exactly zero after dissolution, partial or not).
+        let dissolve_start = std::time::Instant::now();
+        let mut leaves: Vec<NodeId> = Vec::new();
+        let mut region_roots: Vec<SupernodeId> = Vec::new();
+        if self.config.partial_dissolution {
+            // Touched leaves grouped by affected root, both in ascending order.
+            let mut by_root: Vec<(SupernodeId, NodeId)> = touched
+                .iter()
+                .map(|&u| (self.engine.root_of(u), u))
+                .collect();
+            by_root.sort_unstable();
+            by_root.dedup();
+            let mut i = 0;
+            while i < by_root.len() {
+                let r = by_root[i].0;
+                let mut j = i;
+                while j < by_root.len() && by_root[j].0 == r {
+                    j += 1;
+                }
+                let touched_leaves: Vec<SupernodeId> =
+                    by_root[i..j].iter().map(|&(_, u)| u).collect();
+                let part = self.engine.dissolve_partial(r, &touched_leaves);
+                report.dissolved_supernodes += part.killed;
+                leaves.extend(part.restore_leaves.iter().copied());
+                region_roots.extend(part.new_roots);
+                i = j;
+            }
+            // Intact context roots join the region as merge candidates.
+            region_roots.extend(
+                dirty
+                    .iter()
+                    .copied()
+                    .filter(|r| affected.binary_search(r).is_err()),
+            );
+            region_roots.sort_unstable();
+            region_roots.dedup();
+        } else {
+            for &r in &dirty {
+                leaves.extend_from_slice(self.engine.summary().members(r));
+                let (_, killed) = self.engine.dissolve_root(r);
+                report.dissolved_supernodes += killed;
+            }
+            region_roots = leaves.iter().map(|&u| u as SupernodeId).collect();
+            region_roots.sort_unstable();
         }
         leaves.sort_unstable();
-        report.reexpanded_leaves = leaves.len();
+        report.dissolved_subnodes = leaves.len();
         for &u in &leaves {
             self.dirty_mark[u as usize] = true;
         }
@@ -454,11 +529,12 @@ impl IncrementalSummarizer {
                 }
             }
         }
+        report.stages.dissolve = dissolve_start.elapsed();
 
         // Step 4: re-summarize the region.  `active` tracks the region's current
         // roots across passes: surviving roots keep their (ascending) order and
         // merge products are appended in ascending arena order.
-        let mut active: Vec<SupernodeId> = leaves.iter().map(|&u| u as SupernodeId).collect();
+        let mut active: Vec<SupernodeId> = region_roots;
         let candidate_config = CandidateConfig {
             max_group_size: self.config.max_candidate_size,
             max_shingle_splits: self.config.max_shingle_splits,
@@ -475,6 +551,7 @@ impl IncrementalSummarizer {
                 .seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(self.epoch as u64);
+            let candidates_start = std::time::Instant::now();
             let sets = candidate_sets_with(
                 self.engine.summary(),
                 &self.graph,
@@ -484,6 +561,7 @@ impl IncrementalSummarizer {
                 threads,
                 &mut self.candidate_scratch,
             );
+            report.stages.candidates += candidates_start.elapsed();
             let worker = SluggerShardWorker {
                 view: &self.engine,
                 options: MergeOptions {
@@ -494,6 +572,7 @@ impl IncrementalSummarizer {
             };
             let seed = self.config.seed;
             let epoch = self.epoch;
+            let plan_start = std::time::Instant::now();
             let plans = plan_shards_pooled(
                 &worker,
                 &sets,
@@ -502,7 +581,9 @@ impl IncrementalSummarizer {
                 &|set_index| set_rng(seed, epoch, set_index),
                 &mut self.planner_pool,
             );
+            report.stages.plan += plan_start.elapsed();
             let arena_before = self.engine.summary().arena_len() as SupernodeId;
+            let apply_start = std::time::Instant::now();
             let (stats, _) = apply_plans_with(
                 &mut self.engine,
                 &mut self.ctx,
@@ -510,6 +591,7 @@ impl IncrementalSummarizer {
                 &plans,
                 threads,
             );
+            report.stages.apply += apply_start.elapsed();
             report.pairs_evaluated += stats.evaluated;
             report.merges += stats.merged;
             // Return spent merge vectors to the persistent planners, so
@@ -543,6 +625,7 @@ impl IncrementalSummarizer {
             );
         }
         report.prune_elapsed = prune_start.elapsed();
+        report.stages.prune = report.prune_elapsed;
         report.compacted_slots = self.maybe_compact();
 
         let summary = self.engine.summary();

@@ -471,6 +471,65 @@ impl HierarchicalSummary {
         nodes
     }
 
+    /// Structurally splits the tree rooted at `root` along an upward-closed
+    /// `kill` set of its **internal** supernodes: every kill node is killed
+    /// (children/members cleared, marked dead) and every alive child of a kill
+    /// node that is not itself killed becomes a parentless root.  Returns the
+    /// promoted roots in ascending id order.
+    ///
+    /// This is the subtree-granular counterpart of
+    /// [`HierarchicalSummary::dissolve_tree`]: a delta that touches a few leaves
+    /// only needs their ancestor *spine* killed, and every intact sibling
+    /// subtree survives as its own root.  `kill` must be sorted ascending,
+    /// contain `root`, and be upward-closed within the tree (the parent of every
+    /// non-root kill node is itself killed) — otherwise a killed node would keep
+    /// an alive parent, corrupting the forest.
+    ///
+    /// As with [`HierarchicalSummary::dissolve_tree`], the caller must have
+    /// removed every p/n-edge incident to the killed nodes first (the
+    /// incremental engine routes those removals — and the exact re-attachment of
+    /// the surviving structure's edges — through its bookkeeping sink; see
+    /// `MergeEngine::dissolve_partial`).
+    pub fn detach_and_kill(&mut self, root: SupernodeId, kill: &[SupernodeId]) -> Vec<SupernodeId> {
+        assert!(self.is_root(root), "only a root tree can be split");
+        debug_assert!(kill.windows(2).all(|w| w[0] < w[1]), "kill must be sorted");
+        debug_assert!(
+            kill.binary_search(&root).is_ok(),
+            "the kill set must contain the root"
+        );
+        let mut promoted: Vec<SupernodeId> = Vec::new();
+        for &d in kill {
+            debug_assert!(
+                !self.supernodes[d as usize].is_leaf(),
+                "kill set may only contain internal nodes"
+            );
+            debug_assert!(
+                self.supernodes[d as usize]
+                    .parent
+                    .is_none_or(|p| kill.binary_search(&p).is_ok()),
+                "kill set must be upward-closed"
+            );
+            let children = std::mem::take(&mut self.supernodes[d as usize].children);
+            for &c in &children {
+                if kill.binary_search(&c).is_err() {
+                    self.supernodes[c as usize].parent = None;
+                    promoted.push(c);
+                }
+            }
+            debug_assert!(
+                self.incidence[d as usize].is_empty(),
+                "supernode {d} still carries p/n-edges; remove them before splitting"
+            );
+            let s = &mut self.supernodes[d as usize];
+            s.parent = None;
+            s.members.clear();
+            s.members.shrink_to_fit();
+            s.alive = false;
+        }
+        promoted.sort_unstable();
+        promoted
+    }
+
     /// Number of dead arena slots (pruned or dissolved supernodes whose ids are
     /// still allocated).  Long delta streams accumulate these; compare against
     /// [`HierarchicalSummary::arena_len`] to decide when to
@@ -894,6 +953,51 @@ mod tests {
         let mut s = HierarchicalSummary::identity(2);
         let _m = s.merge_roots(0, 1);
         let _ = s.dissolve_tree(0);
+    }
+
+    #[test]
+    fn detach_and_kill_splits_the_spine_only() {
+        // ((0,1),(2,3)) under a top root; killing the top + left spine promotes
+        // leaves 0, 1 and the intact right subtree {2,3}.
+        let mut s = HierarchicalSummary::identity(4);
+        let left = s.merge_roots(0, 1);
+        let right = s.merge_roots(2, 3);
+        let top = s.merge_roots(left, right);
+        let mut kill = vec![top, left];
+        kill.sort_unstable();
+        let promoted = s.detach_and_kill(top, &kill);
+        assert_eq!(promoted, vec![0, 1, right]);
+        for r in [0u32, 1, right] {
+            assert!(s.is_root(r), "{r} must be a root");
+        }
+        assert!(!s.is_alive(top) && !s.is_alive(left));
+        // The intact subtree keeps its structure.
+        assert_eq!(s.children(right), &[2, 3]);
+        assert_eq!(s.members(right), &[2, 3]);
+        assert_eq!(s.parent(2), Some(right));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn detach_and_kill_of_every_internal_node_matches_dissolve() {
+        let mut s = HierarchicalSummary::identity(3);
+        let m01 = s.merge_roots(0, 1);
+        let m = s.merge_roots(m01, 2);
+        let mut kill = vec![m, m01];
+        kill.sort_unstable();
+        let promoted = s.detach_and_kill(m, &kill);
+        assert_eq!(promoted, vec![0, 1, 2]);
+        assert_eq!(s.num_h_edges(), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "only a root")]
+    fn detach_and_kill_rejects_non_roots() {
+        let mut s = HierarchicalSummary::identity(3);
+        let m = s.merge_roots(0, 1);
+        let top = s.merge_roots(m, 2);
+        let _ = s.detach_and_kill(m, &[m, top]);
     }
 
     #[test]

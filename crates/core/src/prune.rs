@@ -41,6 +41,11 @@
 //! cost is proportional to the dirty region — not to the whole summary, which is
 //! what a from-scratch [`prune_all`] on a snapshot would cost.
 //!
+//! The region substep 3 keeps its pair bookkeeping on dense arena-indexed scratch
+//! arrays by default ([`PairIndex::Flat`]); the original hash-map bookkeeping
+//! survives as [`PairIndex::Hash`] behind [`prune_region_with`], pinned
+//! byte-identical so the two can never drift.
+//!
 //! All substeps are **content-deterministic**: supernodes are visited in sorted-id
 //! order and each root pair's re-encoding depends only on that pair's edges, so the
 //! result is a pure function of the model's content — never of hash-map layout.
@@ -288,6 +293,168 @@ pub fn prune_step3<H: PruneHost, G: AdjacencyList>(
             max_pair_product,
         ) {
             reencoded += 1;
+        }
+    }
+    reencoded
+}
+
+/// Pair-bookkeeping strategy of the region-restricted substep 3 — see
+/// [`prune_region_with`].
+///
+/// Both strategies are **observably identical** (same pairs, same visit order,
+/// same re-encodings, byte-identical summaries — unit-pinned); they differ only
+/// in constant factors.  [`PairIndex::Flat`] replaces every hash lookup of the
+/// region path with dense arena-indexed scratch arrays, which is what keeps
+/// hub-adjacent regions (many partners per root) from paying ~2x over the global
+/// sweep's flat tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PairIndex {
+    /// Dense arena-indexed slot tables + pooled buckets (the default): a lazy
+    /// leaf/supernode → root memo, a partner → slot array reset via a touched
+    /// list, and per-slot edge buckets and subedge counters reused across roots.
+    Flat,
+    /// The original hash-map bookkeeping (`FxHashMap`/`FxHashSet` per root),
+    /// kept as the reference implementation the pin test compares against.
+    Hash,
+}
+
+/// Root of `x` through a lazy arena-indexed memo (`SupernodeId::MAX` = not yet
+/// computed), stamping the whole parent chain on first touch.  Valid only while
+/// tree structure is unchanged — substep 3 rewrites edges, never structure.
+fn memo_root_of(
+    summary: &HierarchicalSummary,
+    memo: &mut [SupernodeId],
+    chain: &mut Vec<SupernodeId>,
+    x: SupernodeId,
+) -> SupernodeId {
+    let mut cur = x;
+    chain.clear();
+    loop {
+        let m = memo[cur as usize];
+        if m != SupernodeId::MAX {
+            for &c in chain.iter() {
+                memo[c as usize] = m;
+            }
+            return m;
+        }
+        chain.push(cur);
+        match summary.parent(cur) {
+            Some(p) => cur = p,
+            None => {
+                for &c in chain.iter() {
+                    memo[c as usize] = cur;
+                }
+                return cur;
+            }
+        }
+    }
+}
+
+/// The [`PairIndex::Flat`] implementation of the region-restricted substep 3:
+/// pair-for-pair identical to [`prune_step3_region`] (same ascending root visit,
+/// same per-root bucket collection order, same full-total subedge counts, same
+/// smaller-root-first dedup of in-region pairs), with all bookkeeping on dense
+/// arena-indexed scratch instead of hash maps.
+///
+/// The subedge totals are counted lazily at each root's turn rather than in one
+/// up-front sweep; the graph never changes during the substep, so the totals are
+/// the same — counting pair `(a, b)` fully from `a`'s member adjacency (`u < w`
+/// within the pair itself) is exactly the split-rule total the hash path
+/// pre-computes.
+fn prune_step3_region_flat<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
+    region: &[SupernodeId],
+    max_pair_product: usize,
+) -> usize {
+    let arena_len = host.summary().arena_len();
+    let mut node_root: Vec<SupernodeId> = vec![SupernodeId::MAX; arena_len];
+    let mut chain: Vec<SupernodeId> = Vec::new();
+    // Dense partner index: arena-indexed slot table, reset between roots through
+    // the touched list; buckets and counters are pooled per slot.
+    let mut partner_slot: Vec<u32> = vec![u32::MAX; arena_len];
+    let mut partners_touched: Vec<SupernodeId> = Vec::new();
+    let mut partner_edges: Vec<Vec<(SupernodeId, SupernodeId)>> = Vec::new();
+    let mut partner_subedges: Vec<usize> = Vec::new();
+    let mut partners: Vec<SupernodeId> = Vec::new();
+    let mut incident: Vec<SupernodeId> = Vec::new();
+    let mut reencoded = 0usize;
+    for &a in region {
+        if !host.summary().is_root(a) {
+            continue; // removed by an earlier substep of this pass
+        }
+        for &p in &partners_touched {
+            partner_slot[p as usize] = u32::MAX;
+        }
+        partners_touched.clear();
+        let summary = host.summary();
+        // One scan over the tree's incident edges, bucketed by partner root —
+        // the exact collection order of the hash path.
+        for x in summary.tree_supernodes(a) {
+            incident.clear();
+            incident.extend(summary.incident(x));
+            incident.sort_unstable();
+            for &y in &incident {
+                let partner = memo_root_of(summary, &mut node_root, &mut chain, y);
+                // Intra-tree edges are seen from both endpoints; record them once
+                // (self-loops appear once in the incidence set already).
+                if partner == a && y < x {
+                    continue;
+                }
+                let mut slot = partner_slot[partner as usize];
+                if slot == u32::MAX {
+                    slot = partners_touched.len() as u32;
+                    partner_slot[partner as usize] = slot;
+                    partners_touched.push(partner);
+                    if partner_edges.len() <= slot as usize {
+                        partner_edges.push(Vec::new());
+                        partner_subedges.push(0);
+                    }
+                    partner_edges[slot as usize].clear();
+                    partner_subedges[slot as usize] = 0;
+                }
+                partner_edges[slot as usize].push((x, y));
+            }
+        }
+        if partners_touched.is_empty() {
+            continue;
+        }
+        // Full subedge totals for every partner pair, in one sweep over the
+        // member adjacency: each subedge once — from `a`'s side for cross pairs,
+        // `u < w` within the pair itself.
+        for &u in summary.members(a) {
+            for &w in graph.neighbors(u) {
+                let r = memo_root_of(summary, &mut node_root, &mut chain, w as SupernodeId);
+                if r != a || u < w {
+                    let slot = partner_slot[r as usize];
+                    if slot != u32::MAX {
+                        partner_subedges[slot as usize] += 1;
+                    }
+                }
+            }
+        }
+        partners.clear();
+        partners.extend_from_slice(&partners_touched);
+        partners.sort_unstable();
+        for &b in &partners {
+            // An in-region pair is handled at its smaller root's (earlier) turn.
+            if b < a && region.binary_search(&b).is_ok() {
+                continue;
+            }
+            let slot = partner_slot[b as usize] as usize;
+            let existing = partner_subedges[slot];
+            if flatten_pair_if_cheaper(
+                host,
+                graph,
+                a,
+                b,
+                &partner_edges[slot],
+                existing,
+                None,
+                max_pair_product,
+            ) {
+                reencoded += 1;
+            }
         }
     }
     reencoded
@@ -558,6 +725,28 @@ pub fn prune_region<H: PruneHost, G: AdjacencyList>(
     rounds: usize,
     max_pair_product: usize,
 ) -> PruneReport {
+    prune_region_with(
+        host,
+        graph,
+        region,
+        rounds,
+        max_pair_product,
+        PairIndex::Flat,
+    )
+}
+
+/// [`prune_region`] with an explicit substep-3 pair-bookkeeping strategy.  The
+/// two strategies produce byte-identical summaries (unit-pinned); [`PairIndex`]
+/// only selects the bookkeeping's constant factors, which the `streaming` bench
+/// compares per batch.
+pub fn prune_region_with<H: PruneHost, G: AdjacencyList>(
+    host: &mut H,
+    graph: &G,
+    region: &[SupernodeId],
+    rounds: usize,
+    max_pair_product: usize,
+    pair_index: PairIndex,
+) -> PruneReport {
     let mut region: Vec<SupernodeId> = region
         .iter()
         .copied()
@@ -580,7 +769,10 @@ pub fn prune_region<H: PruneHost, G: AdjacencyList>(
         let pass = PruneReport {
             step1_removed,
             step2_removed,
-            step3_reencoded: prune_step3_region(host, graph, &region, max_pair_product),
+            step3_reencoded: match pair_index {
+                PairIndex::Flat => prune_step3_region_flat(host, graph, &region, max_pair_product),
+                PairIndex::Hash => prune_step3_region(host, graph, &region, max_pair_product),
+            },
         };
         let changed = pass.total_changes() > 0;
         report.absorb(pass);
@@ -831,6 +1023,96 @@ mod tests {
         assert_eq!(s.edge_sign(c, d), None);
         verify_lossless(&s, &graph).unwrap();
         s.validate().unwrap();
+    }
+
+    /// Byte-level comparison of two summaries (arena structure + p/n-edges).
+    fn assert_summaries_identical(a: &HierarchicalSummary, b: &HierarchicalSummary) {
+        assert_eq!(a.arena_len(), b.arena_len());
+        for id in 0..a.arena_len() as SupernodeId {
+            assert_eq!(a.parent(id), b.parent(id), "parent of {id}");
+            assert_eq!(a.children(id), b.children(id), "children of {id}");
+            assert_eq!(a.members(id), b.members(id), "members of {id}");
+            assert_eq!(a.is_alive(id), b.is_alive(id), "alive of {id}");
+        }
+        let mut ea: Vec<_> = a.pn_edges().collect();
+        let mut eb: Vec<_> = b.pn_edges().collect();
+        ea.sort_unstable_by_key(|&(k, _)| k);
+        eb.sort_unstable_by_key(|&(k, _)| k);
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn flat_pair_index_is_byte_identical_to_the_hash_path() {
+        use slugger_graph::gen::{caveman, CavemanConfig};
+        let graph = caveman(&CavemanConfig {
+            num_nodes: 120,
+            num_cliques: 15,
+            min_clique: 5,
+            max_clique: 9,
+            rewire_probability: 0.05,
+            seed: 42,
+        });
+        let mut engine = MergeEngine::new(&graph);
+        let mut ctx = MergeCtx::new();
+        // Deterministic merges to pile up hierarchical (often wasteful) encodings.
+        for i in 0..40u32 {
+            let (a, b) = (3 * i % 120, (3 * i + 1) % 120);
+            if engine.summary().is_root(a) && engine.summary().is_root(b) {
+                engine.apply_merge(a, b, &mut ctx);
+            }
+        }
+        let base = engine.summary().clone();
+        let roots: Vec<SupernodeId> = base.roots().collect();
+        // Full-region prune: both strategies, byte-identical outcomes.
+        let mut flat = base.clone();
+        let mut hash = base.clone();
+        let report_flat = prune_region_with(
+            &mut flat,
+            &graph,
+            &roots,
+            3,
+            DEFAULT_MAX_PAIR_PRODUCT,
+            PairIndex::Flat,
+        );
+        let report_hash = prune_region_with(
+            &mut hash,
+            &graph,
+            &roots,
+            3,
+            DEFAULT_MAX_PAIR_PRODUCT,
+            PairIndex::Hash,
+        );
+        assert_eq!(report_flat, report_hash);
+        assert!(
+            report_flat.total_changes() > 0,
+            "fixture must exercise pruning"
+        );
+        assert_summaries_identical(&flat, &hash);
+        verify_lossless(&flat, &graph).unwrap();
+        // A strict sub-region exercises the in-region vs frontier split of the
+        // smaller-root-first dedup and the subedge counting rules.
+        let sub: Vec<SupernodeId> = roots.iter().copied().step_by(3).collect();
+        let mut flat = base.clone();
+        let mut hash = base;
+        let report_flat = prune_region_with(
+            &mut flat,
+            &graph,
+            &sub,
+            3,
+            DEFAULT_MAX_PAIR_PRODUCT,
+            PairIndex::Flat,
+        );
+        let report_hash = prune_region_with(
+            &mut hash,
+            &graph,
+            &sub,
+            3,
+            DEFAULT_MAX_PAIR_PRODUCT,
+            PairIndex::Hash,
+        );
+        assert_eq!(report_flat, report_hash);
+        assert_summaries_identical(&flat, &hash);
+        verify_lossless(&flat, &graph).unwrap();
     }
 
     #[test]

@@ -106,7 +106,10 @@ pub struct IterationRecord {
 ///
 /// `candidates` + `plan` + `apply` + `prune` cover the pipeline; anything else
 /// (root collection, record keeping) is a sliver of `elapsed`.  The
-/// `candidate_stage` bench binary reports these per run.
+/// `candidate_stage` bench binary reports these per run.  The streaming path
+/// ([`crate::incremental`]) reuses the struct per batch and additionally fills
+/// `localize` and `dissolve` (always zero for a batch [`Slugger`] run, which has
+/// no dirty region to localize).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageProfile {
     /// Candidate generation (min-hash shingle grouping; stage 1).
@@ -117,6 +120,12 @@ pub struct StageProfile {
     pub apply: std::time::Duration,
     /// Pruning after the last iteration (stage 5).
     pub prune: std::time::Duration,
+    /// Dirty-region localization (streaming step 2: affected roots, context
+    /// expansion, frontier) — zero for batch runs.
+    pub localize: std::time::Duration,
+    /// Dirty-region dissolution and leaf-edge restoration (streaming step 3) —
+    /// zero for batch runs.
+    pub dissolve: std::time::Duration,
     /// Conflict batches executed by the parallel apply stage, summed over all
     /// iterations (0 when the serial replay ran; see `engine::apply`).
     pub apply_batches: usize,

@@ -1,0 +1,243 @@
+//! Acceptance tests for subtree-granular **partial dissolution** (the streaming
+//! engine's localized alternative to whole-tree region dissolution):
+//!
+//! * a proptest runs the same random delta stream — interleaved with forced
+//!   global prunes and forced compactions — through two maintained summaries
+//!   that differ only in [`IncrementalConfig::partial_dissolution`], and asserts
+//!   after **every** operation that both decode to the identical live graph and
+//!   both pass the full engine-bookkeeping validation (`MergeEngine::validate`);
+//! * the per-batch dissolution accounting is pinned: under partial dissolution
+//!   `dissolved_subnodes ≤ region_subnodes`, while whole-tree dissolution always
+//!   re-expands the entire region (`dissolved_subnodes == region_subnodes`);
+//! * a regression test pins the headline case — a delta touching exactly one
+//!   leaf of a deep multi-level tree kills only that leaf's root spine, leaving
+//!   the off-spine sibling subtree alive as a surviving supernode.
+
+// The vendored `proptest!` macro expands recursively per statement.
+#![recursion_limit = "1024"]
+
+use proptest::prelude::*;
+use slugger_core::engine::{MergeCtx, MergeEngine};
+use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
+use slugger_core::{Slugger, SluggerConfig};
+use slugger_graph::gen::{caveman, CavemanConfig};
+use slugger_graph::stream::{stream_batches, DynamicGraph, GraphDelta, StreamConfig};
+use slugger_graph::Graph;
+
+fn proptest_target(seed: u64) -> Graph {
+    caveman(&CavemanConfig {
+        num_nodes: 140,
+        num_cliques: 18,
+        min_clique: 5,
+        max_clique: 9,
+        rewire_probability: 0.03,
+        seed,
+    })
+}
+
+/// The proptest body (a plain function so the vendored `proptest!` macro — which
+/// recurses per statement — only has to expand a single call): the same random
+/// delta batches and the same interleaved `prune_now`/`compact_now` operations
+/// drive a partial-dissolution summarizer and a whole-tree one side by side.
+/// The two summaries legitimately diverge structurally (different surviving
+/// roots re-enter planning), so the equivalence is semantic: identical decode
+/// output and valid engine bookkeeping after every operation.
+fn check_partial_matches_whole(graph_seed: u64, stream_seed: u64, ops: &[u8]) {
+    let target = proptest_target(graph_seed);
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 0.75,
+            num_batches: ops.len(),
+            churn: 0.3,
+            seed: stream_seed,
+        },
+    );
+    let base = IncrementalConfig {
+        iterations: 3,
+        max_candidate_size: 48,
+        max_shingle_splits: 4,
+        prune_rounds: 1,
+        compact_dead_ratio: 0.25,
+        seed: stream_seed,
+        ..IncrementalConfig::default()
+    };
+    let slugger = Slugger::new(SluggerConfig {
+        iterations: 4,
+        max_candidate_size: 64,
+        max_shingle_splits: 5,
+        seed: graph_seed,
+        ..SluggerConfig::default()
+    });
+    let mut partial = IncrementalSummarizer::bootstrap(
+        &initial,
+        &slugger,
+        IncrementalConfig {
+            partial_dissolution: true,
+            ..base
+        },
+    );
+    let mut whole = IncrementalSummarizer::bootstrap(
+        &initial,
+        &slugger,
+        IncrementalConfig {
+            partial_dissolution: false,
+            ..base
+        },
+    );
+    let mut current = DynamicGraph::from_graph(&initial);
+    for (i, (delta, &op)) in batches.iter().zip(ops.iter()).enumerate() {
+        delta.apply_to(&mut current);
+        let rp = partial.resummarize(delta);
+        let rw = whole.resummarize(delta);
+        assert!(
+            rp.dissolved_subnodes <= rp.region_subnodes,
+            "batch {i}: partial dissolution re-expanded {} of {} region subnodes",
+            rp.dissolved_subnodes,
+            rp.region_subnodes
+        );
+        assert_eq!(
+            rw.dissolved_subnodes, rw.region_subnodes,
+            "batch {i}: whole-tree dissolution must re-expand the entire region"
+        );
+        match op {
+            1 => {
+                partial.prune_now(1);
+                whole.prune_now(1);
+            }
+            2 => {
+                partial.compact_now();
+                whole.compact_now();
+            }
+            3 => {
+                partial.prune_now(2);
+                partial.compact_now();
+                whole.prune_now(2);
+                whole.compact_now();
+            }
+            _ => {}
+        }
+        partial
+            .verify_lossless()
+            .unwrap_or_else(|e| panic!("batch {i}: partial path not lossless: {e}"));
+        whole
+            .verify_lossless()
+            .unwrap_or_else(|e| panic!("batch {i}: whole-tree path not lossless: {e}"));
+        partial
+            .validate()
+            .unwrap_or_else(|e| panic!("batch {i}: partial-path bookkeeping: {e}"));
+        whole
+            .validate()
+            .unwrap_or_else(|e| panic!("batch {i}: whole-tree bookkeeping: {e}"));
+        let live = current.to_graph().edge_set();
+        assert_eq!(
+            slugger_core::decode::decode_full(partial.summary()).edge_set(),
+            live,
+            "batch {i}: partial-dissolution summary diverged from the live graph"
+        );
+        assert_eq!(
+            slugger_core::decode::decode_full(whole.summary()).edge_set(),
+            live,
+            "batch {i}: whole-tree summary diverged from the live graph"
+        );
+    }
+    // Both streams converged to the target graph.
+    assert_eq!(
+        slugger_core::decode::decode_full(partial.summary()).edge_set(),
+        target.edge_set()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn partial_dissolution_is_equivalent_to_whole_tree_dissolution(
+        graph_seed in 0u64..500,
+        stream_seed in 0u64..500,
+        ops in proptest::collection::vec(0u8..4, 5usize),
+    ) {
+        check_partial_matches_whole(graph_seed, stream_seed, &ops);
+    }
+}
+
+/// The headline regression: a delta touching exactly **one** leaf of a deep
+/// three-level tree dissolves only that leaf's root spine.  The off-spine
+/// sibling subtree (`m1 = {2, 3}`) survives intact as a root, the spine nodes
+/// die, and the dissolution accounting reports exactly the touched leaves.
+#[test]
+fn delta_touching_one_leaf_of_a_deep_tree_dissolves_only_its_spine() {
+    // Double-star: hubs 0 and 1 are adjacent and both see every spoke 2..=5;
+    // node 6 starts isolated and is wired to spoke 4 by the delta.
+    let graph = Graph::from_edges(
+        7,
+        vec![
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (0, 4),
+            (1, 4),
+            (0, 5),
+            (1, 5),
+        ],
+    );
+    // Hand-build the deep tree m3{ m2{ m1{2, 3}, 4 }, 5 } over the spokes.
+    let mut engine = MergeEngine::new(&graph);
+    let mut ctx = MergeCtx::new();
+    let m1 = engine.apply_merge(2, 3, &mut ctx);
+    let m2 = engine.apply_merge(m1, 4, &mut ctx);
+    let m3 = engine.apply_merge(m2, 5, &mut ctx);
+    let summary = engine.into_summary();
+
+    // Zero pipeline iterations and no pruning pin the post-dissolution
+    // structure so the assertions below see exactly what dissolution left.
+    let config = IncrementalConfig {
+        iterations: 0,
+        prune_rounds: 0,
+        compact_dead_ratio: 0.0,
+        partial_dissolution: true,
+        ..IncrementalConfig::default()
+    };
+    let mut inc = IncrementalSummarizer::from_summary(summary, &graph, config)
+        .expect("engine-built summary must be lossless");
+    let delta = GraphDelta {
+        deletions: Vec::new(),
+        insertions: vec![(4, 6)],
+    };
+    let report = inc.resummarize(&delta);
+
+    // Touched leaves: 4 (inside the deep tree) and 6 (a singleton root).  Only
+    // those two re-expand; the spine {m2, m3} is the only casualty.
+    assert_eq!(
+        report.dissolved_subnodes, 2,
+        "only the touched leaves re-expand"
+    );
+    assert_eq!(
+        report.dissolved_supernodes, 2,
+        "only the spine {{m2, m3}} dies"
+    );
+    assert!(
+        report.region_subnodes >= 4,
+        "the dirty region spans at least the deep tree's four spokes, got {}",
+        report.region_subnodes
+    );
+
+    let summary = inc.summary();
+    assert!(summary.is_alive(m1), "off-spine subtree m1 must survive");
+    assert!(summary.is_root(m1), "m1 must be promoted to a root");
+    assert_eq!(summary.members(m1), &[2, 3]);
+    assert!(!summary.is_alive(m2), "spine node m2 must die");
+    assert!(!summary.is_alive(m3), "spine node m3 must die");
+
+    inc.verify_lossless()
+        .expect("partial dissolution + restore must stay lossless");
+    inc.validate().expect("engine bookkeeping must stay valid");
+    let mut live = DynamicGraph::from_graph(&graph);
+    delta.apply_to(&mut live);
+    assert_eq!(
+        slugger_core::decode::decode_full(inc.summary()).edge_set(),
+        live.to_graph().edge_set()
+    );
+}

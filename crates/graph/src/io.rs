@@ -4,6 +4,23 @@
 //! per line, `#`-prefixed comments).  This module reads and writes that format so the
 //! harness can operate both on generated stand-ins and on real downloads if the user
 //! supplies them.
+//!
+//! ## SNAP-format policy
+//!
+//! The reader accepts the [SNAP](https://snap.stanford.edu/data/) edge-list dialect
+//! as-is — [`read_snap`] / [`read_snap_file`] are the documented entry points (the
+//! generic [`read_edge_list`] is the same parser):
+//!
+//! * one whitespace-separated `u v` pair per line (tabs or spaces; trailing columns
+//!   after the first two are ignored, so timestamped triples parse too);
+//! * lines starting with `#` or `%` are comments, blank lines are skipped;
+//! * node ids are arbitrary `u32`s — the graph gets `max_id + 1` nodes, so sparse
+//!   id spaces produce isolated nodes rather than a remapping;
+//! * **duplicate edges are deduplicated** and **self-loops are dropped** when the
+//!   graph is frozen ([`Graph::from_edges`]): SNAP ships directed lists with both
+//!   `u v` and `v u` present, while SLUGGER's model (and every generator here) is
+//!   simple and undirected, so `(u, v)`, `(v, u)` and repeats all collapse into a
+//!   single undirected edge and `(u, u)` contributes nothing.
 
 use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
@@ -103,6 +120,19 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<Graph, EdgeListErr
     read_edge_list(file)
 }
 
+/// Reads a SNAP-format edge list from any reader (see the module docs for the
+/// dedup/self-loop policy).  Same parser as [`read_edge_list`], named for the
+/// dialect it is used with.
+pub fn read_snap<R: Read>(reader: R) -> Result<Graph, EdgeListError> {
+    read_edge_list(reader)
+}
+
+/// Reads a SNAP-format edge list from a file path (see the module docs for the
+/// dedup/self-loop policy).
+pub fn read_snap_file<P: AsRef<Path>>(path: P) -> Result<Graph, EdgeListError> {
+    read_edge_list_file(path)
+}
+
 /// Writes a graph as an edge list (`u v` per line, `u < v`) to any writer.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
@@ -165,6 +195,34 @@ mod tests {
         let g2 = read_edge_list(buf.as_slice()).unwrap();
         assert_eq!(g.edge_set(), g2.edge_set());
         assert_eq!(g.num_nodes(), g2.num_nodes());
+    }
+
+    #[test]
+    fn snap_dialect_dedups_both_directions_and_drops_self_loops() {
+        // A directed SNAP dump: both orientations listed, repeats, a self-loop,
+        // tab separators, and a trailing timestamp column.
+        let text = "# Directed graph: example\n\
+                    # FromNodeId\tToNodeId\n\
+                    0\t1\n\
+                    1\t0\n\
+                    0\t1\n\
+                    2\t2\n\
+                    1\t3\t1464737\n";
+        let g = read_snap(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2, "dups and the self-loop must collapse");
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 2));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn snap_sparse_ids_produce_isolated_nodes() {
+        let g = read_snap("3 9\n".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 0);
     }
 
     #[test]
