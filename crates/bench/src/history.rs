@@ -41,12 +41,49 @@ pub fn unix_time() -> u64 {
 
 /// Appends `record` (one JSON object, no trailing newline needed) as one line to
 /// the JSON-Lines file at `path`, creating the file if absent.
+///
+/// The line is appended **atomically against crashes**: the full record
+/// (newline included) goes down in a single `write_all` on an `O_APPEND`
+/// handle — one kernel call, not a buffered-writer flush that may split it —
+/// and is fsynced before returning.  A bench process killed mid-run therefore
+/// leaves either the whole line or nothing.  If a previous run *did* tear the
+/// tail (kernel crash, power loss), the append first terminates the fragment
+/// with its own newline, so the new record always starts a fresh line and the
+/// fragment stays an isolated garbage line that [`read_lines`] filters out.
 pub fn append_line(path: &str, record: &str) -> std::io::Result<()> {
+    let mut line = String::new();
+    // Self-heal a torn tail left by a crashed earlier run.
+    if let Ok(existing) = std::fs::read(path) {
+        if !existing.is_empty() && existing.last() != Some(&b'\n') {
+            line.push('\n');
+        }
+    }
+    line.push_str(record.trim_end());
+    line.push('\n');
     let mut file = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(path)?;
-    writeln!(file, "{}", record.trim_end())
+    file.write_all(line.as_bytes())?;
+    file.sync_all()
+}
+
+/// Reads the intact JSON-Lines records of a history file, skipping damage a
+/// crashed run can leave: a torn final line (no trailing newline) and isolated
+/// fragment lines that are not complete JSON objects.  Returns the surviving
+/// records without their newlines.
+pub fn read_lines(path: &str) -> std::io::Result<Vec<String>> {
+    let content = std::fs::read_to_string(path)?;
+    let mut lines: Vec<&str> = content.split('\n').collect();
+    // `split` yields a trailing "" for a well-terminated file; anything else in
+    // the last slot is a torn tail.
+    lines.pop();
+    Ok(lines
+        .into_iter()
+        .map(|l| l.trim())
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .map(|l| l.to_string())
+        .collect())
 }
 
 #[cfg(test)]
@@ -66,6 +103,36 @@ mod tests {
         append_line(path_str, "{\"run\": 2}\n").unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "{\"run\": 1}\n{\"run\": 2}\n");
+        assert_eq!(
+            read_lines(path_str).unwrap(),
+            vec!["{\"run\": 1}", "{\"run\": 2}"]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn read_lines_drops_a_torn_tail() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("slugger_bench_torn_{}.jsonl", std::process::id()));
+        let path_str = path.to_str().unwrap();
+        let _ = std::fs::remove_file(&path);
+        append_line(path_str, "{\"run\": 1}").unwrap();
+        // Simulate a crash that tore the second append mid-line.
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"{\"run\":").unwrap();
+        }
+        assert_eq!(read_lines(path_str).unwrap(), vec!["{\"run\": 1}"]);
+        // The next append after the torn tail still produces a parsable line —
+        // torn tails are only ever at the very end, and the reader skips them.
+        append_line(path_str, "{\"run\": 3}").unwrap();
+        let lines = read_lines(path_str).unwrap();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "{\"run\": 3}");
         std::fs::remove_file(&path).unwrap();
     }
 

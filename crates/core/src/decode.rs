@@ -6,6 +6,7 @@ use crate::model::HierarchicalSummary;
 use slugger_graph::graph::{Graph, NeighborAccess, NodeId};
 use slugger_graph::hash::FxHashMap;
 use slugger_graph::GraphBuilder;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Fully reconstructs the summarized graph.
 ///
@@ -145,6 +146,46 @@ impl NeighborAccess for SummaryNeighborView<'_> {
 /// (used by size accounting in the harness).
 pub fn decoded_edge_count(summary: &HierarchicalSummary) -> usize {
     decode_full(summary).num_edges()
+}
+
+/// The **id-free canonical form** of a summary: alive supernodes keyed by their
+/// member sets (unique — members strictly grow up the hierarchy and partition the
+/// subnodes across trees), each mapped to its parent's member set, plus the
+/// p/n-edges keyed by both endpoints' member sets.
+///
+/// Arena ids are scheduling artifacts: compaction, a storage round-trip, and
+/// crash recovery all renumber them without changing the summary *as a model*.
+/// Two summaries are interchangeable for every downstream consumer exactly when
+/// their canonical forms are equal — this is the equality the invariance test
+/// lattice pins across `parallelism × shards`, and the identity
+/// [`crate::storage::durable`] recovery guarantees against an uninterrupted run.
+pub type CanonicalForm = (
+    usize,
+    BTreeMap<Vec<NodeId>, Option<Vec<NodeId>>>,
+    BTreeSet<(Vec<NodeId>, Vec<NodeId>, i32)>,
+);
+
+/// Computes the [`CanonicalForm`] of a summary.  `O(total members + edges)` with
+/// sorting overhead — verification and test code, not a hot path.
+pub fn canonical_form(summary: &HierarchicalSummary) -> CanonicalForm {
+    let mut nodes: BTreeMap<Vec<NodeId>, Option<Vec<NodeId>>> = BTreeMap::new();
+    for id in 0..summary.arena_len() as u32 {
+        if !summary.is_alive(id) {
+            continue;
+        }
+        let members = summary.members(id).to_vec();
+        let parent = summary.parent(id).map(|p| summary.members(p).to_vec());
+        let unique = nodes.insert(members, parent).is_none();
+        debug_assert!(unique, "alive member sets must be unique");
+    }
+    let mut edges: BTreeSet<(Vec<NodeId>, Vec<NodeId>, i32)> = BTreeSet::new();
+    for ((a, b), sign) in summary.pn_edges() {
+        let ma = summary.members(a).to_vec();
+        let mb = summary.members(b).to_vec();
+        let (x, y) = if ma <= mb { (ma, mb) } else { (mb, ma) };
+        edges.insert((x, y, sign.weight()));
+    }
+    (summary.num_subnodes(), nodes, edges)
 }
 
 #[cfg(test)]

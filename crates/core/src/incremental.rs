@@ -148,6 +148,14 @@ pub struct IncrementalConfig {
     /// bounding resident memory at `live / (1 - ratio)`).  `0.0` disables
     /// compaction; the arena then grows with the stream.
     pub compact_dead_ratio: f64,
+    /// Periodic self-check: every N batches, run [`MergeEngine::validate`]
+    /// (bookkeeping vs a from-scratch rebuild) plus
+    /// [`HierarchicalSummary::validate`] and **panic** on any inconsistency —
+    /// a corrupted maintained summary must never silently keep streaming.  `0`
+    /// (the default) disables the check; it costs `O(arena + edges)` per run,
+    /// so it is meant for soak tests and canary deployments, not every batch of
+    /// a hot stream.  The `streaming` bench wires it to `--validate-every`.
+    pub validate_every: usize,
     /// Random seed of the per-batch pipeline runs.
     pub seed: u64,
     /// Worker shards per pipeline pass (pure scheduling, never changes output).
@@ -168,6 +176,7 @@ impl Default for IncrementalConfig {
             partial_dissolution: true,
             prune_rounds: 2,
             compact_dead_ratio: 0.5,
+            validate_every: 0,
             seed: 0,
             shards: DEFAULT_SHARDS,
             parallelism: Parallelism::Sequential,
@@ -303,6 +312,28 @@ impl IncrementalSummarizer {
         })
     }
 
+    /// Resumes a stream from persisted state: like
+    /// [`IncrementalSummarizer::from_summary`], but additionally restores the
+    /// deterministic sequencing counters — the pipeline-pass `epoch` (the RNG
+    /// stream index) and the processed-batch count — so the resumed stream draws
+    /// the **same** RNG streams an uninterrupted run would have drawn.  This is
+    /// the recovery entry point of [`crate::storage::durable`]: a checkpoint
+    /// stores exactly `(summary, epoch, batches)`, and replaying the delta WAL
+    /// through [`IncrementalSummarizer::resummarize`] afterwards reproduces the
+    /// uninterrupted run's summary in id-free canonical form.
+    pub fn resume(
+        summary: HierarchicalSummary,
+        graph: &Graph,
+        config: IncrementalConfig,
+        epoch: usize,
+        batches: usize,
+    ) -> Result<Self, String> {
+        let mut inc = Self::from_summary(summary, graph, config)?;
+        inc.epoch = epoch;
+        inc.batches = batches;
+        Ok(inc)
+    }
+
     /// Starts a stream from the trivial (identity) summary of `graph`: every
     /// subedge a p-edge between singleton supernodes.  Structure then builds up as
     /// batches touch the graph; use [`IncrementalSummarizer::bootstrap`] to start
@@ -354,6 +385,14 @@ impl IncrementalSummarizer {
     /// Number of delta batches processed so far.
     pub fn batches(&self) -> usize {
         self.batches
+    }
+
+    /// The monotone pipeline-pass counter (the RNG stream index).  Together with
+    /// [`IncrementalSummarizer::batches`] this is the deterministic-resume state
+    /// a durability checkpoint must persist — see
+    /// [`IncrementalSummarizer::resume`].
+    pub fn epoch(&self) -> usize {
+        self.epoch
     }
 
     /// A **globally** pruned snapshot of the maintained summary (a clone run
@@ -415,6 +454,7 @@ impl IncrementalSummarizer {
             report.cost = self.engine.summary().encoding_cost();
             report.arena_len = self.engine.summary().arena_len();
             report.dead_slots = self.engine.summary().num_dead_slots();
+            self.maybe_self_check();
             report.elapsed = start.elapsed();
             return report;
         }
@@ -632,8 +672,27 @@ impl IncrementalSummarizer {
         report.arena_len = summary.arena_len();
         report.dead_slots = summary.num_dead_slots();
         report.cost = summary.encoding_cost();
+        self.maybe_self_check();
         report.elapsed = start.elapsed();
         report
+    }
+
+    /// Runs the periodic self-check when [`IncrementalConfig::validate_every`]
+    /// says this batch is due: full engine bookkeeping validation plus model
+    /// invariants.  Panics on any inconsistency — a stream that keeps going on a
+    /// corrupted summary would silently persist wrong state.
+    fn maybe_self_check(&self) {
+        let every = self.config.validate_every;
+        if every == 0 || !self.batches.is_multiple_of(every) {
+            return;
+        }
+        self.engine
+            .validate()
+            .unwrap_or_else(|e| panic!("self-check failed after batch {}: {e}", self.batches));
+        self.engine
+            .summary()
+            .validate()
+            .unwrap_or_else(|e| panic!("self-check failed after batch {}: {e}", self.batches));
     }
 
     /// Compacts when dead slots exceed `compact_dead_ratio` of the arena;

@@ -30,6 +30,8 @@ use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
 use bytes::{Bytes, BytesMut};
 use std::io::{self, Read, Write};
 
+pub mod durable;
+
 /// Magic bytes identifying the format ("SLGR").
 pub const MAGIC: [u8; 4] = *b"SLGR";
 /// Current format version.

@@ -14,8 +14,10 @@
 //! * one whitespace-separated `u v` pair per line (tabs or spaces; trailing columns
 //!   after the first two are ignored, so timestamped triples parse too);
 //! * lines starting with `#` or `%` are comments, blank lines are skipped;
-//! * node ids are arbitrary `u32`s — the graph gets `max_id + 1` nodes, so sparse
-//!   id spaces produce isolated nodes rather than a remapping;
+//! * node ids are `u32`s up to a cap ([`DEFAULT_MAX_NODE_ID`], overridable via
+//!   [`read_edge_list_capped`]) — the graph gets `max_id + 1` nodes, so sparse id
+//!   spaces produce isolated nodes rather than a remapping, while ids past the cap
+//!   are a typed error instead of a multi-gigabyte allocation;
 //! * **duplicate edges are deduplicated** and **self-loops are dropped** when the
 //!   graph is frozen ([`Graph::from_edges`]): SNAP ships directed lists with both
 //!   `u v` and `v u` present, while SLUGGER's model (and every generator here) is
@@ -26,6 +28,17 @@ use crate::builder::GraphBuilder;
 use crate::graph::{Graph, NodeId};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
+
+/// Largest node id [`read_edge_list`] / [`read_snap`] accept by default.
+///
+/// Ids are `u32`, so a single hostile line like `4294967295 0` is *syntactically*
+/// valid — but freezing the graph allocates per-node structures for `max_id + 1`
+/// nodes, which at `u32::MAX` is a multi-gigabyte allocation that aborts the
+/// process instead of returning an error.  The cap (2²⁷ − 1 ≈ 134M, comfortably
+/// above every published SNAP dataset) turns that abort into
+/// [`EdgeListError::IdOutOfRange`]; callers with genuinely larger id spaces can
+/// raise it through [`read_edge_list_capped`].
+pub const DEFAULT_MAX_NODE_ID: NodeId = (1 << 27) - 1;
 
 /// Errors produced while reading an edge list.
 #[derive(Debug)]
@@ -39,6 +52,16 @@ pub enum EdgeListError {
         /// The offending content.
         content: String,
     },
+    /// A node id above the configured cap (see [`DEFAULT_MAX_NODE_ID`] for why
+    /// oversized ids are rejected instead of allocated for).
+    IdOutOfRange {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending id.
+        id: NodeId,
+        /// The cap in effect.
+        max: NodeId,
+    },
 }
 
 impl std::fmt::Display for EdgeListError {
@@ -48,6 +71,9 @@ impl std::fmt::Display for EdgeListError {
             EdgeListError::Parse { line, content } => {
                 write!(f, "parse error on line {line}: {content:?}")
             }
+            EdgeListError::IdOutOfRange { line, id, max } => {
+                write!(f, "node id {id} on line {line} exceeds the cap {max}")
+            }
         }
     }
 }
@@ -56,7 +82,7 @@ impl std::error::Error for EdgeListError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EdgeListError::Io(e) => Some(e),
-            EdgeListError::Parse { .. } => None,
+            _ => None,
         }
     }
 }
@@ -70,8 +96,18 @@ impl From<io::Error> for EdgeListError {
 /// Reads an undirected edge list from any reader.
 ///
 /// Lines starting with `#` or `%` are treated as comments; blank lines are skipped.
-/// Node ids may be arbitrary `u32`s; the resulting graph has `max_id + 1` nodes.
+/// Node ids up to [`DEFAULT_MAX_NODE_ID`] are accepted; the resulting graph has
+/// `max_id + 1` nodes.
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, EdgeListError> {
+    read_edge_list_capped(reader, DEFAULT_MAX_NODE_ID)
+}
+
+/// [`read_edge_list`] with an explicit node-id cap, for callers whose id space is
+/// known to be larger (or, in fuzz tests, much smaller) than the default.
+pub fn read_edge_list_capped<R: Read>(
+    reader: R,
+    max_node_id: NodeId,
+) -> Result<Graph, EdgeListError> {
     let reader = BufReader::new(reader);
     let mut builder = GraphBuilder::new(0);
     let mut line_buf = String::new();
@@ -108,7 +144,15 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, EdgeListError> {
                 })
             }
         };
-        builder.ensure_nodes((u.max(v) as usize) + 1);
+        let hi = u.max(v);
+        if hi > max_node_id {
+            return Err(EdgeListError::IdOutOfRange {
+                line: line_no,
+                id: hi,
+                max: max_node_id,
+            });
+        }
+        builder.ensure_nodes((hi as usize) + 1);
         builder.add_edge(u, v);
     }
     Ok(builder.build())
@@ -223,6 +267,27 @@ mod tests {
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.num_edges(), 1);
         assert_eq!(g.degree(0), 0);
+    }
+
+    #[test]
+    fn oversized_ids_error_instead_of_allocating() {
+        // Syntactically valid, but freezing a u32::MAX-node graph would abort
+        // the process with OOM — must surface as a typed error.
+        let err = read_snap("4294967295 0\n".as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::IdOutOfRange { line, id, max } => {
+                assert_eq!(line, 1);
+                assert_eq!(id, u32::MAX);
+                assert_eq!(max, DEFAULT_MAX_NODE_ID);
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+        // A lowered cap rejects ordinary ids, an exact-fit cap accepts them.
+        assert!(matches!(
+            read_edge_list_capped("3 9\n".as_bytes(), 5),
+            Err(EdgeListError::IdOutOfRange { id: 9, .. })
+        ));
+        assert!(read_edge_list_capped("3 9\n".as_bytes(), 9).is_ok());
     }
 
     #[test]

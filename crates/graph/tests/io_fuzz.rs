@@ -1,0 +1,89 @@
+//! Fuzz-style robustness tests of the edge-list reader (`slugger_graph::io`),
+//! mirroring the `read_summary` hardening: on *any* input — arbitrary byte soup,
+//! near-miss numeric lines, oversized ids — `read_snap` must return `Ok` or a
+//! typed [`EdgeListError`], never panic, and never attempt an allocation sized
+//! by attacker-controlled ids.
+
+// The vendored `proptest!` macro expands recursively per statement.
+#![recursion_limit = "256"]
+
+use proptest::prelude::*;
+use slugger_graph::io::{read_edge_list_capped, read_snap, EdgeListError, DEFAULT_MAX_NODE_ID};
+
+/// Small cap so hostile-but-valid ids can't make the *test* allocate big graphs;
+/// the cap path itself is what's under test.
+const FUZZ_CAP: u32 = 4096;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in proptest::collection::vec(0u8..=255u8, 0usize..512),
+    ) {
+        if let Ok(graph) = read_edge_list_capped(&bytes[..], FUZZ_CAP) {
+            graph.validate().unwrap();
+            prop_assert!(graph.num_nodes() <= FUZZ_CAP as usize + 1);
+        }
+    }
+
+    #[test]
+    fn numeric_looking_lines_never_panic(
+        lines in proptest::collection::vec(
+            (0u64..=u32::MAX as u64 + 10, 0u64..=u32::MAX as u64 + 10, 0usize..4),
+            0usize..20,
+        ),
+    ) {
+        // Near-miss inputs: mostly-valid `u v` pairs, some overflowing u32 by a
+        // little, with 0..3 junk trailing columns — the shapes a truncated or
+        // concatenated SNAP download actually produces.
+        let mut text = String::from("# fuzz\n");
+        for (u, v, extra) in &lines {
+            text.push_str(&format!("{u}\t{v}"));
+            for e in 0..*extra {
+                text.push_str(&format!("\t{e}"));
+            }
+            text.push('\n');
+        }
+        match read_edge_list_capped(text.as_bytes(), FUZZ_CAP) {
+            Ok(graph) => {
+                graph.validate().unwrap();
+                for (u, v, _) in &lines {
+                    prop_assert!(*u <= FUZZ_CAP as u64 && *v <= FUZZ_CAP as u64);
+                }
+            }
+            Err(EdgeListError::Parse { line, .. } | EdgeListError::IdOutOfRange { line, .. }) => {
+                prop_assert!(line >= 2 && line <= lines.len() + 1);
+            }
+            Err(EdgeListError::Io(e)) => return Err(format!("in-memory read cannot fail: {e}")),
+        }
+    }
+
+    #[test]
+    fn truncations_of_a_valid_list_never_panic(
+        n in 2u32..40,
+        cut in 0usize..400,
+    ) {
+        let mut text = String::new();
+        for u in 0..n {
+            text.push_str(&format!("{} {}\n", u, (u + 1) % n));
+        }
+        let bytes = &text.as_bytes()[..cut.min(text.len())];
+        // A truncation can only fail on its (possibly half) last line.
+        if let Ok(graph) = read_snap(bytes) {
+            graph.validate().unwrap();
+        }
+    }
+}
+
+#[test]
+fn default_cap_is_enforced_and_documented_value() {
+    let err = read_snap("134217728 0\n".as_bytes()).unwrap_err();
+    match err {
+        EdgeListError::IdOutOfRange { id, max, .. } => {
+            assert_eq!(id, DEFAULT_MAX_NODE_ID + 1);
+            assert_eq!(max, DEFAULT_MAX_NODE_ID);
+        }
+        other => panic!("unexpected error: {other}"),
+    }
+}
