@@ -50,20 +50,35 @@ pub fn unix_time() -> u64 {
 /// tail (kernel crash, power loss), the append first terminates the fragment
 /// with its own newline, so the new record always starts a fresh line and the
 /// fragment stays an isolated garbage line that [`read_lines`] filters out.
+///
+/// The torn-tail check and the append are not one atomic step, so this holds
+/// for a **single writer per history file** — the bench runner's situation
+/// (each binary appends to its own `BENCH_*.json`).  Two processes appending
+/// to the same file concurrently could both observe a missing trailing newline
+/// and emit a blank line between records; [`read_lines`] filters blank lines,
+/// but true interleaving is out of scope for a bench tool.
 pub fn append_line(path: &str, record: &str) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .read(true)
+        .append(true)
+        .open(path)?;
+    // Self-heal a torn tail left by a crashed earlier run, inspecting the last
+    // byte through the same handle the append goes down (reads honor the seek
+    // position on an `O_APPEND` handle; writes always land at the end).
+    let len = file.seek(SeekFrom::End(0))?;
     let mut line = String::new();
-    // Self-heal a torn tail left by a crashed earlier run.
-    if let Ok(existing) = std::fs::read(path) {
-        if !existing.is_empty() && existing.last() != Some(&b'\n') {
+    if len > 0 {
+        file.seek(SeekFrom::End(-1))?;
+        let mut last = [0u8; 1];
+        file.read_exact(&mut last)?;
+        if last[0] != b'\n' {
             line.push('\n');
         }
     }
     line.push_str(record.trim_end());
     line.push('\n');
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
     file.write_all(line.as_bytes())?;
     file.sync_all()
 }

@@ -28,10 +28,13 @@
 //!    lossless invariant makes the summary itself the graph of record), restores
 //!    the RNG epoch through [`IncrementalSummarizer::resume`], and replays every
 //!    WAL record past the checkpoint through the normal batch path.  A torn
-//!    final record (crash mid-append) is ignored; duplicated tail records
-//!    (re-appended after a failed fsync) are skipped by batch index; anything
-//!    else inconsistent — a gap in batch indexes, records after a torn tail —
-//!    is a **typed error**, never a panic and never a silently wrong summary.
+//!    final record (crash mid-append) is ignored and the active segment is
+//!    **healed** — rewritten down to its intact prefix — before appends resume,
+//!    so post-recovery batches are never stranded behind torn bytes; duplicated
+//!    tail records (re-appended after a failed fsync) are skipped by batch
+//!    index; anything else inconsistent — a gap in batch indexes, records after
+//!    a torn tail — is a **typed error**, never a panic and never a silently
+//!    wrong summary.
 //!
 //! Determinism of recovery is the load-bearing invariant: because the checkpoint
 //! pins `(summary, epoch, batches)` and replay goes through the ordinary
@@ -291,12 +294,23 @@ impl DurableIo for DirIo {
     }
 
     fn sync_dir(&mut self) -> io::Result<()> {
-        // Directory fsync is how renames/creations become durable on Linux; on
-        // platforms where opening a directory fails, fall back to a no-op (the
-        // rename itself is still atomic there).
+        // Directory fsync is how renames/creations become durable on Linux.
+        // Only the error kinds meaning "this platform cannot open a directory
+        // for syncing" (Windows, restrictive mount options) downgrade to a
+        // no-op — the rename itself is still atomic there.  Anything else
+        // (directory removed, fd exhaustion) is a real durability failure and
+        // must not be reported as success.
         match std::fs::File::open(&self.dir) {
             Ok(d) => d.sync_all(),
-            Err(_) => Ok(()),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::Unsupported | io::ErrorKind::PermissionDenied
+                ) =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -465,6 +479,12 @@ struct WalSegment {
     /// The segment ended in a torn (incomplete or checksum-failing) tail, which
     /// recovery tolerates **only** when nothing valid follows it.
     torn: bool,
+    /// Byte length of the intact prefix (header plus every valid record); the
+    /// bytes past it are the torn tail.  Recovery rewrites the active segment
+    /// down to this length before accepting new appends, so an acknowledged
+    /// batch can never land behind torn bytes where a later recovery's
+    /// stop-at-first-torn-record parse would not reach it.
+    valid_len: usize,
 }
 
 /// Parses a WAL segment, stopping at the first torn record (see the module docs
@@ -480,10 +500,11 @@ fn parse_wal_segment(
         file: file.to_string(),
         what,
     };
-    let torn = |records| {
+    let torn = |records, valid_len| {
         Ok(WalSegment {
             records,
             torn: true,
+            valid_len,
         })
     };
     if bytes.len() < WAL_HEADER_LEN
@@ -491,7 +512,7 @@ fn parse_wal_segment(
         || bytes[4] != DURABLE_VERSION
         || crc32(&bytes[..WAL_HEADER_LEN - 4]) != get_u32(bytes, WAL_HEADER_LEN - 4).unwrap_or(0)
     {
-        return torn(Vec::new());
+        return torn(Vec::new(), 0);
     }
     if get_u64(bytes, 5).expect("length checked") != expected_seq {
         return Err(corrupt("wal segment sequence mismatch"));
@@ -501,13 +522,13 @@ fn parse_wal_segment(
     while at < bytes.len() {
         let (len, crc) = match (get_u32(bytes, at), get_u32(bytes, at + 4)) {
             (Some(len), Some(crc)) => (len as usize, crc),
-            _ => return torn(records),
+            _ => return torn(records, at),
         };
         let Some(payload) = bytes.get(at + 8..at + 8 + len) else {
-            return torn(records);
+            return torn(records, at);
         };
         if crc32(payload) != crc {
-            return torn(records);
+            return torn(records, at);
         }
         // Past the CRC the record is intact: internal inconsistency can only be
         // a writer bug or corruption beyond the torn-tail model — fail closed.
@@ -536,6 +557,7 @@ fn parse_wal_segment(
     Ok(WalSegment {
         records,
         torn: false,
+        valid_len: at,
     })
 }
 
@@ -659,6 +681,12 @@ impl<IO: DurableIo> DurableSummarizer<IO> {
                     chosen = Some((header, summary));
                     break;
                 }
+                // A transient read failure (EINTR, fd exhaustion, …) is not
+                // evidence of corruption: silently falling back a checkpoint —
+                // or reporting NoCheckpoint when valid checkpoints exist on
+                // disk — would discard acknowledged state.  Propagate instead;
+                // the caller retries recovery once the condition clears.
+                Err(e @ DurableError::Io(_)) => return Err(e),
                 Err(_) => report.checkpoints_skipped += 1,
             }
         }
@@ -682,16 +710,26 @@ impl<IO: DurableIo> DurableSummarizer<IO> {
         )
         .map_err(DurableError::State)?;
 
+        // Appends will continue on the newest segment (created below if the
+        // crash hit between checkpoint rename and segment creation).
+        let wal_seq = wals
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(header.seq)
+            .max(header.seq);
+
         // Replay every WAL record past the checkpoint, oldest segment first.
         // Duplicated tail records (batch index already applied) are skipped; a
         // gap, or a valid record after a torn tail, is corruption.
         let mut saw_torn = false;
+        let mut active: Option<(Vec<u8>, usize, bool)> = None;
         for &wseq in wals.iter().filter(|&&w| w >= header.seq) {
             let name = wal_name(wseq);
             let bytes = io.read(&name)?;
             let segment = parse_wal_segment(&name, &bytes, wseq)?;
-            for (batch, delta) in segment.records {
-                if batch <= inner.batches() as u64 {
+            for (batch, delta) in &segment.records {
+                if *batch <= inner.batches() as u64 {
                     continue;
                 }
                 if saw_torn {
@@ -700,36 +738,50 @@ impl<IO: DurableIo> DurableSummarizer<IO> {
                         what: "valid wal records follow a torn tail",
                     });
                 }
-                if batch != inner.batches() as u64 + 1 {
+                if *batch != inner.batches() as u64 + 1 {
                     return Err(DurableError::Corrupt {
                         file: name,
                         what: "gap in wal batch indexes",
                     });
                 }
-                inner.resummarize(&delta);
+                inner.resummarize(delta);
                 report.replayed_batches += 1;
             }
             saw_torn |= segment.torn;
+            if wseq == wal_seq {
+                active = Some((bytes, segment.valid_len, segment.torn));
+            }
         }
         report.torn_tail = saw_torn;
 
-        // Appends continue on the newest segment (creating it if the crash hit
-        // between checkpoint rename and segment creation).
-        let wal_seq = wals
-            .iter()
-            .copied()
-            .max()
-            .unwrap_or(header.seq)
-            .max(header.seq);
         let wal_file = wal_name(wal_seq);
-        let wal_bytes = if wals.contains(&wal_seq) {
-            io.read(&wal_file)?.len() as u64
-        } else {
-            let head = encode_wal_header(wal_seq);
-            io.write(&wal_file, &head)?;
-            io.sync(&wal_file)?;
-            io.sync_dir()?;
-            head.len() as u64
+        let wal_bytes = match active {
+            // Heal a torn active segment before accepting appends: rewrite it
+            // down to its intact prefix (or a fresh header when the header
+            // itself is torn), so the next record lands directly after the
+            // last valid one.  Appending past the torn bytes instead would
+            // make every post-recovery batch unreachable to the next
+            // recovery, whose parse stops at the first torn record —
+            // acknowledged, fsynced batches would silently vanish.
+            Some((bytes, valid_len, true)) => {
+                let intact = if valid_len >= WAL_HEADER_LEN {
+                    bytes[..valid_len].to_vec()
+                } else {
+                    encode_wal_header(wal_seq)
+                };
+                io.write(&wal_file, &intact)?;
+                io.sync(&wal_file)?;
+                io.sync_dir()?;
+                intact.len() as u64
+            }
+            Some((bytes, _, false)) => bytes.len() as u64,
+            None => {
+                let head = encode_wal_header(wal_seq);
+                io.write(&wal_file, &head)?;
+                io.sync(&wal_file)?;
+                io.sync_dir()?;
+                head.len() as u64
+            }
         };
         let next_seq = ckpts
             .iter()

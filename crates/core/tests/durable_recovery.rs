@@ -133,6 +133,25 @@ fn sweep_all_fault_points(parallelism: Parallelism, shards: usize) {
             got, expected,
             "kill-and-recover at op {op}/{total_ops} diverged from the uninterrupted run"
         );
+        // Double-crash leg: everything the finished run acknowledged must
+        // survive one more clean crash.  In particular, batches ingested after
+        // a torn-tail recovery must not sit behind the old torn bytes (the
+        // active segment is healed to its intact prefix), or the second
+        // recovery's stop-at-first-torn-record parse would silently drop them.
+        let mut settled = io.clone();
+        settled.crash(0);
+        let (reopened, _) = DurableSummarizer::open(config, policy(), settled)
+            .unwrap_or_else(|e| panic!("op {op}/{total_ops}: second recovery failed: {e}"));
+        assert_eq!(
+            reopened.batches(),
+            batches.len(),
+            "op {op}/{total_ops}: acknowledged batches lost by the second recovery"
+        );
+        assert_eq!(
+            format!("{:?}", canonical_form(reopened.summary())),
+            expected,
+            "op {op}/{total_ops}: second recovery diverged from the uninterrupted run"
+        );
     }
 }
 
@@ -201,6 +220,65 @@ fn recovery_identity_across_the_scheduling_lattice() {
             );
         }
     }
+}
+
+/// The torn-tail double-crash scenario in isolation: a crash mid-append leaves
+/// a torn tail; recovery discards it and **heals** the active segment down to
+/// its intact prefix, so batches acknowledged after that recovery land inside
+/// the parseable region and a *second* recovery still sees them.  (Without the
+/// heal, post-recovery appends would land after the torn bytes, where the next
+/// recovery's stop-at-first-torn-record parse never reaches — acknowledged,
+/// fsynced batches would silently vanish.)
+#[test]
+fn batches_ingested_after_torn_tail_recovery_survive_a_second_crash() {
+    let (initial, batches) = small_stream();
+    let config = config_for(Parallelism::Sequential, 1);
+    let expected = reference(&initial, &batches, config);
+
+    // No automatic checkpoints: the second recovery leans entirely on the WAL.
+    let no_ckpt = DurablePolicy {
+        checkpoint_every_batches: 0,
+        checkpoint_wal_bytes: 0,
+    };
+    let io = MemIo::new();
+    let inner = IncrementalSummarizer::from_graph(&initial, config);
+    let mut durable = DurableSummarizer::create(inner, no_ckpt, io.clone()).unwrap();
+    durable.ingest(&batches[0]).unwrap();
+    // Crash mid-append of batch 2: a 5-byte short write becomes the torn tail.
+    io.arm(FaultPlan {
+        at_op: 0,
+        keep_bytes: 5,
+    });
+    assert!(durable.ingest(&batches[1]).is_err());
+    drop(durable);
+    let mut crashed = io.clone();
+    crashed.crash(usize::MAX); // the torn fragment reached the platter
+
+    // First recovery: batch 1 survives, the torn tail is discarded.
+    let (mut recovered, report) = DurableSummarizer::open(config, no_ckpt, crashed).unwrap();
+    assert!(report.torn_tail);
+    assert_eq!(recovered.batches(), 1);
+    // Re-feed batch 2 and push batch 3; ingest acknowledged both (fsynced).
+    recovered.ingest(&batches[1]).unwrap();
+    recovered.ingest(&batches[2]).unwrap();
+    drop(recovered);
+
+    // Second crash loses nothing that was synced — so the acknowledged batches
+    // must come back.
+    let mut crashed2 = io.clone();
+    crashed2.crash(0);
+    let (mut recovered2, report2) = DurableSummarizer::open(config, no_ckpt, crashed2).unwrap();
+    assert_eq!(
+        recovered2.batches(),
+        3,
+        "batches acknowledged after a torn-tail recovery were lost by the next recovery"
+    );
+    assert!(!report2.torn_tail, "the healed segment must parse clean");
+    recovered2.ingest(&batches[3]).unwrap();
+    assert_eq!(
+        format!("{:?}", canonical_form(recovered2.summary())),
+        expected
+    );
 }
 
 /// A duplicated tail record (an append retried after an unacknowledged sync)
