@@ -33,6 +33,10 @@
 //! * `--whole-tree` — disable subtree-granular partial dissolution (the legacy
 //!   whole-tree region dissolution; the comparison point for the `Dslv/Rgn`
 //!   ratio column);
+//! * `--no-candidate-index` — disable the persistent batch-to-batch candidate
+//!   index (`IncrementalConfig::candidate_index`), keeping the index-free path
+//!   reachable as the pinned reference (the `Rsh/Dirty` and `Hit` columns then
+//!   report full re-shingling);
 //! * `--input PATH` — stream a real SNAP-format edge list (see
 //!   `slugger_graph::io::read_snap_file` for the dedup/self-loop policy) instead
 //!   of the generated RMAT/caveman graphs;
@@ -87,6 +91,8 @@ pub struct StreamingOptions {
     pub compact_dead_ratio: Option<f64>,
     /// Disable subtree-granular partial dissolution (`--whole-tree`).
     pub whole_tree: bool,
+    /// Disable the persistent candidate index (`--no-candidate-index`).
+    pub no_candidate_index: bool,
     /// Stream a real SNAP-format edge list instead of the generated graphs
     /// (`--input`).
     pub input_path: Option<String>,
@@ -135,6 +141,9 @@ impl StreamingOptions {
                 "--whole-tree" => {
                     out.whole_tree = true;
                 }
+                "--no-candidate-index" => {
+                    out.no_candidate_index = true;
+                }
                 "--input" => {
                     out.input_path = Some(iter.next().expect("--input needs a path"));
                 }
@@ -182,6 +191,9 @@ impl StreamingOptions {
         if self.whole_tree {
             config.partial_dissolution = false;
         }
+        if self.no_candidate_index {
+            config.candidate_index = false;
+        }
         if let Some(every) = self.validate_every {
             config.validate_every = every;
         }
@@ -222,9 +234,14 @@ struct BatchRow {
     dirty_roots: usize,
     dissolved_subnodes: usize,
     region_subnodes: usize,
+    reshingled_roots: usize,
+    cached_roots: usize,
     incr_secs: f64,
     localize_secs: f64,
     dissolve_secs: f64,
+    candidates_secs: f64,
+    plan_secs: f64,
+    apply_secs: f64,
     prune_secs: f64,
     rebuild_secs: f64,
     mosso_secs: f64,
@@ -308,7 +325,12 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
          summary and a from-scratch run see the identical current graph.  `Dslv/Rgn` \
          is subnodes re-expanded over subnodes held by the dirty region — the \
          partial-dissolution win (1.0 under `--whole-tree`); `Lcl+Dslv` is the \
-         localize + dissolve share of the incremental time.  `Speedup` is \
+         localize + dissolve share of the incremental time.  `Rsh/Dirty` is roots \
+         (re-)shingled by the candidate stage over dirty roots and `Hit` the \
+         persistent candidate index's cache-hit rate (0% under \
+         `--no-candidate-index`), with `Cand` the candidate-stage share of the \
+         incremental time — per-batch candidate cost should track the *dirty* \
+         count, not the region.  `Speedup` is \
          rebuild time over incremental time for the same batch; `Prune` is the \
          engine-hosted region-prune share of the incremental time (bounded by the \
          dirty region, not the summary) and `Arena` is allocated supernode slots with \
@@ -326,7 +348,19 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
     if let Some(path) = &options.history_path {
         let record = history_record(scale, options, &runs);
         match history::append_line(path, &record) {
-            Ok(()) => out.push_str(&format!("\nHistory record appended to {path}.\n")),
+            Ok(()) => {
+                out.push_str(&format!("\nHistory record appended to {path}.\n"));
+                // CI perf-regression gate: compare the just-appended record
+                // against the last same-config one and fail the run on a >20%
+                // incremental-total regression (see `crate::perf_gate`).
+                match crate::perf_gate::check_streaming_history(path) {
+                    Ok(verdict) => out.push_str(&format!("{verdict}\n")),
+                    Err(report) => {
+                        println!("{out}");
+                        panic!("{report}");
+                    }
+                }
+            }
             Err(e) => out.push_str(&format!("\nFailed to append history to {path}: {e}.\n")),
         }
     }
@@ -484,12 +518,17 @@ fn stream_section(
             dirty_roots: report.dirty_roots,
             dissolved_subnodes: report.dissolved_subnodes,
             region_subnodes: report.region_subnodes,
+            reshingled_roots: report.reshingled_roots,
+            cached_roots: report.cached_roots,
             // In durable mode the honest per-batch time includes the WAL
             // append + fsync and any checkpoint — that wall-clock is what the
             // ≤ 15% overhead acceptance bound is measured on.
             incr_secs: step_secs,
             localize_secs: report.stages.localize.as_secs_f64(),
             dissolve_secs: report.stages.dissolve.as_secs_f64(),
+            candidates_secs: report.stages.candidates.as_secs_f64(),
+            plan_secs: report.stages.plan.as_secs_f64(),
+            apply_secs: report.stages.apply.as_secs_f64(),
             prune_secs: report.prune_elapsed.as_secs_f64(),
             rebuild_secs,
             mosso_secs,
@@ -594,8 +633,11 @@ fn render_section(run: &StreamRun, iterations: usize) -> String {
         "Ops",
         "Dirty",
         "Dslv/Rgn",
+        "Rsh/Dirty",
+        "Hit",
         "Incr time",
         "Lcl+Dslv",
+        "Cand",
         "Prune",
         "Rebuild",
         "Speedup",
@@ -625,10 +667,17 @@ fn render_section(run: &StreamRun, iterations: usize) -> String {
                 row.region_subnodes,
                 100.0 * row.dissolved_subnodes as f64 / (row.region_subnodes as f64).max(1.0)
             ),
+            format!("{}/{}", row.reshingled_roots, row.dirty_roots),
+            format!(
+                "{:.0}%",
+                100.0 * row.cached_roots as f64
+                    / ((row.cached_roots + row.reshingled_roots) as f64).max(1.0)
+            ),
             fmt_duration(std::time::Duration::from_secs_f64(row.incr_secs)),
             fmt_duration(std::time::Duration::from_secs_f64(
                 row.localize_secs + row.dissolve_secs,
             )),
+            fmt_duration(std::time::Duration::from_secs_f64(row.candidates_secs)),
             fmt_duration(std::time::Duration::from_secs_f64(row.prune_secs)),
             fmt_duration(std::time::Duration::from_secs_f64(row.rebuild_secs)),
             format!("{:.1}x", row.rebuild_secs / row.incr_secs.max(1e-9)),
@@ -689,7 +738,8 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
         scale.shards
     ));
     out.push_str(&format!(
-        "  \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \"partial_dissolution\": {},\n",
+        "  \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \"partial_dissolution\": {}, \
+         \"candidate_index\": {},\n",
         options
             .prune_rounds
             .unwrap_or(IncrementalConfig::default().prune_rounds),
@@ -697,6 +747,7 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
             .compact_dead_ratio
             .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
         !options.whole_tree,
+        !options.no_candidate_index,
     ));
     out.push_str("  \"streams\": [\n");
     for (si, run) in runs.iter().enumerate() {
@@ -715,8 +766,11 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
             out.push_str(&format!(
                 "      {{\"batch\": {}, \"deleted\": {}, \"inserted\": {}, \
                  \"dirty_roots\": {}, \"dissolved_subnodes\": {}, \
-                 \"region_subnodes\": {}, \"incr_secs\": {:.6}, \
+                 \"region_subnodes\": {}, \"reshingled_roots\": {}, \
+                 \"cached_roots\": {}, \"incr_secs\": {:.6}, \
                  \"localize_secs\": {:.6}, \"dissolve_secs\": {:.6}, \
+                 \"candidates_secs\": {:.6}, \
+                 \"plan_secs\": {:.6}, \"apply_secs\": {:.6}, \
                  \"prune_secs\": {:.6}, \"rebuild_secs\": {:.6}, \"mosso_secs\": {:.6}, \
                  \"incr_cost\": {}, \"rebuild_cost\": {}, \"mosso_cost\": {}, \
                  \"arena_len\": {}, \"dead_slots\": {}, \"compacted_slots\": {}}}{}\n",
@@ -726,9 +780,14 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
                 row.dirty_roots,
                 row.dissolved_subnodes,
                 row.region_subnodes,
+                row.reshingled_roots,
+                row.cached_roots,
                 row.incr_secs,
                 row.localize_secs,
                 row.dissolve_secs,
+                row.candidates_secs,
+                row.plan_secs,
+                row.apply_secs,
                 row.prune_secs,
                 row.rebuild_secs,
                 row.mosso_secs,
@@ -770,7 +829,7 @@ fn history_record(
         "{{\"experiment\": \"streaming\", \"git_sha\": \"{}\", \"unix_time\": {}, \
          \"scale\": {}, \"iterations\": {}, \"seed\": {}, \"threads\": {}, \
          \"shards\": {}, \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \
-         \"partial_dissolution\": {}, \"streams\": [",
+         \"partial_dissolution\": {}, \"candidate_index\": {}, \"streams\": [",
         history::git_sha(),
         history::unix_time(),
         scale.scale,
@@ -785,17 +844,23 @@ fn history_record(
             .compact_dead_ratio
             .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
         !options.whole_tree,
+        !options.no_candidate_index,
     );
     for (si, run) in runs.iter().enumerate() {
         let incr_total: f64 = run.rows.iter().map(|r| r.incr_secs).sum();
         let rebuild_total: f64 = run.rows.iter().map(|r| r.rebuild_secs).sum();
         let dissolved: usize = run.rows.iter().map(|r| r.dissolved_subnodes).sum();
         let region: usize = run.rows.iter().map(|r| r.region_subnodes).sum();
+        let reshingled: usize = run.rows.iter().map(|r| r.reshingled_roots).sum();
+        let cached: usize = run.rows.iter().map(|r| r.cached_roots).sum();
+        let candidates_total: f64 = run.rows.iter().map(|r| r.candidates_secs).sum();
         let final_cost = run.rows.last().map(|r| r.incr_cost).unwrap_or(0);
         out.push_str(&format!(
             "{}{{\"name\": \"{}\", \"num_nodes\": {}, \"final_edges\": {}, \
              \"incr_total_secs\": {:.6}, \"rebuild_total_secs\": {:.6}, \
-             \"dissolved_subnodes\": {}, \"region_subnodes\": {}, \"final_cost\": {}",
+             \"dissolved_subnodes\": {}, \"region_subnodes\": {}, \
+             \"reshingled_roots\": {}, \"cached_roots\": {}, \
+             \"candidates_total_secs\": {:.6}, \"final_cost\": {}",
             if si > 0 { ", " } else { "" },
             run.name,
             run.num_nodes,
@@ -804,6 +869,9 @@ fn history_record(
             rebuild_total,
             dissolved,
             region,
+            reshingled,
+            cached,
+            candidates_total,
             final_cost,
         ));
         if let Some(cmp) = &run.prune_cmp {

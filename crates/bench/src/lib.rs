@@ -9,6 +9,8 @@
 //! * [`table`] — plain-text / markdown table rendering for the reports.
 //! * [`history`] — the append-per-run JSON-Lines perf history (`BENCH_*.json` at the
 //!   repo root) the `streaming` and `candidate_stage` binaries write via `--history`.
+//! * [`perf_gate`] — the CI regression gate over the streaming history: the smoke run
+//!   fails when `incr_total_secs` regresses >20% vs the last same-config record.
 //! * [`experiments`] — one module per table/figure; each returns a report string that
 //!   the corresponding binary prints and `run_all_experiments` aggregates.
 
@@ -17,6 +19,7 @@
 
 pub mod experiments;
 pub mod history;
+pub mod perf_gate;
 pub mod runner;
 pub mod table;
 

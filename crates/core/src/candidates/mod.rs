@@ -46,6 +46,10 @@ use rand::SeedableRng;
 use slugger_graph::hash::splitmix64;
 use slugger_graph::{AdjacencyList, Graph};
 
+pub mod index;
+
+pub use index::{candidate_sets_indexed, CandidateIndex, IndexSink};
+
 /// Tuning knobs of the candidate-generation step.
 #[derive(Clone, Copy, Debug)]
 pub struct CandidateConfig {
@@ -150,7 +154,7 @@ fn root_shingle_table<G: AdjacencyList>(
 /// allowed.  Large groups go through a (reused, per-seed) node-hash table, small ones
 /// hash lazily; the fold is a pure map either way, so neither the chunking nor the
 /// table cutoff ever affects the values.
-fn fill_keyed<G: AdjacencyList + Sync>(
+pub(crate) fn fill_keyed<G: AdjacencyList + Sync>(
     summary: &HierarchicalSummary,
     graph: &G,
     group: &[SupernodeId],
@@ -200,7 +204,7 @@ fn fill_keyed<G: AdjacencyList + Sync>(
 
 /// Randomly splits a group into chunks of at most `max_group_size`, dropping
 /// singleton leftovers (the terminal splitter once shingle rounds are exhausted).
-fn random_split(
+pub(crate) fn random_split(
     group: Vec<SupernodeId>,
     max_group_size: usize,
     rng: &mut StdRng,

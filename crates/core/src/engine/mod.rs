@@ -264,6 +264,15 @@ pub struct MergeEngine {
     dsu_parent: Vec<SupernodeId>,
     set_root: FxHashMap<SupernodeId, SupernodeId>,
     roots: FxHashMap<SupernodeId, RootMeta>,
+    /// Root retirements buffered for a candidate index (see
+    /// [`crate::candidates::IndexSink`]): every structural event that can change
+    /// a root's shingle signature — merge, dissolution, split, root-level prune
+    /// — records the ids it retired or re-promoted here.  Disabled (and empty)
+    /// unless [`MergeEngine::enable_index_log`] was called, so the batch
+    /// pipeline pays nothing; the owner drains it through
+    /// [`MergeEngine::flush_retired`].
+    retired: Vec<SupernodeId>,
+    log_retired: bool,
 }
 
 impl MergeEngine {
@@ -301,6 +310,8 @@ impl MergeEngine {
             dsu_parent,
             set_root,
             roots,
+            retired: Vec::new(),
+            log_retired: false,
         }
     }
 
@@ -354,6 +365,32 @@ impl MergeEngine {
             dsu_parent,
             set_root,
             roots,
+            retired: Vec::new(),
+            log_retired: false,
+        }
+    }
+
+    /// Turns on the retirement log: from now on every structural event that can
+    /// change a root's shingle signature pushes the retired/re-promoted ids into
+    /// an internal buffer, drained by [`MergeEngine::flush_retired`].  Idempotent;
+    /// survives [`MergeEngine::compact`].
+    pub fn enable_index_log(&mut self) {
+        self.log_retired = true;
+    }
+
+    #[inline]
+    fn log_retire(&mut self, id: SupernodeId) {
+        if self.log_retired {
+            self.retired.push(id);
+        }
+    }
+
+    /// Drains the buffered retirements into `sink` (typically a
+    /// [`crate::candidates::CandidateIndex`]).  No-op when the log is disabled
+    /// or empty.
+    pub fn flush_retired(&mut self, sink: &mut impl crate::candidates::IndexSink) {
+        for id in self.retired.drain(..) {
+            sink.retire_root(id);
         }
     }
 
@@ -389,12 +426,14 @@ impl MergeEngine {
         let rep = self.find(root);
         self.set_root.remove(&rep);
         self.roots.remove(&root);
+        self.log_retire(root);
         let nodes = self.summary.dissolve_tree(root);
         let num_subnodes = self.summary.num_subnodes();
         let mut leaves = 0usize;
         for &x in &nodes {
             self.dsu_parent[x as usize] = x;
             if (x as usize) < num_subnodes {
+                self.log_retire(x);
                 self.set_root.insert(x, x);
                 self.roots.insert(
                     x,
@@ -418,6 +457,35 @@ impl MergeEngine {
     pub fn restore_leaf_edge(&mut self, u: SupernodeId, v: SupernodeId) {
         debug_assert_eq!(self.summary.edge_weight(u, v), 0);
         self.add_pn_edge(u, v, 1);
+    }
+
+    /// Batched [`MergeEngine::restore_leaf_edge`]: identical per-edge bookkeeping
+    /// effects in identical order (so every hash-map insertion history — and hence
+    /// any layout-order iteration downstream — matches the one-at-a-time loop
+    /// exactly), with the root resolution hoisted out of the per-edge path.
+    ///
+    /// Each pair's first endpoint must be a freshly-promoted singleton leaf root
+    /// (as dissolution produces), so its root is itself; and since restoration
+    /// only **adds** edges — no structural event can occur mid-batch — every
+    /// second endpoint's root is stable and is resolved once per distinct
+    /// endpoint instead of once per edge.
+    pub fn restore_leaf_edges(&mut self, edges: &[(SupernodeId, SupernodeId)]) {
+        let mut root_memo: FxHashMap<SupernodeId, SupernodeId> = FxHashMap::default();
+        for &(u, v) in edges {
+            debug_assert_eq!(self.summary.edge_weight(u, v), 0);
+            debug_assert_eq!(self.root_of(u), u, "u must be a singleton leaf root");
+            let prev = self.summary.set_edge(u, v, EdgeSign::Positive);
+            debug_assert!(prev.is_none(), "restored pair must be uncovered");
+            let rv = *root_memo.entry(v).or_insert_with(|| self.root_of(v));
+            let meta_u = self.roots.get_mut(&u).expect("root");
+            *meta_u.adjacency.entry(rv).or_insert(0) += 1;
+            meta_u.pn_count += 1;
+            if u != rv {
+                let meta_v = self.roots.get_mut(&rv).expect("root");
+                *meta_v.adjacency.entry(u).or_insert(0) += 1;
+                meta_v.pn_count += 1;
+            }
+        }
     }
 
     /// Subtree-granular dissolution: re-expands only the `affected` leaves of
@@ -681,11 +749,16 @@ impl MergeEngine {
         let rep = self.find(root);
         self.set_root.remove(&rep);
         self.roots.remove(&root);
+        self.log_retire(root);
+        for &d in drop_leaves {
+            self.log_retire(d);
+        }
         let promoted = self.summary.detach_and_kill(root, kill);
         for &d in kill {
             self.dsu_parent[d as usize] = d;
         }
         for &c in &promoted {
+            self.log_retire(c);
             let subtree = self.summary.tree_supernodes(c);
             for &x in &subtree {
                 self.dsu_parent[x as usize] = c;
@@ -730,7 +803,9 @@ impl MergeEngine {
         if root != id {
             // Internal node: the containing root keeps its identity; the tree
             // shrinks by one and may get shallower.  The dead node's union-find
-            // entry keeps chaining into the tree, which stays correct.
+            // entry keeps chaining into the tree, which stays correct.  No index
+            // retirement: the root's member set and the graph's adjacency are
+            // untouched, so its shingle signature is provably unchanged.
             self.summary.prune_supernode(id);
             let meta = self.roots.get_mut(&root).expect("containing root");
             meta.tree_size -= 1;
@@ -760,9 +835,11 @@ impl MergeEngine {
         let rep = self.find(id);
         self.set_root.remove(&rep);
         self.roots.remove(&id);
+        self.log_retire(id);
         self.summary.prune_supernode(id);
         self.dsu_parent[id as usize] = id;
         for &c in &children {
+            self.log_retire(c);
             let subtree = self.summary.tree_supernodes(c);
             for &x in &subtree {
                 self.dsu_parent[x as usize] = c;
@@ -794,13 +871,32 @@ impl MergeEngine {
     /// pinned by `tests/incremental_prune_compact.rs`.  Must only be called between
     /// pipeline passes (no outstanding plans or forced arena slots).
     pub fn compact(&mut self) -> usize {
+        self.compact_mapped().map_or(0, |map| map.reclaimed())
+    }
+
+    /// [`MergeEngine::compact`] returning the [`crate::model::CompactionMap`] itself (`None` =
+    /// arena already dense, nothing changed) so a candidate index can renumber
+    /// its cached entries instead of dropping them.  The retirement log's
+    /// enablement (and any undrained retirements, remapped) survives the rebuild.
+    pub fn compact_mapped(&mut self) -> Option<crate::model::CompactionMap> {
         if self.summary.num_dead_slots() == 0 {
-            return 0;
+            return None;
         }
+        let log_retired = self.log_retired;
+        let retired = std::mem::take(&mut self.retired);
         let mut summary = std::mem::take(&mut self.summary);
         let map = summary.compact();
         *self = MergeEngine::from_summary(summary);
-        map.reclaimed()
+        self.log_retired = log_retired;
+        self.retired = retired;
+        self.retired.retain_mut(|id| match map.remap(*id) {
+            Some(new) => {
+                *id = new;
+                true
+            }
+            None => false,
+        });
+        Some(map)
     }
 
     /// Exhaustive consistency check of the engine's incremental bookkeeping
@@ -993,6 +1089,8 @@ impl MergeEngine {
     pub(crate) fn commit_merge(&mut self, rm: &ResolvedMerge, case2: &[Case2Record]) {
         let (a, b, m) = (rm.a, rm.b, rm.m);
         debug_assert!(self.roots.contains_key(&a) && self.roots.contains_key(&b) && a != b);
+        self.log_retire(a);
+        self.log_retire(b);
         let cross_ab = rm.cross_ab;
         let case2 = &case2[rm.case2_start..rm.case2_start + rm.case2_len];
 

@@ -428,6 +428,10 @@ impl MergeView for PlanningEngine<'_> {
     fn parent_of(&self, id: SupernodeId) -> Option<SupernodeId> {
         match self.local_index(id) {
             Some(i) => self.scratch.local[i].parent,
+            // Until this overlay's first merge the override map is empty; skip
+            // the probe — `parent_of` runs per panel cell on the evaluation hot
+            // path, and most evaluations happen before any merge lands.
+            None if self.scratch.parent_override.is_empty() => self.base.summary().parent(id),
             None => self
                 .scratch
                 .parent_override
@@ -438,6 +442,12 @@ impl MergeView for PlanningEngine<'_> {
     }
 
     fn edge_weight(&self, x: SupernodeId, y: SupernodeId) -> i32 {
+        // Same empty-overlay fast path as `parent_of`: the edge overlay only
+        // fills once a merge re-encodes panels, but `edge_weight` is the single
+        // hottest probe of the planner (every Case-1/Case-2 panel build).
+        if self.scratch.edges.is_empty() {
+            return self.base.summary().edge_weight(x, y);
+        }
         match self.scratch.edges.get(&edge_key(x, y)) {
             Some(&w) => w as i32,
             None => self.base.summary().edge_weight(x, y),

@@ -292,36 +292,63 @@ pub(crate) fn case1_problem<V: MergeView + ?Sized>(
     )
 }
 
-/// Builds the Case-2 problem between the (about to be merged) roots `a`, `b` and
-/// the adjacent root `c`.
-pub(crate) fn case2_problem<V: MergeView + ?Sized>(
+/// The pair-invariant (yellow) half of a Case-2 problem: everything about the
+/// about-to-be-merged `A`/`B` side that does not depend on the orange root `C`.
+/// A merge evaluation builds this **once** and reuses it across every common
+/// adjacent root — on hub-heavy regions the commons loop dominates the merge
+/// planner, and the yellow side is identical for all of them.
+pub(crate) struct Case2Yellow {
+    a_internal: bool,
+    b_internal: bool,
+    yellow_supers: InlineVec<SupernodeId, 6>,
+    yellow_cov: [u16; 6],
+}
+
+/// Builds the yellow half for merging roots `a` and `b` (see [`Case2Yellow`]).
+pub(crate) fn case2_yellow<V: MergeView + ?Sized>(
     view: &V,
     a: SupernodeId,
     b: SupernodeId,
-    c: SupernodeId,
-) -> (Case2Problem, PanelEdges) {
+) -> Case2Yellow {
     let (a_internal, a_kids) = side_panel(view, a);
     let (b_internal, b_kids) = side_panel(view, b);
-    let (c_internal, c_kids) = side_panel(view, c);
-    let shape = Case2Shape {
-        a_internal,
-        b_internal,
-        c_internal,
-    };
     let mut yellow_cells: InlineVec<SupernodeId, 4> = InlineVec::new();
     push_side_cells(a_internal, a, &a_kids, &mut yellow_cells);
     push_side_cells(b_internal, b, &b_kids, &mut yellow_cells);
-    let mut orange_cells: InlineVec<SupernodeId, 4> = InlineVec::new();
-    push_side_cells(c_internal, c, &c_kids, &mut orange_cells);
-    let kc = orange_cells.len();
     let yellow_supers = yellow_panel_supers(&a_kids, &b_kids);
-    let mut orange_supers: InlineVec<SupernodeId, 3> = InlineVec::new();
-    for s in c_kids.iter().flatten() {
-        orange_supers.push(*s);
-    }
     let mut yellow_cov = [0u16; 6];
     for (slot, &s) in yellow_cov.iter_mut().zip(yellow_supers.as_slice().iter()) {
         *slot = cell_coverage_mask(view, s, yellow_cells.as_slice());
+    }
+    Case2Yellow {
+        a_internal,
+        b_internal,
+        yellow_supers,
+        yellow_cov,
+    }
+}
+
+/// Builds the Case-2 problem between the (about to be merged) roots behind
+/// `yellow` and the adjacent root `c`.
+pub(crate) fn case2_problem<V: MergeView + ?Sized>(
+    view: &V,
+    yellow: &Case2Yellow,
+    c: SupernodeId,
+) -> (Case2Problem, PanelEdges) {
+    let (c_internal, c_kids) = side_panel(view, c);
+    let shape = Case2Shape {
+        a_internal: yellow.a_internal,
+        b_internal: yellow.b_internal,
+        c_internal,
+    };
+    let mut orange_cells: InlineVec<SupernodeId, 4> = InlineVec::new();
+    push_side_cells(c_internal, c, &c_kids, &mut orange_cells);
+    let kc = orange_cells.len();
+    let yellow_supers = &yellow.yellow_supers;
+    let yellow_cov = &yellow.yellow_cov;
+    let mut orange_supers: InlineVec<SupernodeId, 3> = InlineVec::new();
+    for s in c_kids.iter().flatten() {
+        orange_supers.push(*s);
     }
     let mut orange_cov = [0u16; 3];
     for (slot, &s) in orange_cov.iter_mut().zip(orange_supers.as_slice().iter()) {
@@ -380,8 +407,9 @@ pub(crate) fn resolve_merge_into<V: MergeView + ?Sized>(
     let sol1 = memo.case1(&problem1);
     view.common_adjacent_roots_into(a, b, commons);
     let case2_start = case2.len();
+    let yellow = case2_yellow(view, a, b);
     for &c in commons.iter() {
-        let (problem2, old2) = case2_problem(view, a, b, c);
+        let (problem2, old2) = case2_problem(view, &yellow, c);
         let sol2 = memo.case2(&problem2);
         let (_, c_kids) = side_panel(view, c);
         case2.push(Case2Record {
@@ -501,10 +529,13 @@ pub(crate) fn evaluate_merge<V: MergeView + ?Sized>(
     // re-encoding is skipped both here and during application (keeping the two paths
     // consistent is what makes the evaluation exact).
     view.common_adjacent_roots_into(a, b, &mut scratch.commons);
-    for &c in scratch.commons.iter() {
-        let (problem2, old2) = case2_problem(view, a, b, c);
-        let sol2 = memo.case2(&problem2);
-        delta += sol2.cost as i64 - old2.len() as i64;
+    if !scratch.commons.is_empty() {
+        let yellow = case2_yellow(view, a, b);
+        for &c in scratch.commons.iter() {
+            let (problem2, old2) = case2_problem(view, &yellow, c);
+            let sol2 = memo.case2(&problem2);
+            delta += sol2.cost as i64 - old2.len() as i64;
+        }
     }
 
     // +2 hierarchy edges for attaching A and B below the new root.

@@ -56,9 +56,13 @@
 //! order, and the pipeline stages inherit the output-invariance of
 //! [`crate::pipeline`] — neither [`IncrementalConfig::parallelism`] nor
 //! [`IncrementalConfig::shards`] ever changes the summary (pinned by
-//! `crates/core/tests/incremental_invariance.rs`).  Pipeline RNG streams are
+//! `crates/core/tests/incremental_invariance.rs`).  Merge-planning RNG streams are
 //! indexed by a monotone *epoch* counter (total pipeline iterations so far), so no
-//! stream is ever reused across batches.
+//! decision stream is ever reused across batches; shingle seeds are deliberately
+//! **batch-stable** ([`pass_shingle_seed`]) — pass `t` of every batch hashes with
+//! the same seed, which is what lets the persistent candidate index
+//! ([`IncrementalConfig::candidate_index`]) reuse clean roots' signatures across
+//! batches instead of re-shingling the unchanged world.
 //!
 //! # Pruning and compaction
 //!
@@ -96,7 +100,9 @@
 //! inc.verify_lossless().unwrap();
 //! ```
 
-use crate::candidates::{candidate_sets_with, CandidateConfig, CandidateScratch};
+use crate::candidates::{
+    candidate_sets_indexed, candidate_sets_with, CandidateConfig, CandidateIndex, CandidateScratch,
+};
 use crate::engine::apply::{apply_plans_with, ApplyWorkers};
 use crate::engine::{MergeCtx, MergeEngine};
 use crate::merge::{merging_threshold, MergeOptions};
@@ -148,6 +154,14 @@ pub struct IncrementalConfig {
     /// bounding resident memory at `live / (1 - ratio)`).  `0.0` disables
     /// compaction; the arena then grows with the stream.
     pub compact_dead_ratio: f64,
+    /// Keep a persistent batch-to-batch [`CandidateIndex`] (the default): each
+    /// pipeline pass re-hashes only the roots retired since their signatures
+    /// were cached and splices the cached majority back in pre-sorted, so the
+    /// candidate stage's cost tracks the **dirty** root count instead of the
+    /// whole region.  Output is byte-identical with the index on or off (pinned
+    /// by `tests/candidate_index.rs`); `false` keeps the index-free path
+    /// reachable as the pinned reference in benches.
+    pub candidate_index: bool,
     /// Periodic self-check: every N batches, run [`MergeEngine::validate`]
     /// (bookkeeping vs a from-scratch rebuild) plus
     /// [`HierarchicalSummary::validate`] and **panic** on any inconsistency —
@@ -176,6 +190,7 @@ impl Default for IncrementalConfig {
             partial_dissolution: true,
             prune_rounds: 2,
             compact_dead_ratio: 0.5,
+            candidate_index: true,
             validate_every: 0,
             seed: 0,
             shards: DEFAULT_SHARDS,
@@ -208,6 +223,14 @@ pub struct BatchReport {
     pub region_subnodes: usize,
     /// Exact leaf-level p-edges restored for the region.
     pub restored_edges: usize,
+    /// Roots whose shingle signatures the candidate stage had to (re-)hash this
+    /// batch, summed over the pipeline passes — with the candidate index on,
+    /// these are the roots retired since their signatures were cached; with it
+    /// off, every root of every pass.
+    pub reshingled_roots: usize,
+    /// Roots whose cached shingle signatures the candidate index served without
+    /// re-hashing, summed over the pipeline passes (0 with the index off).
+    pub cached_roots: usize,
     /// Candidate pairs evaluated by the per-batch pipeline passes.
     pub pairs_evaluated: usize,
     /// Merges performed by the per-batch pipeline passes.
@@ -235,6 +258,24 @@ pub struct BatchReport {
     /// accumulated over the batch's passes, plus the streaming-only `localize`
     /// and `dissolve` stages (`stages.prune` mirrors `prune_elapsed`).
     pub stages: crate::slugger::StageProfile,
+}
+
+/// The shingle seed of per-batch pipeline pass `t` (1-based, batch-local).
+///
+/// Deliberately **batch-stable**: pass `t` of every batch hashes with the same
+/// seed, which is what makes signatures cacheable across batches at all — a
+/// clean root's pass-`t` signature this batch *is* its pass-`t` signature last
+/// batch.  Bounded memory falls out too: the whole stream only ever touches
+/// `iterations` distinct seeds (times the per-pass split rounds).  Re-using
+/// shingle seeds across batches costs nothing statistically — shingles only
+/// bucket structurally similar roots, and the merge-planning RNG
+/// ([`crate::pipeline::set_rng`]) stays indexed by the monotone epoch, so no
+/// *decision* stream is ever reused.  Batch-local `t` also keeps recovery
+/// deterministic: a resumed stream re-derives the same seeds without any
+/// persisted counter.
+pub fn pass_shingle_seed(seed: u64, t: usize) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(t as u64)
 }
 
 /// The batch-incremental re-summarization engine (see the module docs).
@@ -269,8 +310,14 @@ pub struct IncrementalSummarizer {
     apply_workers: ApplyWorkers,
     ctx: MergeCtx,
     candidate_scratch: CandidateScratch,
+    /// Persistent batch-to-batch shingle cache ([`IncrementalConfig::candidate_index`]).
+    /// Never persisted: recovery rebuilds it cold (an empty cache just recomputes,
+    /// so recovery identity is untouched).
+    index: CandidateIndex,
     /// Per-subnode dirty flag, cleared after every batch (allocated once).
     dirty_mark: Vec<bool>,
+    /// Reused buffer of the leaf-level p-edges each batch restores.
+    restore_buf: Vec<(SupernodeId, SupernodeId)>,
 }
 
 impl IncrementalSummarizer {
@@ -294,6 +341,10 @@ impl IncrementalSummarizer {
             ));
         }
         let num_subnodes = summary.num_subnodes();
+        let mut engine = MergeEngine::from_summary(summary);
+        if config.candidate_index {
+            engine.enable_index_log();
+        }
         Ok(IncrementalSummarizer {
             ctx: if config.memoization {
                 MergeCtx::new()
@@ -301,14 +352,16 @@ impl IncrementalSummarizer {
                 MergeCtx::disabled()
             },
             config,
-            engine: MergeEngine::from_summary(summary),
+            engine,
             graph: DynamicGraph::from_graph(graph),
             epoch: 0,
             batches: 0,
             planner_pool: PlannerPool::new(),
             apply_workers: ApplyWorkers::new(),
             candidate_scratch: CandidateScratch::default(),
+            index: CandidateIndex::new(),
             dirty_mark: vec![false; num_subnodes],
+            restore_buf: Vec::new(),
         })
     }
 
@@ -339,6 +392,10 @@ impl IncrementalSummarizer {
     /// batches touch the graph; use [`IncrementalSummarizer::bootstrap`] to start
     /// from a full SLUGGER run instead.
     pub fn from_graph(graph: &Graph, config: IncrementalConfig) -> Self {
+        let mut engine = MergeEngine::new(graph);
+        if config.candidate_index {
+            engine.enable_index_log();
+        }
         IncrementalSummarizer {
             ctx: if config.memoization {
                 MergeCtx::new()
@@ -346,14 +403,16 @@ impl IncrementalSummarizer {
                 MergeCtx::disabled()
             },
             config,
-            engine: MergeEngine::new(graph),
+            engine,
             graph: DynamicGraph::from_graph(graph),
             epoch: 0,
             batches: 0,
             planner_pool: PlannerPool::new(),
             apply_workers: ApplyWorkers::new(),
             candidate_scratch: CandidateScratch::default(),
+            index: CandidateIndex::new(),
             dirty_mark: vec![false; graph.num_nodes()],
+            restore_buf: Vec::new(),
         }
     }
 
@@ -560,15 +619,19 @@ impl IncrementalSummarizer {
         for &u in &leaves {
             self.dirty_mark[u as usize] = true;
         }
+        self.restore_buf.clear();
         for &u in &leaves {
             for &w in self.graph.neighbors(u) {
                 // Dirty-dirty pairs are seen from both sides; restore them once.
                 if !self.dirty_mark[w as usize] || u < w {
-                    self.engine.restore_leaf_edge(u, w);
-                    report.restored_edges += 1;
+                    self.restore_buf.push((u, w));
                 }
             }
         }
+        report.restored_edges = self.restore_buf.len();
+        let restore_buf = std::mem::take(&mut self.restore_buf);
+        self.engine.restore_leaf_edges(&restore_buf);
+        self.restore_buf = restore_buf;
         report.stages.dissolve = dissolve_start.elapsed();
 
         // Step 4: re-summarize the region.  `active` tracks the region's current
@@ -586,21 +649,41 @@ impl IncrementalSummarizer {
             }
             self.epoch += 1;
             let threshold = merging_threshold(t, self.config.iterations);
-            let pass_seed = self
-                .config
-                .seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(self.epoch as u64);
+            // Batch-stable shingle seed (see [`pass_shingle_seed`]): the same for
+            // pass `t` of every batch, so cached signatures stay comparable —
+            // and identical whether the index is on or off.
+            let pass_seed = pass_shingle_seed(self.config.seed, t);
             let candidates_start = std::time::Instant::now();
-            let sets = candidate_sets_with(
-                self.engine.summary(),
-                &self.graph,
-                &active,
-                pass_seed,
-                &candidate_config,
-                threads,
-                &mut self.candidate_scratch,
-            );
+            let sets = if self.config.candidate_index {
+                // Apply every structural event since the last pass to the index,
+                // then hash only what those events invalidated.
+                self.engine.flush_retired(&mut self.index);
+                let sets = candidate_sets_indexed(
+                    self.engine.summary(),
+                    &self.graph,
+                    &active,
+                    pass_seed,
+                    &candidate_config,
+                    threads,
+                    &mut self.candidate_scratch,
+                    &mut self.index,
+                );
+                let (reshingled, cached) = self.index.take_batch_stats();
+                report.reshingled_roots += reshingled;
+                report.cached_roots += cached;
+                sets
+            } else {
+                report.reshingled_roots += active.len();
+                candidate_sets_with(
+                    self.engine.summary(),
+                    &self.graph,
+                    &active,
+                    pass_seed,
+                    &candidate_config,
+                    threads,
+                    &mut self.candidate_scratch,
+                )
+            };
             report.stages.candidates += candidates_start.elapsed();
             let worker = SluggerShardWorker {
                 view: &self.engine,
@@ -708,7 +791,22 @@ impl IncrementalSummarizer {
         if (dead as f64) <= ratio * summary.arena_len() as f64 {
             return 0;
         }
-        self.engine.compact()
+        self.compact_engine()
+    }
+
+    /// Compacts the engine and keeps the candidate index aligned: the
+    /// order-preserving [`crate::model::CompactionMap`] renumbers the cached
+    /// entries in place (sorted runs stay sorted), so compaction never costs the
+    /// index its warm state — pinned by `tests/candidate_index.rs`.  Buffered
+    /// retirements are remapped inside [`MergeEngine::compact_mapped`].
+    fn compact_engine(&mut self) -> usize {
+        match self.engine.compact_mapped() {
+            Some(map) => {
+                self.index.remap(&map);
+                map.reclaimed()
+            }
+            None => 0,
+        }
     }
 
     /// Runs the pruning substeps over **all** current roots, hosted by the engine
@@ -731,7 +829,40 @@ impl IncrementalSummarizer {
     /// order-preservingly and never changes the id-free canonical form or any
     /// subsequent batch's output.
     pub fn compact_now(&mut self) -> usize {
-        self.engine.compact()
+        self.compact_engine()
+    }
+
+    /// Read access to the persistent candidate index — its cached-entry count
+    /// and per-batch hit statistics drive the streaming bench's effectiveness
+    /// columns and the invalidation-soundness tests.
+    pub fn candidate_index(&self) -> &CandidateIndex {
+        &self.index
+    }
+
+    /// Invalidation-soundness oracle hook (`tests/candidate_index.rs`): computes
+    /// the candidate sets a pass-`t` run over **all** current roots would see
+    /// through the persistent index — pending invalidations flushed first, the
+    /// live index warmed exactly as a real pass would warm it.  The result must
+    /// be byte-identical to [`crate::candidates::reference::candidate_sets`] on
+    /// the same view with [`pass_shingle_seed`]`(seed, t)`; warming the index
+    /// here never changes any subsequent batch's output (only its speed).
+    pub fn probe_candidate_sets(&mut self, t: usize) -> Vec<Vec<SupernodeId>> {
+        self.engine.flush_retired(&mut self.index);
+        let roots: Vec<SupernodeId> = self.engine.summary().roots().collect();
+        let candidate_config = CandidateConfig {
+            max_group_size: self.config.max_candidate_size,
+            max_shingle_splits: self.config.max_shingle_splits,
+        };
+        candidate_sets_indexed(
+            self.engine.summary(),
+            &self.graph,
+            &roots,
+            pass_shingle_seed(self.config.seed, t),
+            &candidate_config,
+            self.config.parallelism.threads(),
+            &mut self.candidate_scratch,
+            &mut self.index,
+        )
     }
 }
 

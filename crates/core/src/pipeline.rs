@@ -4,7 +4,11 @@
 //! flows through five stages:
 //!
 //! 1. **candidates** — generate disjoint candidate sets from the frozen iteration
-//!    view ([`crate::candidates`]);
+//!    view ([`crate::candidates`]); the streaming region passes
+//!    ([`crate::incremental`]) run this stage through a persistent batch-to-batch
+//!    shingle cache ([`crate::candidates::CandidateIndex`]) that re-hashes only
+//!    the roots structural events invalidated — same output, dirty-proportional
+//!    cost;
 //! 2. **shard** — [`partition_sets`] deals whole candidate sets onto `shards` worker
 //!    shards by longest-processing-time scheduling over the estimated per-set cost
 //!    (a set is never split, so merges never cross shards);

@@ -662,6 +662,15 @@ impl<IO: DurableIo> DurableSummarizer<IO> {
     /// normal batch path.  `config` must match the one the stream was created
     /// with — the seed is persisted and checked, since a different seed would
     /// silently break the determinism-of-recovery invariant.
+    ///
+    /// The persistent candidate index
+    /// ([`IncrementalConfig::candidate_index`](crate::incremental::IncrementalConfig::candidate_index))
+    /// is **not** persisted: recovery rebuilds it cold.  That is deliberately
+    /// safe for identity — an empty cache means every root re-hashes, and
+    /// shingle seeds are batch-stable
+    /// ([`crate::incremental::pass_shingle_seed`]), so the replayed batches
+    /// compute exactly what the uninterrupted run computed; the cache re-warms
+    /// over the first replayed batches.
     pub fn open(
         config: IncrementalConfig,
         policy: DurablePolicy,

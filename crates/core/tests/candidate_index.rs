@@ -1,0 +1,267 @@
+//! Invalidation-soundness and identity pins for the persistent candidate index
+//! (`candidates::index`):
+//!
+//! - **Oracle**: across randomized delta / prune / compact / recovery
+//!   interleavings, the candidate sets computed *through the warm index* must be
+//!   byte-identical to `candidates::reference` recomputing everything from
+//!   scratch on the same view — after every batch, for every pass seed.  Any
+//!   missed invalidation (a structural event that changes a root's shingle
+//!   without retiring its cached signature) shows up here as a divergence.
+//! - **Identity**: a stream with the index on is byte-identical (canonical form,
+//!   after every batch) to the same stream with the index off, across
+//!   parallelism × shards — the index is a pure accelerator.
+//! - **Compaction**: a mid-stream `compact_now` renumbers the cached entries in
+//!   place rather than dropping them — the next batch still serves cache hits.
+
+use slugger_core::candidates::{self, CandidateConfig};
+use slugger_core::incremental::{pass_shingle_seed, IncrementalConfig, IncrementalSummarizer};
+use slugger_core::model::HierarchicalSummary;
+use slugger_core::{Parallelism, Slugger, SluggerConfig};
+use slugger_graph::gen::{caveman, CavemanConfig};
+use slugger_graph::stream::{stream_batches, StreamConfig};
+use slugger_graph::Graph;
+
+/// One arena slot of the canonical form: (parent, children, members, alive).
+type CanonicalSlot = (Option<u32>, Vec<u32>, Vec<u32>, bool);
+
+/// Every observable byte of the model, hash maps flattened into sorted vectors
+/// (the `apply_invariance.rs` / `incremental_invariance.rs` canonical form).
+#[derive(Debug, PartialEq, Eq)]
+struct CanonicalSummary {
+    num_subnodes: usize,
+    arena: Vec<CanonicalSlot>,
+    edges: Vec<((u32, u32), i32)>,
+}
+
+fn canonical(summary: &HierarchicalSummary) -> CanonicalSummary {
+    let arena = (0..summary.arena_len() as u32)
+        .map(|id| {
+            (
+                summary.parent(id),
+                summary.children(id).to_vec(),
+                summary.members(id).to_vec(),
+                summary.is_alive(id),
+            )
+        })
+        .collect();
+    let mut edges: Vec<((u32, u32), i32)> = summary
+        .pn_edges()
+        .map(|(key, sign)| (key, sign.weight()))
+        .collect();
+    edges.sort_unstable();
+    CanonicalSummary {
+        num_subnodes: summary.num_subnodes(),
+        arena,
+        edges,
+    }
+}
+
+fn target_graph(seed: u64) -> Graph {
+    caveman(&CavemanConfig {
+        num_nodes: 260,
+        num_cliques: 32,
+        min_clique: 5,
+        max_clique: 9,
+        rewire_probability: 0.03,
+        seed,
+    })
+}
+
+fn bootstrap_slugger(seed: u64) -> Slugger {
+    Slugger::new(SluggerConfig {
+        iterations: 4,
+        max_candidate_size: 64,
+        max_shingle_splits: 5,
+        seed,
+        ..SluggerConfig::default()
+    })
+}
+
+fn stream_config(seed: u64) -> IncrementalConfig {
+    IncrementalConfig {
+        iterations: 3,
+        max_candidate_size: 48,
+        max_shingle_splits: 4,
+        seed,
+        ..IncrementalConfig::default()
+    }
+}
+
+/// Asserts the warm-index candidate sets equal the from-scratch reference on the
+/// current view, for every per-batch pass seed.
+fn assert_oracle(inc: &mut IncrementalSummarizer, context: &str) {
+    let config = *inc.config();
+    let candidate_config = CandidateConfig {
+        max_group_size: config.max_candidate_size,
+        max_shingle_splits: config.max_shingle_splits,
+    };
+    for t in 1..=config.iterations {
+        let indexed = inc.probe_candidate_sets(t);
+        let roots: Vec<u32> = inc.summary().roots().collect();
+        let expected = candidates::reference::candidate_sets(
+            inc.summary(),
+            &inc.graph().to_graph(),
+            &roots,
+            pass_shingle_seed(config.seed, t),
+            &candidate_config,
+        );
+        assert_eq!(indexed, expected, "{context}: oracle diverged at pass {t}");
+    }
+}
+
+#[test]
+fn random_interleavings_match_the_reference_oracle() {
+    let target = target_graph(21);
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 0.75,
+            num_batches: 8,
+            churn: 0.35,
+            seed: 5,
+        },
+    );
+    let config = stream_config(13);
+    let mut inc = IncrementalSummarizer::bootstrap(&initial, &bootstrap_slugger(7), config);
+    // An uninterrupted control stream: the interleaved run (including its
+    // recovery swaps) must stay canonically identical to it after every batch.
+    let mut control = IncrementalSummarizer::bootstrap(&initial, &bootstrap_slugger(7), config);
+    assert_oracle(&mut inc, "bootstrap");
+    for (i, delta) in batches.iter().enumerate() {
+        inc.resummarize(delta);
+        control.resummarize(delta);
+        assert_oracle(&mut inc, &format!("batch {i}"));
+        // Deterministic "random" interleaving of the maintenance events.
+        if i % 2 == 1 {
+            inc.prune_now(2);
+            control.prune_now(2);
+            assert_oracle(&mut inc, &format!("batch {i} after prune"));
+        }
+        if i % 3 == 2 {
+            inc.compact_now();
+            control.compact_now();
+            assert_oracle(&mut inc, &format!("batch {i} after compact"));
+        }
+        if i % 4 == 3 {
+            // Crash/recover: rebuild from exactly the durable checkpoint state
+            // (summary, epoch, batches) — the index comes back cold and must
+            // both stay sound and leave the stream's outputs untouched.
+            inc = IncrementalSummarizer::resume(
+                inc.summary().clone(),
+                &inc.graph().to_graph(),
+                config,
+                inc.epoch(),
+                inc.batches(),
+            )
+            .unwrap();
+            assert_oracle(&mut inc, &format!("batch {i} after recovery"));
+        }
+        inc.verify_lossless()
+            .unwrap_or_else(|e| panic!("batch {i}: {e}"));
+        assert_eq!(
+            canonical(inc.summary()),
+            canonical(control.summary()),
+            "batch {i}: interleaved run diverged from the uninterrupted control"
+        );
+    }
+}
+
+#[test]
+fn index_on_and_off_are_byte_identical_across_parallelism_and_shards() {
+    let target = target_graph(33);
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 0.8,
+            num_batches: 4,
+            churn: 0.3,
+            seed: 9,
+        },
+    );
+    let run = |candidate_index: bool, parallelism: Parallelism, shards: usize| {
+        let mut inc = IncrementalSummarizer::bootstrap(
+            &initial,
+            &bootstrap_slugger(3),
+            IncrementalConfig {
+                candidate_index,
+                parallelism,
+                shards,
+                ..stream_config(17)
+            },
+        );
+        batches
+            .iter()
+            .map(|delta| {
+                inc.resummarize(delta);
+                canonical(inc.summary())
+            })
+            .collect::<Vec<_>>()
+    };
+    let baseline = run(false, Parallelism::Sequential, 8);
+    for parallelism in [1usize, 2, 4, 8] {
+        for shards in [1usize, 4, 16] {
+            let p = if parallelism == 1 {
+                Parallelism::Sequential
+            } else {
+                Parallelism::Fixed(parallelism)
+            };
+            let indexed = run(true, p, shards);
+            for (batch, (got, expected)) in indexed.iter().zip(baseline.iter()).enumerate() {
+                assert_eq!(
+                    got, expected,
+                    "index-on diverged from index-off after batch {batch} at \
+                     parallelism {parallelism}, shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mid_stream_compact_remaps_rather_than_drops_the_index() {
+    let target = target_graph(41);
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 0.75,
+            num_batches: 6,
+            churn: 0.3,
+            seed: 11,
+        },
+    );
+    // Automatic compaction off: dead slots pile up so the forced compact below
+    // has real renumbering to do.
+    let config = IncrementalConfig {
+        compact_dead_ratio: 0.0,
+        ..stream_config(19)
+    };
+    let mut inc = IncrementalSummarizer::bootstrap(&initial, &bootstrap_slugger(5), config);
+    for delta in &batches[..4] {
+        inc.resummarize(delta);
+    }
+    // Warm the cache over every root, then force the remap.
+    inc.probe_candidate_sets(1);
+    let entries_before = inc.candidate_index().num_entries();
+    assert!(entries_before > 0, "stream must have warmed the index");
+    assert!(
+        inc.summary().num_dead_slots() > 0,
+        "stream must have left dead slots to reclaim"
+    );
+    let reclaimed = inc.compact_now();
+    assert!(reclaimed > 0, "forced compaction must reclaim slots");
+    assert!(
+        inc.candidate_index().num_entries() > 0,
+        "compaction must remap the cached entries, not drop them"
+    );
+    assert_oracle(&mut inc, "after forced compact");
+    // The next batch still serves hits from the remapped cache.
+    let report = inc.resummarize(&batches[4]);
+    assert!(
+        report.cached_roots > 0,
+        "post-compaction batch must still hit the remapped cache \
+         (reshingled {}, cached {})",
+        report.reshingled_roots,
+        report.cached_roots
+    );
+    inc.verify_lossless().unwrap();
+}
