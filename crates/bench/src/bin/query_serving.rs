@@ -1,0 +1,21 @@
+//! Harness binary for the summary-native query-serving experiment: N query
+//! workers answer neighbor/degree/BFS/PageRank queries against epoch snapshots
+//! while the churn loop re-summarizes the RMAT delta stream, reporting
+//! p50/p99/max latency per query class and the batch-loop overhead versus a
+//! no-readers baseline.  Identity is asserted after every batch, so it doubles
+//! as the CI query-serving smoke test; `--history BENCH_queries.json` feeds
+//! the same-config perf gate.
+//!
+//! ```text
+//! cargo run --release --bin query_serving [--scale 1.0] [--iterations 5]
+//!     [--seed 0] [--workers 4] [--json queries.json] [--history BENCH_queries.json]
+//! ```
+
+use slugger_bench::experiments::query_serving::{self, QueryServingOptions};
+use slugger_bench::ExperimentScale;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let options = QueryServingOptions::from_env();
+    print!("{}", query_serving::run_with(&scale, &options));
+}

@@ -11,6 +11,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod graph_algorithms;
 pub mod neighbor_query;
+pub mod query_serving;
 pub mod streaming;
 pub mod table3;
 pub mod table4;

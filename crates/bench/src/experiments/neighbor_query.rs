@@ -27,6 +27,18 @@ pub fn run(scale: &ExperimentScale) -> String {
     let mut depth_latency: Vec<(f64, f64)> = Vec::new();
     for spec in scale.select_datasets(true) {
         let graph = spec.generate(scale.scale);
+        if graph.num_nodes() == 0 {
+            // An aggressively scaled-down dataset can collapse to zero nodes;
+            // there is nothing to query (and 0..0 is not a samplable range).
+            table.row([
+                format!("{} (empty, skipped)", spec.key.label()),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            continue;
+        }
         let outcome = Slugger::new(scale.slugger_config()).summarize(&graph);
         let summary = &outcome.summary;
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x5eed);
@@ -53,6 +65,18 @@ pub fn run(scale: &ExperimentScale) -> String {
             checksum, checksum_raw,
             "partial decompression must be exact"
         );
+        // The count checksums above stay in the timed loops (cheap, keeps the
+        // decode from being optimized away), but counts alone would let
+        // compensating errors pass — re-check every query's *sorted neighbor
+        // set* against the raw adjacency (`neighbors_of` returns sorted ids,
+        // `Graph::neighbors` slices are sorted by construction).
+        for &v in &queries {
+            assert_eq!(
+                neighbors_of(summary, v),
+                graph.neighbors(v),
+                "partial decompression returned a wrong neighbor set for node {v}"
+            );
+        }
 
         depth_latency.push((outcome.metrics.avg_leaf_depth, summary_us));
         table.row([

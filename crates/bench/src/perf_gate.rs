@@ -1,15 +1,23 @@
-//! CI perf-regression gate over the streaming JSON-Lines history
-//! (`BENCH_streaming.json`): after the `streaming` bench appends its record, the
-//! gate compares each stream's `incr_total_secs` against the **most recent
-//! earlier record with the exact same configuration** and fails the run when the
-//! incremental total regressed by more than [`TOLERANCE`].
+//! CI perf-regression gate over bench JSON-Lines histories: after a bench
+//! appends its record, the gate compares the gated per-stream metric against
+//! the **most recent earlier record with the exact same configuration** and
+//! fails the run when it regressed by more than [`TOLERANCE`].
 //!
-//! Two records are comparable only when every config field matches —
-//! `scale`, `iterations`, `seed`, `threads`, `shards`, `prune_rounds`,
-//! `compact_dead_ratio`, `partial_dissolution` and `candidate_index`.  A record
-//! missing any of them (e.g. history lines written before a field existed) is
-//! never comparable, so introducing a new knob rolls the gate over cleanly
-//! instead of comparing across semantics.
+//! Two gated histories share the machinery through [`GateSpec`]:
+//!
+//! * `BENCH_streaming.json` ([`check_streaming_history`]) gates each stream's
+//!   `incr_total_secs` — the incremental maintenance total;
+//! * `BENCH_queries.json` ([`check_query_history`]) gates `batch_total_secs` —
+//!   the churn-loop total *with query readers attached*, so both a slower
+//!   writer and a read path that steals too much CPU from it trip the gate.
+//!
+//! Two records are comparable only when every config field of the spec matches
+//! (for streaming: `scale`, `iterations`, `seed`, `threads`, `shards`,
+//! `prune_rounds`, `compact_dead_ratio`, `partial_dissolution`,
+//! `candidate_index`; for query serving: `scale`, `iterations`, `seed`,
+//! `threads`, `shards`, `workers`).  A record missing any of them (e.g. history
+//! lines written before a field existed) is never comparable, so introducing a
+//! new knob rolls the gate over cleanly instead of comparing across semantics.
 //!
 //! Totals below [`MIN_GATED_SECS`] are not gated: at CI smoke scale a run can
 //! finish in tens of milliseconds, where scheduler noise alone exceeds any
@@ -37,43 +45,90 @@ pub const MIN_GATED_SECS: f64 = 0.2;
 /// other than `0`): the gate reports what it found but does not fail the run.
 pub const ESCAPE_HATCH_ENV: &str = "SLUGGER_ALLOW_PERF_REGRESSION";
 
-/// The config fields two records must agree on (by raw field text) to be
-/// comparable.
-const CONFIG_KEY_FIELDS: &[&str] = &[
-    "scale",
-    "iterations",
-    "seed",
-    "threads",
-    "shards",
-    "prune_rounds",
-    "compact_dead_ratio",
-    "partial_dissolution",
-    "candidate_index",
-];
+/// What one gated history looks like: which config fields make two records
+/// comparable, which per-stream field is the gated metric, and how to name it
+/// in verdicts.
+#[derive(Clone, Copy, Debug)]
+pub struct GateSpec {
+    /// The config fields two records must agree on (by raw field text) to be
+    /// comparable.
+    pub config_fields: &'static [&'static str],
+    /// The per-stream field holding the gated seconds total.
+    pub metric: &'static str,
+    /// Human name of the metric in verdicts and failure reports.
+    pub metric_label: &'static str,
+}
 
-/// Checks the last record of the history file at `path` against its most recent
-/// same-config predecessor.  Returns a human-readable verdict, or `Err` with the
-/// regression report when the gate fails (already waived to `Ok` when
-/// [`ESCAPE_HATCH_ENV`] is set).
+/// The streaming-bench gate (`BENCH_streaming.json`).
+pub const STREAMING_GATE: GateSpec = GateSpec {
+    config_fields: &[
+        "scale",
+        "iterations",
+        "seed",
+        "threads",
+        "shards",
+        "prune_rounds",
+        "compact_dead_ratio",
+        "partial_dissolution",
+        "candidate_index",
+    ],
+    metric: "incr_total_secs",
+    metric_label: "incr total",
+};
+
+/// The query-serving gate (`BENCH_queries.json`): the churn-loop total with
+/// readers attached, i.e. writer speed *and* read-path interference.
+pub const QUERY_GATE: GateSpec = GateSpec {
+    config_fields: &[
+        "scale",
+        "iterations",
+        "seed",
+        "threads",
+        "shards",
+        "workers",
+    ],
+    metric: "batch_total_secs",
+    metric_label: "churn batch total",
+};
+
+/// Checks the last streaming record of the history file at `path` against its
+/// most recent same-config predecessor.  Returns a human-readable verdict, or
+/// `Err` with the regression report when the gate fails (already waived to `Ok`
+/// when [`ESCAPE_HATCH_ENV`] is set).
 pub fn check_streaming_history(path: &str) -> Result<String, String> {
+    check_history(&STREAMING_GATE, path)
+}
+
+/// [`check_streaming_history`], for the query-serving history.
+pub fn check_query_history(path: &str) -> Result<String, String> {
+    check_history(&QUERY_GATE, path)
+}
+
+fn check_history(spec: &GateSpec, path: &str) -> Result<String, String> {
     let lines = history::read_lines(path).map_err(|e| format!("perf gate: {path}: {e}"))?;
     let waived = std::env::var(ESCAPE_HATCH_ENV).is_ok_and(|v| !v.is_empty() && v != "0");
-    check_lines(&lines, waived)
+    check_lines_with(spec, &lines, waived)
+}
+
+/// [`check_lines_with`] under the streaming spec (kept as the stable name the
+/// streaming gate grew up with).
+pub fn check_lines(lines: &[String], waived: bool) -> Result<String, String> {
+    check_lines_with(&STREAMING_GATE, lines, waived)
 }
 
 /// The testable core: `lines` is the intact-record history (oldest first, the
 /// last line being the run under test), `waived` the escape-hatch state.
-pub fn check_lines(lines: &[String], waived: bool) -> Result<String, String> {
+pub fn check_lines_with(spec: &GateSpec, lines: &[String], waived: bool) -> Result<String, String> {
     let Some(current) = lines.last() else {
         return Ok("Perf gate: empty history, nothing to compare.".to_string());
     };
-    let Some(current_key) = config_key(current) else {
+    let Some(current_key) = config_key(spec, current) else {
         return Ok("Perf gate: current record lacks config fields, skipped.".to_string());
     };
     let baseline = lines[..lines.len() - 1]
         .iter()
         .rev()
-        .find(|line| config_key(line).as_ref() == Some(&current_key));
+        .find(|line| config_key(spec, line).as_ref() == Some(&current_key));
     let Some(baseline) = baseline else {
         return Ok(
             "Perf gate: no earlier record with this exact config — baseline established."
@@ -82,8 +137,8 @@ pub fn check_lines(lines: &[String], waived: bool) -> Result<String, String> {
     };
     let mut notes: Vec<String> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
-    for (name, now) in stream_totals(current) {
-        let Some(then) = stream_totals(baseline)
+    for (name, now) in stream_totals(spec, current) {
+        let Some(then) = stream_totals(spec, baseline)
             .into_iter()
             .find(|(n, _)| *n == name)
             .map(|(_, secs)| secs)
@@ -91,7 +146,10 @@ pub fn check_lines(lines: &[String], waived: bool) -> Result<String, String> {
             continue;
         };
         let delta = (now - then) / then.max(1e-9) * 100.0;
-        let verdict = format!("{name}: incr total {then:.3}s -> {now:.3}s ({delta:+.1}%)");
+        let verdict = format!(
+            "{name}: {} {then:.3}s -> {now:.3}s ({delta:+.1}%)",
+            spec.metric_label
+        );
         if then >= MIN_GATED_SECS && now > then * (1.0 + TOLERANCE) {
             failures.push(verdict);
         } else {
@@ -106,9 +164,10 @@ pub fn check_lines(lines: &[String], waived: bool) -> Result<String, String> {
         ));
     }
     let report = format!(
-        "Perf gate: incremental total regressed more than {:.0}% vs the last \
+        "Perf gate: {} regressed more than {:.0}% vs the last \
          same-config record: {}.  Set {ESCAPE_HATCH_ENV}=1 to waive an intentional \
          change.",
+        spec.metric_label,
         TOLERANCE * 100.0,
         failures.join("; ")
     );
@@ -119,19 +178,19 @@ pub fn check_lines(lines: &[String], waived: bool) -> Result<String, String> {
     }
 }
 
-/// The comparability key of one record: the raw text of every
-/// [`CONFIG_KEY_FIELDS`] value, or `None` when any is missing.
-fn config_key(line: &str) -> Option<Vec<String>> {
-    CONFIG_KEY_FIELDS
+/// The comparability key of one record: the raw text of every spec config
+/// field's value, or `None` when any is missing.
+fn config_key(spec: &GateSpec, line: &str) -> Option<Vec<String>> {
+    spec.config_fields
         .iter()
         .map(|field| raw_value(line, field).map(str::to_string))
         .collect()
 }
 
-/// Every `("name", incr_total_secs)` pair of a record's `streams` array, in
-/// order.  Each stream object is machine-written with `"name"` first and
-/// `"incr_total_secs"` following within the same object.
-fn stream_totals(line: &str) -> Vec<(String, f64)> {
+/// Every `("name", <metric>)` pair of a record's `streams` array, in order.
+/// Each stream object is machine-written with `"name"` first and the gated
+/// metric following within the same object.
+fn stream_totals(spec: &GateSpec, line: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut rest = line;
     while let Some(pos) = rest.find("\"name\":") {
@@ -143,7 +202,7 @@ fn stream_totals(line: &str) -> Vec<(String, f64)> {
         rest = &after[close + 1..];
         // The matching total precedes the next stream's name (or the line end).
         let scope_end = rest.find("\"name\":").unwrap_or(rest.len());
-        if let Some(total) = raw_value(&rest[..scope_end], "incr_total_secs") {
+        if let Some(total) = raw_value(&rest[..scope_end], spec.metric) {
             if let Ok(secs) = total.parse::<f64>() {
                 out.push((name, secs));
             }
@@ -259,5 +318,45 @@ mod tests {
         ];
         let err = check_lines(&lines, false).unwrap_err();
         assert!(err.contains("5.000s -> 6.500s"), "{err}");
+    }
+
+    fn query_record(sha: &str, workers: usize, batch_secs: f64) -> String {
+        format!(
+            "{{\"experiment\": \"query_serving\", \"git_sha\": \"{sha}\", \"unix_time\": 1, \
+             \"scale\": 1, \"iterations\": 5, \"seed\": 0, \"threads\": 1, \"shards\": 8, \
+             \"workers\": {workers}, \"streams\": [{{\"name\": \"RMAT\", \
+             \"batch_total_secs\": {batch_secs:.6}, \"baseline_total_secs\": 4.5, \
+             \"overhead_pct\": 3.0, \"classes\": [{{\"class\": \"neighbors\", \
+             \"count\": 100, \"p50_us\": 3.0, \"p99_us\": 20.0, \"max_us\": 90.0}}]}}]}}"
+        )
+    }
+
+    #[test]
+    fn query_gate_compares_batch_totals() {
+        let lines = vec![query_record("a", 4, 5.0), query_record("b", 4, 5.4)];
+        let verdict = check_lines_with(&QUERY_GATE, &lines, false).unwrap();
+        assert!(verdict.contains("within 20%"), "{verdict}");
+        assert!(verdict.contains("churn batch total"), "{verdict}");
+        let lines = vec![query_record("a", 4, 5.0), query_record("b", 4, 6.5)];
+        let err = check_lines_with(&QUERY_GATE, &lines, false).unwrap_err();
+        assert!(err.contains("RMAT"), "{err}");
+        assert!(err.contains("5.000s -> 6.500s"), "{err}");
+    }
+
+    #[test]
+    fn query_gate_keys_on_worker_count() {
+        // Same timings, different worker count: not comparable.
+        let lines = vec![query_record("a", 2, 5.0), query_record("b", 4, 6.5)];
+        let verdict = check_lines_with(&QUERY_GATE, &lines, false).unwrap();
+        assert!(verdict.contains("baseline established"), "{verdict}");
+    }
+
+    #[test]
+    fn query_gate_ignores_class_objects() {
+        // The nested `classes` array must not be mistaken for streams: exactly
+        // one gated total, and it is the stream's.
+        let record = query_record("a", 4, 5.0);
+        let totals = stream_totals(&QUERY_GATE, &record);
+        assert_eq!(totals, vec![("RMAT".to_string(), 5.0)]);
     }
 }

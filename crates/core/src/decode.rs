@@ -53,17 +53,80 @@ fn key(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
     }
 }
 
+/// Why a query-path decode could not be answered.  The read path is the one
+/// place ids arrive from outside the process, so callers get a typed error to
+/// match on rather than a panic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The queried id is not a subnode of this summary: it is at or above
+    /// `num_subnodes`, i.e. it names an interior (possibly dead) arena slot or
+    /// falls outside the arena entirely.
+    NodeOutOfRange {
+        /// The offending query id.
+        node: NodeId,
+        /// `num_subnodes` of the summary, for the error message.
+        num_subnodes: usize,
+    },
+    /// The summary's own invariants are broken: a supernode's incidence set
+    /// names a neighbor with no corresponding p/n-edge.  This indicates
+    /// corruption, never a bad query.
+    Inconsistent {
+        /// Supernode whose incidence set is stale.
+        supernode: NodeId,
+        /// The incident id with no backing edge.
+        other: NodeId,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::NodeOutOfRange { node, num_subnodes } => {
+                write!(
+                    f,
+                    "node {node} out of range (summary has {num_subnodes} subnodes)"
+                )
+            }
+            DecodeError::Inconsistent { supernode, other } => write!(
+                f,
+                "summary inconsistent: incidence of {supernode} names {other} but no edge exists"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Retrieves the neighbors of a single subnode by partial decompression
 /// (Algorithm 4): walk the ancestor chain of `v`, accumulate ±1 per member of the
 /// other endpoint of every incident p/n-edge, and keep subnodes with positive net.
+///
+/// Panics when `v` is not a subnode of the summary — use [`try_neighbors_of`]
+/// for ids that come from outside the process.
 pub fn neighbors_of(summary: &HierarchicalSummary, v: NodeId) -> Vec<NodeId> {
+    try_neighbors_of(summary, v).unwrap_or_else(|e| panic!("neighbors_of({v}): {e}"))
+}
+
+/// Fallible [`neighbors_of`]: the same Algorithm 4 walk, but out-of-range ids
+/// and broken summary invariants surface as a typed [`DecodeError`] instead of
+/// a panic.  Never panics, for arbitrary `v`.
+pub fn try_neighbors_of(
+    summary: &HierarchicalSummary,
+    v: NodeId,
+) -> Result<Vec<NodeId>, DecodeError> {
+    let leaf = summary.try_leaf_of(v).ok_or(DecodeError::NodeOutOfRange {
+        node: v,
+        num_subnodes: summary.num_subnodes(),
+    })?;
     let mut count: FxHashMap<NodeId, i32> = FxHashMap::default();
-    let leaf = summary.leaf_of(v);
     for ancestor in summary.ancestors_inclusive(leaf) {
         for other in summary.incident(ancestor) {
             let sign = summary
                 .edge_sign(ancestor, other)
-                .expect("incidence implies edge");
+                .ok_or(DecodeError::Inconsistent {
+                    supernode: ancestor,
+                    other,
+                })?;
             let w = sign.weight();
             for &u in summary.members(other) {
                 *count.entry(u).or_insert(0) += w;
@@ -78,7 +141,7 @@ pub fn neighbors_of(summary: &HierarchicalSummary, v: NodeId) -> Vec<NodeId> {
         .map(|(u, _)| u)
         .collect();
     out.sort_unstable();
-    out
+    Ok(out)
 }
 
 /// Verifies that a summary represents exactly the given graph.  Returns a description
@@ -110,6 +173,10 @@ pub fn verify_lossless(summary: &HierarchicalSummary, graph: &Graph) -> Result<(
 /// A view of a summary that implements [`NeighborAccess`], so the graph algorithms of
 /// `slugger-algos` (BFS, PageRank, Dijkstra, …) can run directly on the compressed
 /// representation through on-the-fly partial decompression (Sect. VIII-C).
+///
+/// The view is panic-free on arbitrary ids: an out-of-range `u` simply has no
+/// neighbors (mirroring how a CSR [`Graph`] treats isolated trailing nodes),
+/// routed through [`try_neighbors_of`].
 pub struct SummaryNeighborView<'a> {
     summary: &'a HierarchicalSummary,
 }
@@ -132,13 +199,24 @@ impl NeighborAccess for SummaryNeighborView<'_> {
     }
 
     fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
-        for v in neighbors_of(self.summary, u) {
+        for v in self.neighbors_vec(u) {
             f(v);
         }
     }
 
     fn neighbors_vec(&self, u: NodeId) -> Vec<NodeId> {
-        neighbors_of(self.summary, u)
+        match try_neighbors_of(self.summary, u) {
+            Ok(v) => v,
+            // Out of range: no neighbors, mirroring a CSR graph's treatment of
+            // ids beyond the adjacency it holds.
+            Err(DecodeError::NodeOutOfRange { .. }) => Vec::new(),
+            // Corruption is a programming error, not a query error — loud in
+            // debug builds, empty (not a crash) when serving.
+            Err(e @ DecodeError::Inconsistent { .. }) => {
+                debug_assert!(false, "{e}");
+                Vec::new()
+            }
+        }
     }
 }
 

@@ -252,6 +252,12 @@ pub struct BatchReport {
     /// Encoding cost of the maintained summary after the batch (pruned when
     /// [`IncrementalConfig::prune_rounds`] > 0).
     pub cost: usize,
+    /// Wall-clock cost of publishing the post-batch epoch snapshot (clone +
+    /// validate + slot swap) — zero when no [`crate::snapshot::SnapshotSlot`]
+    /// is attached.  Included in `elapsed`: publication is part of the batch
+    /// from the write loop's point of view, and the `query_serving` bench
+    /// reports it so the read path's cost to the writer stays honest.
+    pub publish_elapsed: std::time::Duration,
     /// Wall-clock duration of the whole batch.
     pub elapsed: std::time::Duration,
     /// Per-stage wall-clock breakdown of `elapsed`: the pipeline stages
@@ -318,6 +324,10 @@ pub struct IncrementalSummarizer {
     dirty_mark: Vec<bool>,
     /// Reused buffer of the leaf-level p-edges each batch restores.
     restore_buf: Vec<(SupernodeId, SupernodeId)>,
+    /// Publication point for epoch snapshots of the maintained summary
+    /// ([`IncrementalSummarizer::attach_snapshots`]); `None` keeps the batch
+    /// loop free of any read-path cost.
+    snapshots: Option<crate::snapshot::SnapshotSlot>,
 }
 
 impl IncrementalSummarizer {
@@ -362,6 +372,7 @@ impl IncrementalSummarizer {
             index: CandidateIndex::new(),
             dirty_mark: vec![false; num_subnodes],
             restore_buf: Vec::new(),
+            snapshots: None,
         })
     }
 
@@ -413,6 +424,7 @@ impl IncrementalSummarizer {
             index: CandidateIndex::new(),
             dirty_mark: vec![false; graph.num_nodes()],
             restore_buf: Vec::new(),
+            snapshots: None,
         }
     }
 
@@ -514,6 +526,7 @@ impl IncrementalSummarizer {
             report.arena_len = self.engine.summary().arena_len();
             report.dead_slots = self.engine.summary().num_dead_slots();
             self.maybe_self_check();
+            report.publish_elapsed = self.publish_or_die();
             report.elapsed = start.elapsed();
             return report;
         }
@@ -756,8 +769,17 @@ impl IncrementalSummarizer {
         report.dead_slots = summary.num_dead_slots();
         report.cost = summary.encoding_cost();
         self.maybe_self_check();
+        report.publish_elapsed = self.publish_or_die();
         report.elapsed = start.elapsed();
         report
+    }
+
+    /// In-batch publication: a summary that fails validation at publish time is
+    /// corruption, and a stream that kept serving (or silently stopped
+    /// publishing) would hand readers wrong answers — same policy as
+    /// [`IncrementalSummarizer::maybe_self_check`].
+    fn publish_or_die(&self) -> std::time::Duration {
+        self.publish_snapshot().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Runs the periodic self-check when [`IncrementalConfig::validate_every`]
@@ -830,6 +852,54 @@ impl IncrementalSummarizer {
     /// subsequent batch's output.
     pub fn compact_now(&mut self) -> usize {
         self.compact_engine()
+    }
+
+    /// Attaches a [`crate::snapshot::SnapshotSlot`] and immediately publishes
+    /// the current state, so readers have a snapshot before the next batch.
+    /// From here on every [`IncrementalSummarizer::resummarize`] call ends by
+    /// publishing a fresh epoch snapshot (see [`crate::snapshot`] for the
+    /// publish → pin → retire lifecycle).  Fails — without attaching — when
+    /// the current summary does not validate.
+    pub fn attach_snapshots(&mut self, slot: crate::snapshot::SnapshotSlot) -> Result<(), String> {
+        self.snapshots = Some(slot);
+        match self.publish_snapshot() {
+            Ok(_) => Ok(()),
+            Err(e) => {
+                self.snapshots = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Detaches the snapshot slot, if any: already-published snapshots stay
+    /// pinnable, but no further epochs are published.
+    pub fn detach_snapshots(&mut self) -> Option<crate::snapshot::SnapshotSlot> {
+        self.snapshots.take()
+    }
+
+    /// Publishes an epoch snapshot of the current state to the attached slot
+    /// right now — the hook for maintenance points outside the batch loop
+    /// ([`IncrementalSummarizer::prune_now`] / `compact_now`, recovery).  A
+    /// no-op `Ok` when no slot is attached.
+    pub fn publish_snapshot_now(&mut self) -> Result<(), String> {
+        self.publish_snapshot().map(|_| ())
+    }
+
+    /// Clone + validate + publish to the attached slot; returns the time it
+    /// took (zero when no slot is attached).
+    fn publish_snapshot(&self) -> Result<std::time::Duration, String> {
+        let Some(slot) = &self.snapshots else {
+            return Ok(std::time::Duration::ZERO);
+        };
+        let start = std::time::Instant::now();
+        let snapshot = crate::snapshot::SummarySnapshot::new(
+            self.engine.summary().clone(),
+            self.epoch,
+            self.batches,
+        )
+        .map_err(|e| format!("snapshot publication after batch {}: {e}", self.batches))?;
+        slot.publish(snapshot);
+        Ok(start.elapsed())
     }
 
     /// Read access to the persistent candidate index — its cached-entry count

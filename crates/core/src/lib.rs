@@ -71,22 +71,25 @@ pub mod model;
 pub mod pipeline;
 pub mod prune;
 pub mod slugger;
+pub mod snapshot;
 pub mod storage;
 
-pub use decode::SummaryNeighborView;
+pub use decode::{DecodeError, SummaryNeighborView};
 pub use engine::MergeCtx;
 pub use incremental::{BatchReport, IncrementalConfig, IncrementalSummarizer};
 pub use metrics::SummaryMetrics;
 pub use model::{EdgeSign, HierarchicalSummary, Supernode, SupernodeId};
 pub use pipeline::Parallelism;
 pub use slugger::{Slugger, SluggerConfig, SluggerOutcome, StageProfile};
+pub use snapshot::{QueryEngine, SnapshotSlot, SummarySnapshot};
 
 /// Convenience prelude.
 pub mod prelude {
-    pub use crate::decode::{decode_full, neighbors_of, verify_lossless};
+    pub use crate::decode::{decode_full, neighbors_of, try_neighbors_of, verify_lossless};
     pub use crate::incremental::{BatchReport, IncrementalConfig, IncrementalSummarizer};
     pub use crate::metrics::SummaryMetrics;
     pub use crate::model::{EdgeSign, HierarchicalSummary, SupernodeId};
     pub use crate::pipeline::Parallelism;
     pub use crate::slugger::{Slugger, SluggerConfig, SluggerOutcome, StageProfile};
+    pub use crate::snapshot::{QueryEngine, SnapshotSlot, SummarySnapshot};
 }

@@ -149,10 +149,25 @@ impl HierarchicalSummary {
     }
 
     /// The leaf supernode of a subnode (by construction, ids coincide).
+    ///
+    /// `subnode` must be a valid subnode id (`< num_subnodes`); use
+    /// [`HierarchicalSummary::try_leaf_of`] when the id comes from outside the
+    /// process.  In release builds an out-of-range id flows through unchecked
+    /// and panics later as an arena index error.
     #[inline]
     pub fn leaf_of(&self, subnode: NodeId) -> SupernodeId {
         debug_assert!((subnode as usize) < self.num_subnodes);
         subnode as SupernodeId
+    }
+
+    /// Fallible [`HierarchicalSummary::leaf_of`]: `None` when `subnode` is not
+    /// a subnode of this summary.  Leaf slots (`0..num_subnodes`) are alive in
+    /// every valid summary, so a `Some` id is always safe to walk — ids at or
+    /// above `num_subnodes` would name interior (possibly dead) arena slots or
+    /// fall outside the arena entirely.
+    #[inline]
+    pub fn try_leaf_of(&self, subnode: NodeId) -> Option<SupernodeId> {
+        ((subnode as usize) < self.num_subnodes).then_some(subnode as SupernodeId)
     }
 
     /// Parent of a supernode, if any.
@@ -702,6 +717,14 @@ impl HierarchicalSummary {
             return Err("subnodes are not partitioned by the roots".into());
         }
         Ok(())
+    }
+
+    /// Test-only invariant breaker: marks a slot dead without detaching its
+    /// edges, so tests can exercise the `validate()`-rejection paths that no
+    /// public mutator can reach.
+    #[cfg(test)]
+    pub(crate) fn kill_slot_for_tests(&mut self, id: SupernodeId) {
+        self.supernodes[id as usize].alive = false;
     }
 }
 

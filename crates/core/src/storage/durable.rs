@@ -944,6 +944,16 @@ impl<IO: DurableIo> DurableSummarizer<IO> {
         &self.inner
     }
 
+    /// Attaches a [`crate::snapshot::SnapshotSlot`] to the wrapped summarizer
+    /// (see [`IncrementalSummarizer::attach_snapshots`]) — the one narrow
+    /// mutation exposed on the inner state, safe for the recovery invariant
+    /// because publication only *reads* the summary.  Called after
+    /// [`DurableSummarizer::open`], it immediately publishes the recovered
+    /// state, so readers re-pin onto a post-recovery epoch.
+    pub fn attach_snapshots(&mut self, slot: crate::snapshot::SnapshotSlot) -> Result<(), String> {
+        self.inner.attach_snapshots(slot)
+    }
+
     /// The active checkpoint cadence.
     pub fn policy(&self) -> &DurablePolicy {
         &self.policy
