@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! cargo run --release --bin query_serving [--scale 1.0] [--iterations 5]
-//!     [--seed 0] [--workers 4] [--json queries.json] [--history BENCH_queries.json]
+//!     [--seed 0] [--workers 4] [--scenario powerlaw-hub-death]
+//!     [--json queries.json] [--history BENCH_queries.json]
 //! ```
 
 use slugger_bench::experiments::query_serving::{self, QueryServingOptions};

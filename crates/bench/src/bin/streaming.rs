@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! cargo run --release --bin streaming [--scale 1.0] [--iterations 5] [--seed 0]
-//!     [--prune-rounds 2] [--compact-ratio 0.5] [--json streaming.json]
+//!     [--prune-rounds 2] [--compact-ratio 0.5] [--scenario powerlaw-hub-death]
+//!     [--json streaming.json]
 //! ```
 
 use slugger_bench::experiments::streaming::{self, StreamingOptions};

@@ -32,6 +32,10 @@
 //! Extra flags on top of the shared [`ExperimentScale`] ones:
 //!
 //! * `--workers N` — concurrent query workers (default 4);
+//! * `--scenario NAME` — serve a named adversarial stream from the
+//!   `slugger-scenarios` registry instead of the default churned RMAT split;
+//!   the name lands in the `--json` / `--history` records and keys the perf
+//!   gate (an unknown name panics listing the registry);
 //! * `--json PATH` — full per-class measurements as JSON;
 //! * `--history PATH` — append a one-line record to a JSON-Lines history file
 //!   (CI appends to `BENCH_queries.json` and the perf gate compares the churn
@@ -77,6 +81,9 @@ const IDENTITY_SAMPLE: usize = 32;
 pub struct QueryServingOptions {
     /// Concurrent query workers (`--workers`).
     pub workers: usize,
+    /// Serve a named scenario from the `slugger-scenarios` registry instead of
+    /// the default churned RMAT split (`--scenario`).
+    pub scenario: Option<String>,
     /// Write the full measurements as JSON to this path (`--json`).
     pub json_path: Option<String>,
     /// Append a one-line summary record to this JSON-Lines history file
@@ -88,6 +95,7 @@ impl Default for QueryServingOptions {
     fn default() -> Self {
         QueryServingOptions {
             workers: 4,
+            scenario: None,
             json_path: None,
             history_path: None,
         }
@@ -108,6 +116,9 @@ impl QueryServingOptions {
                     out.workers = v
                         .parse()
                         .unwrap_or_else(|_| panic!("--workers: not a count: {v:?}"));
+                }
+                "--scenario" => {
+                    out.scenario = Some(iter.next().expect("--scenario needs a name"));
                 }
                 "--json" => {
                     out.json_path = Some(iter.next().expect("--json needs a path"));
@@ -160,6 +171,7 @@ struct WorkerStats {
 
 /// Everything one experiment run measured (feeds table, JSON and history).
 struct ServingRun {
+    name: String,
     num_nodes: usize,
     final_edges: usize,
     workers: usize,
@@ -208,21 +220,50 @@ pub fn run(scale: &ExperimentScale) -> String {
 /// Runs the experiment with explicit options and returns the report.
 pub fn run_with(scale: &ExperimentScale, options: &QueryServingOptions) -> String {
     let iterations = scale.iterations.min(5);
-    let target = rmat(&RmatConfig {
-        scale: 16,
-        num_edges: (RMAT_BASE_EDGES as f64 * scale.scale).round().max(64.0) as usize,
-        seed: scale.seed,
-        ..RmatConfig::default()
-    });
-    let (initial, batches) = stream_batches(
-        &target,
-        &StreamConfig {
-            initial_fraction: 0.9,
-            num_batches: NUM_BATCHES,
-            churn: 0.25,
-            seed: scale.seed,
-        },
-    );
+    // The served stream: a named registry scenario, or the default churned
+    // RMAT split.
+    let (stream_name, initial, batches, num_nodes, final_edges) =
+        if let Some(spec) = &options.scenario {
+            let scenario = slugger_scenarios::find(spec).unwrap_or_else(|| {
+                panic!(
+                    "--scenario {spec:?}: unknown scenario (available: {})",
+                    slugger_scenarios::names().join(", ")
+                )
+            });
+            let collected = scenario
+                .instantiate(scale.scale, NUM_BATCHES, scale.seed)
+                .collect_stream();
+            (
+                scenario.name.to_string(),
+                collected.initial,
+                collected.batches,
+                collected.num_nodes,
+                collected.final_edges,
+            )
+        } else {
+            let target = rmat(&RmatConfig {
+                scale: 16,
+                num_edges: (RMAT_BASE_EDGES as f64 * scale.scale).round().max(64.0) as usize,
+                seed: scale.seed,
+                ..RmatConfig::default()
+            });
+            let (initial, batches) = stream_batches(
+                &target,
+                &StreamConfig {
+                    initial_fraction: 0.9,
+                    num_batches: NUM_BATCHES,
+                    churn: 0.25,
+                    seed: scale.seed,
+                },
+            );
+            (
+                "RMAT".to_string(),
+                initial,
+                batches,
+                target.num_nodes(),
+                target.num_edges(),
+            )
+        };
     let slugger_config = SluggerConfig {
         iterations,
         seed: scale.seed,
@@ -334,8 +375,9 @@ pub fn run_with(scale: &ExperimentScale, options: &QueryServingOptions) -> Strin
         cache_misses += stats.cache_misses;
     }
     let run = ServingRun {
-        num_nodes: target.num_nodes(),
-        final_edges: target.num_edges(),
+        name: stream_name,
+        num_nodes,
+        final_edges,
         workers: options.workers,
         baseline_total_secs,
         batch_total_secs,
@@ -479,9 +521,9 @@ fn assert_identity(slot: &SnapshotSlot, current: &DynamicGraph, batch: usize, se
 
 fn render_section(run: &ServingRun, iterations: usize) -> String {
     let mut out = format!(
-        "\n### RMAT stream: |V| = {}, final |E| = {}, {NUM_BATCHES} batches (churn 0.25), \
+        "\n### {} stream: |V| = {}, final |E| = {}, {NUM_BATCHES} batches, \
          T = {iterations}, {} query workers\n\n",
-        run.num_nodes, run.final_edges, run.workers,
+        run.name, run.num_nodes, run.final_edges, run.workers,
     );
     let mut table = TableWriter::new(["Class", "Queries", "p50 (µs)", "p99 (µs)", "max (µs)"]);
     for class in &run.classes {
@@ -525,13 +567,14 @@ fn render_json(scale: &ExperimentScale, options: &QueryServingOptions, run: &Ser
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"scale\": {}, \"iterations\": {}, \"seed\": {}, \"threads\": {}, \"shards\": {}, \
-         \"workers\": {},\n",
+         \"workers\": {}, \"scenario\": \"{}\",\n",
         scale.scale,
         scale.iterations.min(5),
         scale.seed,
         scale.threads,
         scale.shards,
         options.workers,
+        options.scenario.as_deref().unwrap_or("none"),
     ));
     out.push_str(&format!(
         "  \"num_nodes\": {}, \"final_edges\": {}, \"baseline_total_secs\": {:.6}, \
@@ -577,7 +620,8 @@ fn history_record(
     let mut out = format!(
         "{{\"experiment\": \"query_serving\", \"git_sha\": \"{}\", \"unix_time\": {}, \
          \"scale\": {}, \"iterations\": {}, \"seed\": {}, \"threads\": {}, \"shards\": {}, \
-         \"workers\": {}, \"streams\": [{{\"name\": \"RMAT\", \"num_nodes\": {}, \
+         \"workers\": {}, \"scenario\": \"{}\", \"streams\": [{{\"name\": \"{}\", \
+         \"num_nodes\": {}, \
          \"final_edges\": {}, \"batch_total_secs\": {:.6}, \"baseline_total_secs\": {:.6}, \
          \"publish_total_secs\": {:.6}, \"overhead_pct\": {:.2}, \"cache_hit_rate\": {:.4}, \
          \"classes\": [",
@@ -589,6 +633,8 @@ fn history_record(
         scale.threads,
         scale.shards,
         options.workers,
+        options.scenario.as_deref().unwrap_or("none"),
+        run.name,
         run.num_nodes,
         run.final_edges,
         run.batch_total_secs,

@@ -40,6 +40,12 @@
 //! * `--input PATH` — stream a real SNAP-format edge list (see
 //!   `slugger_graph::io::read_snap_file` for the dedup/self-loop policy) instead
 //!   of the generated RMAT/caveman graphs;
+//! * `--scenario NAME` — stream a named adversarial scenario from the
+//!   `slugger-scenarios` registry (topology × churn program: hub deaths,
+//!   community merges, delete-heavy phases, bursts, …) instead of the default
+//!   churned split; the scenario name lands in the `--json` / `--history`
+//!   records and keys the perf gate, so each scenario tracks its own baseline
+//!   (an unknown name panics listing the registry);
 //! * `--json PATH` — also write the per-batch measurements as JSON, so the bench
 //!   trajectory can be tracked across PRs;
 //! * `--history PATH` — append a one-line summary record (git SHA + config +
@@ -96,6 +102,9 @@ pub struct StreamingOptions {
     /// Stream a real SNAP-format edge list instead of the generated graphs
     /// (`--input`).
     pub input_path: Option<String>,
+    /// Stream a named scenario from the `slugger-scenarios` registry instead
+    /// of the default churned split (`--scenario`).
+    pub scenario: Option<String>,
     /// Write the per-batch measurements as JSON to this path (`--json`).
     pub json_path: Option<String>,
     /// Append a one-line summary record to this JSON-Lines history file
@@ -146,6 +155,9 @@ impl StreamingOptions {
                 }
                 "--input" => {
                     out.input_path = Some(iter.next().expect("--input needs a path"));
+                }
+                "--scenario" => {
+                    out.scenario = Some(iter.next().expect("--scenario needs a name"));
                 }
                 "--json" => {
                     out.json_path = Some(iter.next().expect("--json needs a path"));
@@ -262,12 +274,70 @@ struct PruneCmp {
     hash_secs: f64,
 }
 
+/// A prepared stream — initial snapshot plus delta batches — however it was
+/// generated: the default churned split (`stream_batches`), a SNAP file
+/// (`--input`), or a named registry scenario (`--scenario`).
+struct StreamInput {
+    name: String,
+    initial: Graph,
+    batches: Vec<GraphDelta>,
+    num_nodes: usize,
+    final_edges: usize,
+    /// Human description of the batch generator, rendered in the section header.
+    workload: String,
+}
+
+/// The default stream shape: split `target` into a 90% snapshot plus churned
+/// delta batches converging back to it.
+fn churned_input(name: &str, target: &Graph, seed: u64) -> StreamInput {
+    let (initial, batches) = stream_batches(
+        target,
+        &StreamConfig {
+            initial_fraction: 0.9,
+            num_batches: NUM_BATCHES,
+            churn: 0.25,
+            seed,
+        },
+    );
+    let fresh_per_batch =
+        (target.num_edges() as f64 - initial.num_edges() as f64) / NUM_BATCHES as f64;
+    let workload = format!(
+        "{NUM_BATCHES} batches of ~{:.2}% fresh edges each (churn 0.25)",
+        100.0 * fresh_per_batch / (target.num_edges() as f64).max(1.0),
+    );
+    StreamInput {
+        name: name.to_string(),
+        num_nodes: target.num_nodes(),
+        final_edges: target.num_edges(),
+        initial,
+        batches,
+        workload,
+    }
+}
+
+/// A named adversarial stream from the `slugger-scenarios` registry, seeded
+/// from the shared `--scale`/`--seed` flags so runs stay reproducible.
+fn scenario_input(scenario: &slugger_scenarios::Scenario, scale: &ExperimentScale) -> StreamInput {
+    let collected = scenario
+        .instantiate(scale.scale, NUM_BATCHES, scale.seed)
+        .collect_stream();
+    StreamInput {
+        name: scenario.name.to_string(),
+        num_nodes: collected.num_nodes,
+        final_edges: collected.final_edges,
+        workload: format!("{NUM_BATCHES} scenario batches — {}", scenario.description),
+        initial: collected.initial,
+        batches: collected.batches,
+    }
+}
+
 /// One stream's measurements.
 struct StreamRun {
     name: String,
     num_nodes: usize,
     initial_edges: usize,
     final_edges: usize,
+    workload: String,
     bootstrap_secs: f64,
     mosso_bootstrap_secs: f64,
     rows: Vec<BatchRow>,
@@ -287,14 +357,29 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
     let mut out = heading("Streaming — incremental re-summarization vs full rebuild vs MoSSo");
     let iterations = scale.iterations.min(5);
     let mut runs = Vec::new();
-    if let Some(path) = &options.input_path {
+    if let Some(spec) = &options.scenario {
+        let scenario = slugger_scenarios::find(spec).unwrap_or_else(|| {
+            panic!(
+                "--scenario {spec:?}: unknown scenario (available: {})",
+                slugger_scenarios::names().join(", ")
+            )
+        });
+        let run = stream_section(scenario_input(&scenario, scale), iterations, scale, options);
+        out.push_str(&render_section(&run, iterations));
+        runs.push(run);
+    } else if let Some(path) = &options.input_path {
         let graph = slugger_graph::io::read_snap_file(path)
             .unwrap_or_else(|e| panic!("--input {path}: {e}"));
         let name = std::path::Path::new(path)
             .file_stem()
             .map(|s| s.to_string_lossy().into_owned())
             .unwrap_or_else(|| path.clone());
-        let run = stream_section(&name, &graph, iterations, scale, options);
+        let run = stream_section(
+            churned_input(&name, &graph, scale.seed),
+            iterations,
+            scale,
+            options,
+        );
         out.push_str(&render_section(&run, iterations));
         runs.push(run);
     } else {
@@ -304,7 +389,12 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
             seed: scale.seed,
             ..RmatConfig::default()
         });
-        let run = stream_section("RMAT", &rmat_graph, iterations, scale, options);
+        let run = stream_section(
+            churned_input("RMAT", &rmat_graph, scale.seed),
+            iterations,
+            scale,
+            options,
+        );
         out.push_str(&render_section(&run, iterations));
         runs.push(run);
         let nodes = ((CAVEMAN_BASE_NODES as f64 * scale.scale).round() as usize).max(60);
@@ -316,7 +406,12 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
             rewire_probability: 0.03,
             seed: scale.seed,
         });
-        let run = stream_section("Caveman", &caveman_graph, iterations, scale, options);
+        let run = stream_section(
+            churned_input("Caveman", &caveman_graph, scale.seed),
+            iterations,
+            scale,
+            options,
+        );
         out.push_str(&render_section(&run, iterations));
         runs.push(run);
     }
@@ -368,21 +463,19 @@ pub fn run_with(scale: &ExperimentScale, options: &StreamingOptions) -> String {
 }
 
 fn stream_section(
-    name: &str,
-    target: &Graph,
+    input: StreamInput,
     iterations: usize,
     scale: &ExperimentScale,
     options: &StreamingOptions,
 ) -> StreamRun {
-    let (initial, batches) = stream_batches(
-        target,
-        &StreamConfig {
-            initial_fraction: 0.9,
-            num_batches: NUM_BATCHES,
-            churn: 0.25,
-            seed: scale.seed,
-        },
-    );
+    let StreamInput {
+        name,
+        initial,
+        batches,
+        num_nodes,
+        final_edges,
+        workload,
+    } = input;
     let slugger_config = SluggerConfig {
         iterations,
         seed: scale.seed,
@@ -400,7 +493,7 @@ fn stream_section(
     let bootstrap_start = Instant::now();
     let mut durable_note = None;
     let mut maintainer = if let Some(dir) = &options.durable_dir {
-        let stream_dir = std::path::Path::new(dir).join(name);
+        let stream_dir = std::path::Path::new(dir).join(&name);
         let io = DirIo::new(&stream_dir)
             .unwrap_or_else(|e| panic!("--durable-dir {}: {e}", stream_dir.display()));
         let (durable, recovery) = DurableSummarizer::open_or_create(
@@ -451,7 +544,7 @@ fn stream_section(
     );
     let bootstrap_elapsed = bootstrap_start.elapsed();
     let mut mosso = MossoSummarizer::new(
-        target.num_nodes(),
+        num_nodes,
         MossoConfig {
             seed: scale.seed,
             ..MossoConfig::default()
@@ -565,10 +658,11 @@ fn stream_section(
     let prune_cmp = compare_pair_indexes(maintainer.inner().summary(), &current.to_graph());
 
     StreamRun {
-        name: name.to_string(),
-        num_nodes: target.num_nodes(),
+        name,
+        num_nodes,
         initial_edges: initial.num_edges(),
-        final_edges: target.num_edges(),
+        final_edges,
+        workload,
         bootstrap_secs: bootstrap_elapsed.as_secs_f64(),
         mosso_bootstrap_secs: mosso_bootstrap.as_secs_f64(),
         rows,
@@ -688,18 +782,17 @@ fn render_section(run: &StreamRun, iterations: usize) -> String {
             row.mosso_cost.to_string(),
         ]);
     }
-    let fresh_per_batch = (run.final_edges as f64 - run.initial_edges as f64) / NUM_BATCHES as f64;
     let mut out = format!(
-        "\n### {} stream: |V| = {}, final |E| = {}, {} batches of ~{:.2}% fresh edges \
-         each (churn 0.25), T = {iterations}\n\nBootstrap: SLUGGER in {} on the 90% \
-         snapshot; MoSSo streamed the snapshot in {}.  `*` marks batches that \
-         compacted the arena.\n\n",
+        "\n### {} stream: |V| = {}, final |E| = {}, {}, T = {iterations}\n\n\
+         Bootstrap: SLUGGER in {} on the initial snapshot ({} edges); MoSSo \
+         streamed the snapshot in {}.  `*` marks batches that compacted the \
+         arena.\n\n",
         run.name,
         run.num_nodes,
         run.final_edges,
-        NUM_BATCHES,
-        100.0 * fresh_per_batch / (run.final_edges as f64).max(1.0),
+        run.workload,
         fmt_duration(std::time::Duration::from_secs_f64(run.bootstrap_secs)),
+        run.initial_edges,
         fmt_duration(std::time::Duration::from_secs_f64(run.mosso_bootstrap_secs)),
     );
     out.push_str(&table.to_text());
@@ -739,7 +832,7 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
     ));
     out.push_str(&format!(
         "  \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \"partial_dissolution\": {}, \
-         \"candidate_index\": {},\n",
+         \"candidate_index\": {}, \"scenario\": \"{}\",\n",
         options
             .prune_rounds
             .unwrap_or(IncrementalConfig::default().prune_rounds),
@@ -748,6 +841,7 @@ fn render_json(scale: &ExperimentScale, options: &StreamingOptions, runs: &[Stre
             .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
         !options.whole_tree,
         !options.no_candidate_index,
+        options.scenario.as_deref().unwrap_or("none"),
     ));
     out.push_str("  \"streams\": [\n");
     for (si, run) in runs.iter().enumerate() {
@@ -829,7 +923,8 @@ fn history_record(
         "{{\"experiment\": \"streaming\", \"git_sha\": \"{}\", \"unix_time\": {}, \
          \"scale\": {}, \"iterations\": {}, \"seed\": {}, \"threads\": {}, \
          \"shards\": {}, \"prune_rounds\": {}, \"compact_dead_ratio\": {}, \
-         \"partial_dissolution\": {}, \"candidate_index\": {}, \"streams\": [",
+         \"partial_dissolution\": {}, \"candidate_index\": {}, \
+         \"scenario\": \"{}\", \"streams\": [",
         history::git_sha(),
         history::unix_time(),
         scale.scale,
@@ -845,6 +940,7 @@ fn history_record(
             .unwrap_or(IncrementalConfig::default().compact_dead_ratio),
         !options.whole_tree,
         !options.no_candidate_index,
+        options.scenario.as_deref().unwrap_or("none"),
     );
     for (si, run) in runs.iter().enumerate() {
         let incr_total: f64 = run.rows.iter().map(|r| r.incr_secs).sum();

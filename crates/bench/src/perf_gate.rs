@@ -14,8 +14,9 @@
 //! Two records are comparable only when every config field of the spec matches
 //! (for streaming: `scale`, `iterations`, `seed`, `threads`, `shards`,
 //! `prune_rounds`, `compact_dead_ratio`, `partial_dissolution`,
-//! `candidate_index`; for query serving: `scale`, `iterations`, `seed`,
-//! `threads`, `shards`, `workers`).  A record missing any of them (e.g. history
+//! `candidate_index`, `scenario`; for query serving: `scale`, `iterations`,
+//! `seed`, `threads`, `shards`, `workers`, `scenario` — so each `--scenario`
+//! stream tracks its own baseline).  A record missing any of them (e.g. history
 //! lines written before a field existed) is never comparable, so introducing a
 //! new knob rolls the gate over cleanly instead of comparing across semantics.
 //!
@@ -71,6 +72,7 @@ pub const STREAMING_GATE: GateSpec = GateSpec {
         "compact_dead_ratio",
         "partial_dissolution",
         "candidate_index",
+        "scenario",
     ],
     metric: "incr_total_secs",
     metric_label: "incr total",
@@ -86,6 +88,7 @@ pub const QUERY_GATE: GateSpec = GateSpec {
         "threads",
         "shards",
         "workers",
+        "scenario",
     ],
     metric: "batch_total_secs",
     metric_label: "churn batch total",
@@ -227,11 +230,22 @@ mod tests {
     use super::*;
 
     fn record(sha: &str, candidate_index: bool, rmat_secs: f64, caveman_secs: f64) -> String {
+        scenario_record(sha, candidate_index, "none", rmat_secs, caveman_secs)
+    }
+
+    fn scenario_record(
+        sha: &str,
+        candidate_index: bool,
+        scenario: &str,
+        rmat_secs: f64,
+        caveman_secs: f64,
+    ) -> String {
         format!(
             "{{\"experiment\": \"streaming\", \"git_sha\": \"{sha}\", \"unix_time\": 1, \
              \"scale\": 1, \"iterations\": 5, \"seed\": 0, \"threads\": 1, \"shards\": 8, \
              \"prune_rounds\": 2, \"compact_dead_ratio\": 0.5, \
              \"partial_dissolution\": true, \"candidate_index\": {candidate_index}, \
+             \"scenario\": \"{scenario}\", \
              \"streams\": [{{\"name\": \"RMAT\", \"incr_total_secs\": {rmat_secs:.6}, \
              \"rebuild_total_secs\": 9.0}}, {{\"name\": \"Caveman\", \
              \"incr_total_secs\": {caveman_secs:.6}, \"rebuild_total_secs\": 3.0}}]}}"
@@ -280,6 +294,25 @@ mod tests {
     }
 
     #[test]
+    fn different_scenarios_are_not_compared() {
+        // A slower adversarial scenario run must not gate against the default
+        // stream (or another scenario): the scenario name is part of the key.
+        let lines = vec![
+            record("a", true, 5.0, 1.0),
+            scenario_record("b", true, "powerlaw-hub-death", 9.0, 2.0),
+        ];
+        let verdict = check_lines(&lines, false).unwrap();
+        assert!(verdict.contains("baseline established"), "{verdict}");
+        // Same scenario twice: comparable, and a regression fails.
+        let lines = vec![
+            scenario_record("a", true, "powerlaw-hub-death", 5.0, 1.0),
+            scenario_record("b", true, "powerlaw-hub-death", 6.5, 1.0),
+        ];
+        let err = check_lines(&lines, false).unwrap_err();
+        assert!(err.contains("RMAT"), "{err}");
+    }
+
+    #[test]
     fn records_missing_config_fields_are_skipped() {
         let lines = vec![legacy_record(2.0), record("b", true, 6.5, 1.0)];
         let verdict = check_lines(&lines, false).unwrap();
@@ -324,7 +357,8 @@ mod tests {
         format!(
             "{{\"experiment\": \"query_serving\", \"git_sha\": \"{sha}\", \"unix_time\": 1, \
              \"scale\": 1, \"iterations\": 5, \"seed\": 0, \"threads\": 1, \"shards\": 8, \
-             \"workers\": {workers}, \"streams\": [{{\"name\": \"RMAT\", \
+             \"workers\": {workers}, \"scenario\": \"none\", \
+             \"streams\": [{{\"name\": \"RMAT\", \
              \"batch_total_secs\": {batch_secs:.6}, \"baseline_total_secs\": 4.5, \
              \"overhead_pct\": 3.0, \"classes\": [{{\"class\": \"neighbors\", \
              \"count\": 100, \"p50_us\": 3.0, \"p99_us\": 20.0, \"max_us\": 90.0}}]}}]}}"

@@ -56,6 +56,9 @@
 //! * [`decode`] — full and partial decompression (Algorithm 4) and losslessness
 //!   verification.
 //! * [`metrics`] — output-size and hierarchy statistics used by the experiments.
+//! * [`testsupport`] — the canonical-form comparison and the
+//!   `parallelism × shards` lattice shared by the invariance test suites (and by
+//!   downstream crates' tests); not part of the stable algorithmic surface.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -73,6 +76,7 @@ pub mod prune;
 pub mod slugger;
 pub mod snapshot;
 pub mod storage;
+pub mod testsupport;
 
 pub use decode::{DecodeError, SummaryNeighborView};
 pub use engine::MergeCtx;

@@ -4,47 +4,10 @@
 //! cost-equal, but identical arena structure (ids, parents, children, members,
 //! liveness) and identical p/n-edge content.
 
-use slugger_core::model::HierarchicalSummary;
+use slugger_core::testsupport::{canonical, lattice};
 use slugger_core::{Parallelism, Slugger, SluggerConfig};
 use slugger_graph::gen::{caveman, rmat, CavemanConfig, RmatConfig};
 use slugger_graph::Graph;
-
-/// One arena slot of the canonical form: (parent, children, members, alive).
-type CanonicalSlot = (Option<u32>, Vec<u32>, Vec<u32>, bool);
-
-/// The canonical form of a summary: every observable byte of the model, with the
-/// (layout-dependent) hash maps flattened into sorted vectors.  Two summaries with
-/// equal canonical forms are byte-identical as far as any consumer can tell.
-#[derive(Debug, PartialEq, Eq)]
-struct CanonicalSummary {
-    num_subnodes: usize,
-    arena: Vec<CanonicalSlot>,
-    /// Sorted `((a, b), weight)` p/n-edge list.
-    edges: Vec<((u32, u32), i32)>,
-}
-
-fn canonical(summary: &HierarchicalSummary) -> CanonicalSummary {
-    let arena = (0..summary.arena_len() as u32)
-        .map(|id| {
-            (
-                summary.parent(id),
-                summary.children(id).to_vec(),
-                summary.members(id).to_vec(),
-                summary.is_alive(id),
-            )
-        })
-        .collect();
-    let mut edges: Vec<((u32, u32), i32)> = summary
-        .pn_edges()
-        .map(|(key, sign)| (key, sign.weight()))
-        .collect();
-    edges.sort_unstable();
-    CanonicalSummary {
-        num_subnodes: summary.num_subnodes(),
-        arena,
-        edges,
-    }
-}
 
 fn graphs() -> Vec<(&'static str, Graph)> {
     vec![
@@ -91,33 +54,30 @@ fn parallel_apply_summary_is_byte_identical_across_parallelism_and_shards() {
         // reference the conflict-partitioned path must reproduce exactly.
         let baseline = Slugger::new(config(Parallelism::Sequential, 8, seed)).summarize(&graph);
         let expected = canonical(&baseline.summary);
-        for parallelism in [1usize, 2, 4, 8] {
-            for shards in [1usize, 4, 16] {
-                let p = if parallelism == 1 {
-                    Parallelism::Sequential
-                } else {
-                    Parallelism::Fixed(parallelism)
-                };
-                let outcome = Slugger::new(config(p, shards, seed)).summarize(&graph);
-                assert_eq!(
-                    canonical(&outcome.summary),
-                    expected,
-                    "{name}: summary diverged at parallelism {parallelism}, shards {shards}"
+        for point in lattice() {
+            let outcome =
+                Slugger::new(config(point.parallelism, point.shards, seed)).summarize(&graph);
+            assert_eq!(
+                canonical(&outcome.summary),
+                expected,
+                "{name}: summary diverged at parallelism {}, shards {}",
+                point.threads,
+                point.shards
+            );
+            // The per-iteration trajectory must agree too (same merges, same
+            // costs, in the same order).
+            for (a, b) in baseline.iterations.iter().zip(outcome.iterations.iter()) {
+                assert_eq!(a.merges, b.merges, "{name}: iteration {}", a.iteration);
+                assert_eq!(a.cost, b.cost, "{name}: iteration {}", a.iteration);
+                assert_eq!(a.roots, b.roots, "{name}: iteration {}", a.iteration);
+            }
+            if point.threads > 1 {
+                assert!(
+                    outcome.stages.apply_batched_plans > 0,
+                    "{name}: the parallel apply path must actually run at \
+                     parallelism {}",
+                    point.threads
                 );
-                // The per-iteration trajectory must agree too (same merges, same
-                // costs, in the same order).
-                for (a, b) in baseline.iterations.iter().zip(outcome.iterations.iter()) {
-                    assert_eq!(a.merges, b.merges, "{name}: iteration {}", a.iteration);
-                    assert_eq!(a.cost, b.cost, "{name}: iteration {}", a.iteration);
-                    assert_eq!(a.roots, b.roots, "{name}: iteration {}", a.iteration);
-                }
-                if parallelism > 1 {
-                    assert!(
-                        outcome.stages.apply_batched_plans > 0,
-                        "{name}: the parallel apply path must actually run at \
-                         parallelism {parallelism}"
-                    );
-                }
             }
         }
     }

@@ -7,47 +7,11 @@
 //! scheduling).
 
 use slugger_core::incremental::{IncrementalConfig, IncrementalSummarizer};
-use slugger_core::model::HierarchicalSummary;
+use slugger_core::testsupport::{canonical, lattice, CanonicalSummary};
 use slugger_core::{Parallelism, Slugger, SluggerConfig};
 use slugger_graph::gen::{caveman, rmat, CavemanConfig, RmatConfig};
 use slugger_graph::stream::{stream_batches, StreamConfig};
 use slugger_graph::Graph;
-
-/// One arena slot of the canonical form: (parent, children, members, alive).
-type CanonicalSlot = (Option<u32>, Vec<u32>, Vec<u32>, bool);
-
-/// The canonical form of a summary (see `apply_invariance.rs`): every observable
-/// byte of the model, with the (layout-dependent) hash maps flattened into sorted
-/// vectors.
-#[derive(Debug, PartialEq, Eq)]
-struct CanonicalSummary {
-    num_subnodes: usize,
-    arena: Vec<CanonicalSlot>,
-    edges: Vec<((u32, u32), i32)>,
-}
-
-fn canonical(summary: &HierarchicalSummary) -> CanonicalSummary {
-    let arena = (0..summary.arena_len() as u32)
-        .map(|id| {
-            (
-                summary.parent(id),
-                summary.children(id).to_vec(),
-                summary.members(id).to_vec(),
-                summary.is_alive(id),
-            )
-        })
-        .collect();
-    let mut edges: Vec<((u32, u32), i32)> = summary
-        .pn_edges()
-        .map(|(key, sign)| (key, sign.weight()))
-        .collect();
-    edges.sort_unstable();
-    CanonicalSummary {
-        num_subnodes: summary.num_subnodes(),
-        arena,
-        edges,
-    }
-}
 
 fn targets() -> Vec<(&'static str, Graph)> {
     vec![
@@ -129,21 +93,15 @@ fn incremental_stream_is_byte_identical_across_parallelism_and_shards() {
             },
         );
         let baseline = run_stream(&initial, &batches, Parallelism::Sequential, 8);
-        for parallelism in [1usize, 2, 4, 8] {
-            for shards in [1usize, 4, 16] {
-                let p = if parallelism == 1 {
-                    Parallelism::Sequential
-                } else {
-                    Parallelism::Fixed(parallelism)
-                };
-                let run = run_stream(&initial, &batches, p, shards);
-                for (batch, (got, expected)) in run.iter().zip(baseline.iter()).enumerate() {
-                    assert_eq!(
-                        got, expected,
-                        "{name}: summary diverged after batch {batch} at \
-                         parallelism {parallelism}, shards {shards}"
-                    );
-                }
+        for point in lattice() {
+            let run = run_stream(&initial, &batches, point.parallelism, point.shards);
+            for (batch, (got, expected)) in run.iter().zip(baseline.iter()).enumerate() {
+                assert_eq!(
+                    got, expected,
+                    "{name}: summary diverged after batch {batch} at \
+                     parallelism {}, shards {}",
+                    point.threads, point.shards
+                );
             }
         }
     }

@@ -250,19 +250,13 @@ fn snapshot_answers_are_identical_across_parallelism_and_shards() {
             .collect()
     };
     let baseline = run(Parallelism::Sequential, 8);
-    for parallelism in [1usize, 2, 4, 8] {
-        for shards in [1usize, 4, 16] {
-            let p = if parallelism == 1 {
-                Parallelism::Sequential
-            } else {
-                Parallelism::Fixed(parallelism)
-            };
-            let got = run(p, shards);
-            assert_eq!(
-                got, baseline,
-                "served answers diverged at parallelism {parallelism}, shards {shards}"
-            );
-        }
+    for point in slugger_core::testsupport::lattice() {
+        let got = run(point.parallelism, point.shards);
+        assert_eq!(
+            got, baseline,
+            "served answers diverged at parallelism {}, shards {}",
+            point.threads, point.shards
+        );
     }
 }
 

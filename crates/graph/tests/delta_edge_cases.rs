@@ -1,0 +1,218 @@
+//! Regression pins for the `GraphDelta` / `stream_batches` edge cases the
+//! scenario churn programs exercise: empty batches, delete-and-re-insert of
+//! one edge inside a single delta, operations touching ids that carry no edges
+//! at all, and degenerate `stream_batches` configurations.  Each must be an
+//! idempotent no-op (or exact round-trip) leaving the graph byte-identical to
+//! the equivalent clean delta.
+
+use slugger_graph::gen::{caveman, CavemanConfig};
+use slugger_graph::stream::{stream_batches, StreamConfig};
+use slugger_graph::{DynamicGraph, GraphDelta, NodeId};
+
+fn seeded_graph() -> DynamicGraph {
+    let g = caveman(&CavemanConfig {
+        num_nodes: 120,
+        num_cliques: 14,
+        min_clique: 5,
+        max_clique: 8,
+        rewire_probability: 0.02,
+        seed: 3,
+    });
+    DynamicGraph::from_graph(&g)
+}
+
+fn edges_of(g: &DynamicGraph) -> Vec<(NodeId, NodeId)> {
+    g.edges().collect()
+}
+
+#[test]
+fn empty_delta_is_a_no_op() {
+    let mut g = seeded_graph();
+    let before = edges_of(&g);
+    let delta = GraphDelta::new();
+    assert!(delta.is_empty());
+    let (deleted, inserted) = delta.apply_to(&mut g);
+    assert_eq!((deleted, inserted), (0, 0));
+    assert_eq!(edges_of(&g), before);
+}
+
+#[test]
+fn delete_and_reinsert_same_edge_in_one_delta_round_trips() {
+    let mut g = seeded_graph();
+    let edge = edges_of(&g)[0];
+    let before = edges_of(&g);
+    // Deletions apply first, then insertions: the edge must survive the batch,
+    // however many times each side repeats.
+    let delta = GraphDelta {
+        deletions: vec![edge, edge, edge],
+        insertions: vec![edge, edge],
+    };
+    let (deleted, inserted) = delta.apply_to(&mut g);
+    assert_eq!(
+        (deleted, inserted),
+        (1, 1),
+        "only the first of each applies"
+    );
+    assert_eq!(edges_of(&g), before, "net effect must be zero");
+}
+
+#[test]
+fn operations_on_edge_free_ids_are_idempotent_no_ops() {
+    // Nodes 100..120 exist in the universe but the caveman generator left some
+    // of them isolated; operations touching isolated endpoints must behave
+    // exactly like any other idempotent op.
+    let mut g = seeded_graph();
+    let isolated: Vec<NodeId> = (0..g.num_nodes() as NodeId)
+        .filter(|&u| g.degree(u) == 0)
+        .collect();
+    assert!(
+        isolated.len() >= 2,
+        "test premise: the generator leaves isolated nodes"
+    );
+    let (a, b) = (isolated[0], isolated[1]);
+    let before = edges_of(&g);
+
+    // Deleting a never-present edge between isolated nodes: no-op.
+    let delete_absent = GraphDelta {
+        deletions: vec![(a, b), (b, a)],
+        insertions: vec![],
+    };
+    assert_eq!(delete_absent.apply_to(&mut g), (0, 0));
+    assert_eq!(edges_of(&g), before);
+
+    // Insert, then delete it again across two batches: exact round-trip.
+    let insert = GraphDelta::from_insertions(vec![(a, b)]);
+    assert_eq!(insert.apply_to(&mut g), (0, 1));
+    assert!(g.has_edge(a, b));
+    let delete = GraphDelta {
+        deletions: vec![(a, b)],
+        insertions: vec![],
+    };
+    assert_eq!(delete.apply_to(&mut g), (1, 0));
+    assert_eq!(
+        edges_of(&g),
+        before,
+        "insert/delete must round-trip exactly"
+    );
+}
+
+#[test]
+fn noop_padded_delta_equals_its_clean_core() {
+    let mut padded_graph = seeded_graph();
+    let mut clean_graph = padded_graph.clone();
+    let present = edges_of(&padded_graph)[3];
+    let (a, b) = {
+        let g = &padded_graph;
+        let mut pair = (0, 1);
+        'outer: for u in 0..g.num_nodes() as NodeId {
+            for v in (u + 1)..g.num_nodes() as NodeId {
+                if !g.has_edge(u, v) {
+                    pair = (u, v);
+                    break 'outer;
+                }
+            }
+        }
+        pair
+    };
+    // The clean core: insert one absent edge.
+    let clean = GraphDelta::from_insertions(vec![(a, b)]);
+    // The padded version: same core buried under every no-op shape.
+    let padded = GraphDelta {
+        deletions: vec![(a, b), present, (b, a)],
+        insertions: vec![present, (a, b), (a, b), present],
+    };
+    clean.apply_to(&mut clean_graph);
+    padded.apply_to(&mut padded_graph);
+    assert_eq!(
+        edges_of(&padded_graph),
+        edges_of(&clean_graph),
+        "no-op padding must not change the resulting graph"
+    );
+}
+
+#[test]
+fn stream_batches_tolerates_more_batches_than_edges() {
+    let target = caveman(&CavemanConfig {
+        num_nodes: 60,
+        num_cliques: 8,
+        ..CavemanConfig::default()
+    });
+    // Leave ~2 edges for 40 batches: most batches must be empty, and the
+    // stream must still converge exactly.
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 0.99,
+            num_batches: 40,
+            churn: 0.0,
+            seed: 1,
+        },
+    );
+    assert_eq!(batches.len(), 40);
+    assert!(
+        batches.iter().any(|b| b.is_empty()),
+        "over-split streams must produce empty batches"
+    );
+    let mut current = DynamicGraph::from_graph(&initial);
+    for delta in &batches {
+        delta.apply_to(&mut current);
+    }
+    assert_eq!(current.to_graph().edge_set(), target.edge_set());
+}
+
+#[test]
+fn stream_batches_with_full_initial_fraction_is_pure_churn() {
+    let target = caveman(&CavemanConfig {
+        num_nodes: 80,
+        num_cliques: 10,
+        ..CavemanConfig::default()
+    });
+    // Everything is in the snapshot; batches only churn (delete + re-insert).
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 1.0,
+            num_batches: 5,
+            churn: 0.5,
+            seed: 9,
+        },
+    );
+    assert_eq!(initial.edge_set(), target.edge_set());
+    assert!(
+        batches.iter().any(|b| !b.deletions.is_empty()),
+        "churn must still generate deletions"
+    );
+    let mut current = DynamicGraph::from_graph(&initial);
+    for delta in &batches {
+        delta.apply_to(&mut current);
+    }
+    assert_eq!(
+        current.to_graph().edge_set(),
+        target.edge_set(),
+        "pure-churn streams must converge back to the target"
+    );
+}
+
+#[test]
+fn stream_batches_with_zero_initial_fraction_streams_everything() {
+    let target = caveman(&CavemanConfig {
+        num_nodes: 80,
+        num_cliques: 10,
+        ..CavemanConfig::default()
+    });
+    let (initial, batches) = stream_batches(
+        &target,
+        &StreamConfig {
+            initial_fraction: 0.0,
+            num_batches: 7,
+            churn: 0.3,
+            seed: 2,
+        },
+    );
+    assert_eq!(initial.num_edges(), 0);
+    let mut current = DynamicGraph::from_graph(&initial);
+    for delta in &batches {
+        delta.apply_to(&mut current);
+    }
+    assert_eq!(current.to_graph().edge_set(), target.edge_set());
+}

@@ -1,0 +1,501 @@
+//! Churn programs: how a scenario's delta stream evolves the initial graph.
+//!
+//! A [`ChurnProgram`] is a pure function of `(batch index, ops budget, current
+//! graph mirror, carried state, rng)` producing one [`GraphDelta`].  Programs
+//! never see more than the current mirror — no materialized history — so a
+//! scenario stream stays O(one batch) in memory no matter how long it runs.
+//!
+//! Every program is free to emit deltas that are *adversarial but well-formed*:
+//! deletions of absent edges, duplicate operations, delete-and-re-insert of the
+//! same edge inside one batch, and completely empty batches are all legal
+//! (consumers apply deletions first, then insertions, each idempotently).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use slugger_graph::{DynamicGraph, GraphDelta, NodeId};
+
+/// Mutable state a [`ChurnProgram`] carries across batches (edges it promised
+/// to re-insert later, cross-community edges it will sever again, ...).
+#[derive(Clone, Debug, Default)]
+pub struct ChurnState {
+    /// Hub spokes deleted by [`ChurnProgram::HubUpheaval`], awaiting rebirth.
+    pending_rebirth: Vec<(NodeId, Vec<NodeId>)>,
+    /// Edges deleted by [`ChurnProgram::DeleteHeavy`], awaiting recycling.
+    recycled: Vec<(NodeId, NodeId)>,
+    /// Cross-community edges inserted by the last merge step of
+    /// [`ChurnProgram::CommunityCycle`], severed again by the next split step.
+    cross_edges: Vec<(NodeId, NodeId)>,
+}
+
+/// The per-batch delta generator of a scenario.
+#[derive(Clone, Copy, Debug)]
+pub enum ChurnProgram {
+    /// Drifting hot window: each batch touches a small id window that slides
+    /// forward with ~50% overlap, mimicking temporal locality in real streams.
+    TemporalLocality {
+        /// Window width as a fraction of the node-id space.
+        window_fraction: f64,
+        /// Fraction of the ops budget spent on deletions (rest on insertions).
+        delete_share: f64,
+    },
+    /// Hub death and rebirth: every `period` batches the current maximum-degree
+    /// node loses *all* its edges at once; the following batch re-creates them.
+    /// The single most adversarial input for partial dissolution and region
+    /// pruning — an entire dense neighborhood vanishes in one delta.
+    HubUpheaval {
+        /// Batches between consecutive hub deaths.
+        period: usize,
+    },
+    /// Community merge/split cycle: even steps pick two disjoint id blocks and
+    /// stitch them together with cross edges; odd steps sever exactly those
+    /// edges again.  Stresses supernode merge/dissolve decisions at community
+    /// granularity.
+    CommunityCycle {
+        /// Block width as a fraction of the node-id space.
+        block_fraction: f64,
+    },
+    /// Power-law batch sizes: most batches are tiny, a few are enormous
+    /// (Pareto-distributed multiplier on the ops budget, capped at 40×).
+    Burst {
+        /// Pareto shape parameter (> 1; smaller means heavier bursts).
+        alpha: f64,
+        /// Fraction of each batch's ops spent on deletions.
+        delete_share: f64,
+    },
+    /// Alternating demolition and reconstruction: `period` batches of almost
+    /// pure deletion, then `period` batches re-inserting the demolished edges
+    /// (plus fresh ones).  Drives the dead-slot ratio up and forces compaction.
+    DeleteHeavy {
+        /// Batches per demolition (and per reconstruction) phase.
+        period: usize,
+    },
+    /// Adversarial no-op pressure: deltas dominated by deletions of absent
+    /// edges, re-insertions of present edges, duplicate ops, delete+re-insert
+    /// of one edge within a single batch, and periodic fully-empty batches —
+    /// with only a trickle of real change.  Pins the idempotence contract.
+    NoopStorm,
+}
+
+impl ChurnProgram {
+    /// Produces the delta for batch `batch_index` given the current graph
+    /// `mirror` (the state *before* this delta applies).  `base_ops` is the
+    /// scenario's per-batch operation budget; programs may exceed it (bursts)
+    /// or undercut it (empty batches).  Deterministic in all arguments plus
+    /// the rng state.
+    pub fn next_batch(
+        &self,
+        batch_index: usize,
+        base_ops: usize,
+        mirror: &DynamicGraph,
+        state: &mut ChurnState,
+        rng: &mut StdRng,
+    ) -> GraphDelta {
+        match *self {
+            ChurnProgram::TemporalLocality {
+                window_fraction,
+                delete_share,
+            } => temporal_locality(
+                batch_index,
+                base_ops,
+                mirror,
+                rng,
+                window_fraction,
+                delete_share,
+            ),
+            ChurnProgram::HubUpheaval { period } => {
+                hub_upheaval(batch_index, base_ops, mirror, state, rng, period.max(2))
+            }
+            ChurnProgram::CommunityCycle { block_fraction } => {
+                community_cycle(batch_index, base_ops, mirror, state, rng, block_fraction)
+            }
+            ChurnProgram::Burst {
+                alpha,
+                delete_share,
+            } => burst(base_ops, mirror, rng, alpha, delete_share),
+            ChurnProgram::DeleteHeavy { period } => {
+                delete_heavy(batch_index, base_ops, mirror, state, rng, period.max(1))
+            }
+            ChurnProgram::NoopStorm => noop_storm(batch_index, base_ops, mirror, rng),
+        }
+    }
+}
+
+/// Samples an edge currently present in `mirror`, or `None` if (nearly) empty.
+fn random_present_edge(mirror: &DynamicGraph, rng: &mut StdRng) -> Option<(NodeId, NodeId)> {
+    let n = mirror.num_nodes();
+    if n == 0 || mirror.num_edges() == 0 {
+        return None;
+    }
+    for _ in 0..64 {
+        let u = rng.random_range(0..n) as NodeId;
+        let deg = mirror.degree(u);
+        if deg == 0 {
+            continue;
+        }
+        let v = mirror.neighbors(u)[rng.random_range(0..deg)];
+        return Some((u, v));
+    }
+    None
+}
+
+/// Samples a node pair `(u, v)` with `u != v` that is *not* currently an edge.
+fn random_absent_pair(mirror: &DynamicGraph, rng: &mut StdRng) -> Option<(NodeId, NodeId)> {
+    let n = mirror.num_nodes();
+    if n < 2 {
+        return None;
+    }
+    for _ in 0..64 {
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        if u != v && !mirror.has_edge(u, v) {
+            return Some((u, v));
+        }
+    }
+    None
+}
+
+fn temporal_locality(
+    batch_index: usize,
+    base_ops: usize,
+    mirror: &DynamicGraph,
+    rng: &mut StdRng,
+    window_fraction: f64,
+    delete_share: f64,
+) -> GraphDelta {
+    let n = mirror.num_nodes();
+    let width = ((n as f64 * window_fraction.clamp(0.01, 1.0)) as usize).clamp(2, n);
+    // Slide the window by half its width per batch so consecutive batches
+    // overlap — the hallmark of temporal locality.
+    let start = (batch_index * width / 2) % n.max(1);
+    let in_window = |rng: &mut StdRng| ((start + rng.random_range(0..width)) % n) as NodeId;
+    let deletes = ((base_ops as f64) * delete_share.clamp(0.0, 1.0)) as usize;
+    let mut delta = GraphDelta::new();
+    for _ in 0..deletes {
+        // Delete an edge incident to the window when one exists.
+        let u = in_window(rng);
+        let deg = mirror.degree(u);
+        if deg > 0 {
+            let v = mirror.neighbors(u)[rng.random_range(0..deg)];
+            delta.deletions.push((u, v));
+        } else if let Some(e) = random_present_edge(mirror, rng) {
+            delta.deletions.push(e);
+        }
+    }
+    for _ in 0..base_ops.saturating_sub(deletes) {
+        let u = in_window(rng);
+        let v = in_window(rng);
+        if u != v {
+            delta.insertions.push((u, v));
+        }
+    }
+    delta
+}
+
+fn hub_upheaval(
+    batch_index: usize,
+    base_ops: usize,
+    mirror: &DynamicGraph,
+    state: &mut ChurnState,
+    rng: &mut StdRng,
+    period: usize,
+) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    // Rebirth first: re-insert every spoke of hubs killed last batch.
+    for (hub, spokes) in state.pending_rebirth.drain(..) {
+        delta.insertions.extend(spokes.iter().map(|&v| (hub, v)));
+    }
+    if batch_index.is_multiple_of(period) && mirror.num_edges() > 0 {
+        // Deterministically pick the max-degree node (lowest id wins ties) and
+        // delete its entire neighborhood in one stroke.
+        let hub = (0..mirror.num_nodes() as NodeId)
+            .max_by_key(|&u| (mirror.degree(u), std::cmp::Reverse(u)))
+            .expect("non-empty graph");
+        let spokes = mirror.neighbors(hub).to_vec();
+        delta.deletions.extend(spokes.iter().map(|&v| (hub, v)));
+        state.pending_rebirth.push((hub, spokes));
+    } else {
+        // Background drift between upheavals keeps the stream alive.
+        for _ in 0..base_ops / 2 {
+            if let Some(e) = random_present_edge(mirror, rng) {
+                delta.deletions.push(e);
+            }
+            if let Some(e) = random_absent_pair(mirror, rng) {
+                delta.insertions.push(e);
+            }
+        }
+    }
+    delta
+}
+
+fn community_cycle(
+    batch_index: usize,
+    base_ops: usize,
+    mirror: &DynamicGraph,
+    state: &mut ChurnState,
+    rng: &mut StdRng,
+    block_fraction: f64,
+) -> GraphDelta {
+    let n = mirror.num_nodes();
+    let width = ((n as f64 * block_fraction.clamp(0.01, 0.4)) as usize).clamp(2, n / 2);
+    let mut delta = GraphDelta::new();
+    if batch_index.is_multiple_of(2) {
+        // Merge: stitch two disjoint id blocks together with cross edges and
+        // remember them so the next batch can sever exactly these.
+        let a_start = rng.random_range(0..n.saturating_sub(2 * width).max(1));
+        let b_start = a_start + width + rng.random_range(0..(n - a_start - 2 * width).max(1));
+        state.cross_edges.clear();
+        for _ in 0..base_ops {
+            let u = (a_start + rng.random_range(0..width)) as NodeId;
+            let v = (b_start + rng.random_range(0..width)) as NodeId;
+            if u != v {
+                delta.insertions.push((u, v));
+                state.cross_edges.push((u, v));
+            }
+        }
+    } else {
+        // Split: sever the remembered cross edges (duplicates included — the
+        // consumer treats repeat deletions as no-ops).
+        delta.deletions.append(&mut state.cross_edges);
+        // A little background insertion keeps non-merge structure evolving.
+        for _ in 0..base_ops / 4 {
+            if let Some(e) = random_absent_pair(mirror, rng) {
+                delta.insertions.push(e);
+            }
+        }
+    }
+    delta
+}
+
+fn burst(
+    base_ops: usize,
+    mirror: &DynamicGraph,
+    rng: &mut StdRng,
+    alpha: f64,
+    delete_share: f64,
+) -> GraphDelta {
+    // Pareto-distributed batch-size multiplier: u^(-1/(alpha-1)), capped.
+    let u: f64 = rng.random::<f64>().max(1e-9);
+    let multiplier = u.powf(-1.0 / (alpha - 1.0).max(0.1)).min(40.0);
+    let ops = ((base_ops as f64) * multiplier) as usize;
+    let deletes = ((ops as f64) * delete_share.clamp(0.0, 1.0)) as usize;
+    let mut delta = GraphDelta::new();
+    for _ in 0..deletes {
+        if let Some(e) = random_present_edge(mirror, rng) {
+            delta.deletions.push(e);
+        }
+    }
+    for _ in 0..ops.saturating_sub(deletes) {
+        if let Some(e) = random_absent_pair(mirror, rng) {
+            delta.insertions.push(e);
+        }
+    }
+    delta
+}
+
+fn delete_heavy(
+    batch_index: usize,
+    base_ops: usize,
+    mirror: &DynamicGraph,
+    state: &mut ChurnState,
+    rng: &mut StdRng,
+    period: usize,
+) -> GraphDelta {
+    let demolishing = (batch_index / period).is_multiple_of(2);
+    let mut delta = GraphDelta::new();
+    if demolishing {
+        // Demolition: overwhelmingly deletions, stashed for later recycling.
+        for _ in 0..base_ops {
+            if let Some(e) = random_present_edge(mirror, rng) {
+                delta.deletions.push(e);
+                state.recycled.push(e);
+            }
+        }
+        for _ in 0..base_ops / 8 {
+            if let Some(e) = random_absent_pair(mirror, rng) {
+                delta.insertions.push(e);
+            }
+        }
+    } else {
+        // Reconstruction: drain the recycled edges back in, plus fresh ones.
+        let take = state.recycled.len().div_ceil(period);
+        let tail = state
+            .recycled
+            .split_off(state.recycled.len() - take.min(state.recycled.len()));
+        delta.insertions.extend(tail);
+        for _ in 0..base_ops / 4 {
+            if let Some(e) = random_absent_pair(mirror, rng) {
+                delta.insertions.push(e);
+            }
+        }
+    }
+    delta
+}
+
+fn noop_storm(
+    batch_index: usize,
+    base_ops: usize,
+    mirror: &DynamicGraph,
+    rng: &mut StdRng,
+) -> GraphDelta {
+    // Every fourth batch is completely empty.
+    if batch_index % 4 == 3 {
+        return GraphDelta::new();
+    }
+    let mut delta = GraphDelta::new();
+    for _ in 0..base_ops {
+        match rng.random_range(0..5u32) {
+            // Deletion of an absent pair: must be an exact no-op.
+            0 => {
+                if let Some(e) = random_absent_pair(mirror, rng) {
+                    delta.deletions.push(e);
+                }
+            }
+            // Insertion of an already-present edge: must be an exact no-op.
+            1 => {
+                if let Some(e) = random_present_edge(mirror, rng) {
+                    delta.insertions.push(e);
+                }
+            }
+            // Delete-and-re-insert the same edge within one batch: net no-op
+            // (deletions apply first), duplicated for good measure.
+            2 => {
+                if let Some(e) = random_present_edge(mirror, rng) {
+                    delta.deletions.push(e);
+                    delta.deletions.push(e);
+                    delta.insertions.push(e);
+                    delta.insertions.push(e);
+                }
+            }
+            // A trickle of real insertions so the stream is not pure noise.
+            3 => {
+                if let Some(e) = random_absent_pair(mirror, rng) {
+                    delta.insertions.push(e);
+                }
+            }
+            // A trickle of real deletions.
+            _ => {
+                if let Some(e) = random_present_edge(mirror, rng) {
+                    delta.deletions.push(e);
+                }
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> DynamicGraph {
+        let mut g = DynamicGraph::new(n);
+        for u in 0..n {
+            g.insert_edge(u as NodeId, ((u + 1) % n) as NodeId);
+        }
+        g
+    }
+
+    fn drive(program: ChurnProgram, batches: usize, seed: u64) -> Vec<GraphDelta> {
+        let mut mirror = ring(200);
+        let mut state = ChurnState::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..batches)
+            .map(|b| {
+                let delta = program.next_batch(b, 24, &mirror, &mut state, &mut rng);
+                delta.apply_to(&mut mirror);
+                delta
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_programs_are_deterministic_and_in_bounds() {
+        let programs = [
+            ChurnProgram::TemporalLocality {
+                window_fraction: 0.1,
+                delete_share: 0.3,
+            },
+            ChurnProgram::HubUpheaval { period: 3 },
+            ChurnProgram::CommunityCycle {
+                block_fraction: 0.1,
+            },
+            ChurnProgram::Burst {
+                alpha: 2.0,
+                delete_share: 0.3,
+            },
+            ChurnProgram::DeleteHeavy { period: 2 },
+            ChurnProgram::NoopStorm,
+        ];
+        for program in programs {
+            let a = drive(program, 8, 42);
+            let b = drive(program, 8, 42);
+            assert_eq!(a, b, "{program:?} must be deterministic");
+            for delta in a.iter() {
+                for &(u, v) in delta.deletions.iter().chain(delta.insertions.iter()) {
+                    assert!((u as usize) < 200 && (v as usize) < 200, "{program:?}");
+                }
+            }
+            assert!(
+                a.iter().any(|d| !d.is_empty()),
+                "{program:?} generated only empty batches"
+            );
+        }
+    }
+
+    #[test]
+    fn hub_upheaval_kills_and_resurrects_the_hub() {
+        // Build a star so node 0 is unambiguously the hub.
+        let mut mirror = DynamicGraph::new(50);
+        for v in 1..50 {
+            mirror.insert_edge(0, v as NodeId);
+        }
+        let before = mirror.to_graph().edge_set();
+        let program = ChurnProgram::HubUpheaval { period: 2 };
+        let mut state = ChurnState::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let kill = program.next_batch(0, 0, &mirror, &mut state, &mut rng);
+        assert_eq!(kill.deletions.len(), 49, "hub loses everything at once");
+        kill.apply_to(&mut mirror);
+        assert_eq!(mirror.degree(0), 0);
+        let rebirth = program.next_batch(1, 0, &mirror, &mut state, &mut rng);
+        rebirth.apply_to(&mut mirror);
+        assert_eq!(mirror.to_graph().edge_set(), before, "hub fully restored");
+    }
+
+    #[test]
+    fn community_cycle_split_undoes_merge() {
+        let mut mirror = ring(300);
+        let before = mirror.to_graph().edge_set();
+        let program = ChurnProgram::CommunityCycle {
+            block_fraction: 0.08,
+        };
+        let mut state = ChurnState::default();
+        let mut rng = StdRng::seed_from_u64(9);
+        let merge = program.next_batch(0, 0, &mirror, &mut state, &mut rng);
+        merge.apply_to(&mut mirror);
+        let split = program.next_batch(1, 0, &mirror, &mut state, &mut rng);
+        split.apply_to(&mut mirror);
+        assert_eq!(
+            mirror.to_graph().edge_set(),
+            before,
+            "split must sever exactly the merge's cross edges"
+        );
+    }
+
+    #[test]
+    fn noop_storm_emits_empty_batches_and_mostly_noops() {
+        let deltas = drive(ChurnProgram::NoopStorm, 8, 5);
+        assert!(deltas[3].is_empty() && deltas[7].is_empty());
+        assert!(deltas.iter().any(|d| !d.deletions.is_empty()));
+    }
+
+    #[test]
+    fn delete_heavy_alternates_phases() {
+        let deltas = drive(ChurnProgram::DeleteHeavy { period: 2 }, 8, 3);
+        let demolition_deletes: usize = deltas[..2].iter().map(|d| d.deletions.len()).sum();
+        let rebuild_inserts: usize = deltas[2..4].iter().map(|d| d.insertions.len()).sum();
+        assert!(demolition_deletes > 20, "{demolition_deletes}");
+        assert!(rebuild_inserts > 10, "{rebuild_inserts}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Initial-graph topologies a [`crate::Scenario`] starts from.
+//!
+//! Each variant wraps either one of the `slugger_graph::gen` generators (RMAT,
+//! caveman, Barabási–Albert) or a structure built here (grid with shortcuts,
+//! skewed bipartite attachment) that the generator module does not cover.  All
+//! of them are pure functions of `(config, scale, seed)` and produce graphs
+//! whose *shape* survives scaling: a smoke-scale instance stresses the same
+//! code paths as a benchmark-scale one, only smaller.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use slugger_graph::gen::{barabasi_albert, caveman, rmat, CavemanConfig, RmatConfig};
+use slugger_graph::{Graph, GraphBuilder, NodeId};
+
+/// The initial-graph family of a scenario (sizes given at `scale = 1.0`).
+#[derive(Clone, Copy, Debug)]
+pub enum Topology {
+    /// RMAT / Kronecker-style graph: self-similar communities plus heavy hubs
+    /// (the repo's long-standing default workload).
+    Rmat {
+        /// Attempted edges at `scale = 1.0` (duplicates/self-loops drop out).
+        base_edges: usize,
+    },
+    /// Relaxed caveman: overlapping near-cliques, the high-compressibility
+    /// collaboration-graph stand-in.
+    Caveman {
+        /// Nodes at `scale = 1.0`.
+        base_nodes: usize,
+    },
+    /// Barabási–Albert preferential attachment: a power-law degree
+    /// distribution whose hubs are the prime targets of hub-death churn.
+    PowerLaw {
+        /// Nodes at `scale = 1.0`.
+        base_nodes: usize,
+        /// Edges each new node attaches with.
+        attach: usize,
+    },
+    /// A 2-D grid (4-neighborhood) plus random long-range shortcuts: locally
+    /// regular structure with none of the degree skew the other families have,
+    /// so region growth is breadth-driven instead of hub-driven.
+    GridShortcuts {
+        /// Grid side length at `scale = 1.0` (the graph has `side²` nodes).
+        base_side: usize,
+        /// Shortcut edges as a fraction of the grid edges.
+        shortcut_fraction: f64,
+    },
+    /// Skewed bipartite attachment: `leaves` nodes each pick `attach` partners
+    /// from a small `hubs` set under a Zipf-like popularity skew, so many
+    /// leaves share identical neighborhoods — ideal supernode material whose
+    /// dissolution behaves very differently from clique dissolution.
+    Bipartite {
+        /// Hub-side nodes at `scale = 1.0`.
+        base_hubs: usize,
+        /// Leaf-side nodes at `scale = 1.0`.
+        base_leaves: usize,
+        /// Hub attachments per leaf.
+        attach: usize,
+    },
+}
+
+impl Topology {
+    /// Builds the initial graph at `scale` (a linear size multiplier with a
+    /// small floor so smoke instances stay non-degenerate).  Deterministic in
+    /// `(self, scale, seed)`.
+    pub fn build(&self, scale: f64, seed: u64) -> Graph {
+        match *self {
+            Topology::Rmat { base_edges } => {
+                let num_edges = ((base_edges as f64 * scale).round() as usize).max(96);
+                // Size the node universe to the edge budget so average degree
+                // stays scale-independent (~6 attempted edges per node).
+                let log2_nodes = ((num_edges as f64 / 6.0).log2().ceil() as u32).clamp(6, 20);
+                rmat(&RmatConfig {
+                    scale: log2_nodes,
+                    num_edges,
+                    seed,
+                    ..RmatConfig::default()
+                })
+            }
+            Topology::Caveman { base_nodes } => {
+                let num_nodes = ((base_nodes as f64 * scale).round() as usize).max(80);
+                caveman(&CavemanConfig {
+                    num_nodes,
+                    num_cliques: (num_nodes / 8).max(4),
+                    min_clique: 5,
+                    max_clique: 9,
+                    rewire_probability: 0.03,
+                    seed,
+                })
+            }
+            Topology::PowerLaw { base_nodes, attach } => {
+                let num_nodes = ((base_nodes as f64 * scale).round() as usize).max(2 * attach + 20);
+                barabasi_albert(num_nodes, attach, seed)
+            }
+            Topology::GridShortcuts {
+                base_side,
+                shortcut_fraction,
+            } => {
+                let cells = (base_side * base_side) as f64 * scale;
+                let side = (cells.sqrt().round() as usize).max(6);
+                let n = side * side;
+                let mut builder = GraphBuilder::with_capacity(n, 2 * n);
+                for r in 0..side {
+                    for c in 0..side {
+                        let u = (r * side + c) as NodeId;
+                        if c + 1 < side {
+                            builder.add_edge(u, u + 1);
+                        }
+                        if r + 1 < side {
+                            builder.add_edge(u, u + side as NodeId);
+                        }
+                    }
+                }
+                let grid_edges = 2 * side * (side - 1);
+                let shortcuts = (grid_edges as f64 * shortcut_fraction).round() as usize;
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x9d1d_5c0e);
+                for _ in 0..shortcuts {
+                    let u = rng.random_range(0..n) as NodeId;
+                    let v = rng.random_range(0..n) as NodeId;
+                    if u != v {
+                        builder.add_edge(u, v);
+                    }
+                }
+                builder.build()
+            }
+            Topology::Bipartite {
+                base_hubs,
+                base_leaves,
+                attach,
+            } => {
+                let hubs = ((base_hubs as f64 * scale).round() as usize).max(8);
+                let leaves = ((base_leaves as f64 * scale).round() as usize).max(32);
+                let n = hubs + leaves;
+                // Zipf-like cumulative hub popularity (skew 1.0): a handful of
+                // hubs absorb most attachments, so leaf neighborhoods overlap.
+                let weights: Vec<f64> = (0..hubs).map(|i| 1.0 / (i + 1) as f64).collect();
+                let total: f64 = weights.iter().sum();
+                let mut cumulative = Vec::with_capacity(hubs);
+                let mut acc = 0.0;
+                for w in &weights {
+                    acc += w / total;
+                    cumulative.push(acc);
+                }
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xb1_4a47);
+                let mut builder = GraphBuilder::with_capacity(n, leaves * attach);
+                for leaf in hubs..n {
+                    for _ in 0..attach {
+                        let r: f64 = rng.random::<f64>();
+                        let hub =
+                            cumulative.iter().position(|&c| r <= c).unwrap_or(hubs - 1) as NodeId;
+                        builder.add_edge(leaf as NodeId, hub);
+                    }
+                }
+                builder.build()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_builds_valid_nondegenerate_graphs() {
+        let topologies = [
+            Topology::Rmat { base_edges: 4_000 },
+            Topology::Caveman { base_nodes: 600 },
+            Topology::PowerLaw {
+                base_nodes: 500,
+                attach: 3,
+            },
+            Topology::GridShortcuts {
+                base_side: 24,
+                shortcut_fraction: 0.05,
+            },
+            Topology::Bipartite {
+                base_hubs: 24,
+                base_leaves: 400,
+                attach: 3,
+            },
+        ];
+        for topology in topologies {
+            for scale in [0.05, 0.5] {
+                let g = topology.build(scale, 7);
+                g.validate().unwrap();
+                assert!(
+                    g.num_edges() >= 32,
+                    "{topology:?} at scale {scale}: only {} edges",
+                    g.num_edges()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let topology = Topology::GridShortcuts {
+            base_side: 20,
+            shortcut_fraction: 0.1,
+        };
+        let a = topology.build(0.3, 11);
+        let b = topology.build(0.3, 11);
+        assert_eq!(a.edge_set(), b.edge_set());
+        let c = topology.build(0.3, 12);
+        assert_ne!(a.edge_set(), c.edge_set(), "seed must matter");
+    }
+
+    #[test]
+    fn powerlaw_has_hubs_and_bipartite_has_shared_neighborhoods() {
+        let pl = Topology::PowerLaw {
+            base_nodes: 500,
+            attach: 2,
+        }
+        .build(1.0, 3);
+        assert!(pl.max_degree() as f64 > 4.0 * pl.avg_degree());
+        let bp = Topology::Bipartite {
+            base_hubs: 16,
+            base_leaves: 300,
+            attach: 3,
+        }
+        .build(1.0, 3);
+        // The most popular hub should dominate (Zipf skew).
+        assert!(bp.max_degree() > 50, "max degree {}", bp.max_degree());
+    }
+}
